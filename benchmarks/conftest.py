@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper gets one benchmark module.  The three
+insertion figures and Table 1 come from a single (expensive) experiment run,
+so that run is computed once per session and shared; the benchmark hooks then
+measure the full run once (Figure 7's module) and the derived extractions for
+the other modules.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment  # noqa: E402
+
+
+#: Scale used by the insertion benchmarks (nodes / derived file count).  The
+#: paper uses 10 000 nodes and 1.2 M files; this default finishes in well under
+#: a minute while preserving every qualitative conclusion.
+BENCH_INSERTION_CONFIG = InsertionConfig(node_count=100, sample_points=10, seed=1)
+
+
+@pytest.fixture(scope="session")
+def insertion_outcome():
+    """One shared insertion-experiment run (Figures 7-9 and Table 1)."""
+    return InsertionExperiment(BENCH_INSERTION_CONFIG).run()

@@ -1,0 +1,43 @@
+"""Figure 12 — min/avg/max packets per node over time at RanSub = 16 %.
+
+Paper: the distribution of replica data is "close to linear for the maximum,
+average, and minimum number of blocks per node", i.e. the tree saturates
+evenly and no vertex is starved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
+
+BENCH_CONFIG = MulticastConfig(seed=5)
+
+
+def test_bench_fig12_even_saturation(benchmark):
+    """Benchmark the saturation run and report the Figure 12 series."""
+
+    experiment = MulticastExperiment(BENCH_CONFIG)
+
+    def run_once():
+        return experiment.run_saturation()
+
+    minimum, average, maximum = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    print("\nFigure 12 — packets per node at RanSub = 16 % (first/last epochs):")
+    for index in (0, len(average.y) // 2, len(average.y) - 1):
+        print(
+            f"  epoch {int(average.x[index]):4d}: min {minimum.y[index]:7.1f} "
+            f"avg {average.y[index]:7.1f} max {maximum.y[index]:7.1f}"
+        )
+    total = BENCH_CONFIG.total_packets
+    # Everyone ends (essentially) complete.
+    assert maximum.final() == total
+    assert average.final() >= 0.99 * total
+    # Even saturation: the min-max spread stays a modest fraction of the chunk.
+    spread = experiment.saturation_spread(minimum, average, maximum)
+    assert spread < 0.35 * total
+    # Growth is close to linear: the epoch-to-epoch increments of the average
+    # curve have a small coefficient of variation over the bulk of the run.
+    increments = np.diff(average.y)
+    bulk = increments[: max(1, int(len(increments) * 0.8))]
+    assert bulk.std() <= 0.5 * bulk.mean()

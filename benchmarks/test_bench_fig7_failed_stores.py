@@ -1,0 +1,36 @@
+"""Figure 7 — number of failed file stores vs files inserted (PAST / CFS / ours).
+
+Paper (Section 6.1): at the end of the insertion PAST fails 36.0 % of stores,
+CFS 15.2 %, the proposed system 5.2 % (improvements of 7.0x and 2.9x).  The
+reproduction's absolute percentages depend on the scaled population and on the
+baselines' retry policies (see EXPERIMENTS.md), but the proposed system must
+fail the least by a wide margin.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_INSERTION_CONFIG
+from repro.experiments.results import format_series_table
+from repro.experiments.storage_insertion import InsertionExperiment
+
+
+def test_bench_fig7_failed_stores(benchmark, insertion_outcome):
+    """Benchmark the full three-scheme insertion run and report Figure 7."""
+
+    def run_once():
+        return InsertionExperiment(BENCH_INSERTION_CONFIG).run()
+
+    outcome = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    finals = outcome.final_failed_stores()
+    print("\nFigure 7 — failed stores (% of inserted files), final point:")
+    print({scheme: round(value, 2) for scheme, value in finals.items()})
+    print(
+        format_series_table(
+            [outcome.curves[s].failed_stores_pct for s in ("PAST", "CFS", "Our System")],
+            x_label="files",
+        )
+    )
+    # Shape assertions (the paper's ordering for the headline claim).
+    assert finals["Our System"] < finals["CFS"]
+    assert finals["Our System"] < finals["PAST"]
+    assert finals["Our System"] < 0.5 * min(finals["CFS"], finals["PAST"])

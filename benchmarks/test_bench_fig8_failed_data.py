@@ -1,0 +1,29 @@
+"""Figure 8 — size of data in failed stores vs files inserted.
+
+Paper: PAST fails to store 39.2 % of the data, CFS 22.0 %, the proposed system
+12.7 % (3.1x and 1.7x better).  The reproduction checks that the proposed
+system loses the least data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import format_series_table
+
+
+def test_bench_fig8_failed_data(benchmark, insertion_outcome):
+    """Report Figure 8 from the shared insertion run."""
+
+    def extract():
+        return insertion_outcome.final_failed_data()
+
+    finals = benchmark.pedantic(extract, rounds=1, iterations=1)
+    print("\nFigure 8 — failed data (% of inserted bytes), final point:")
+    print({scheme: round(value, 2) for scheme, value in finals.items()})
+    print(
+        format_series_table(
+            [insertion_outcome.curves[s].failed_data_pct for s in ("PAST", "CFS", "Our System")],
+            x_label="files",
+        )
+    )
+    assert finals["Our System"] < finals["CFS"]
+    assert finals["Our System"] < finals["PAST"]

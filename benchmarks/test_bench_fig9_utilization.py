@@ -1,0 +1,29 @@
+"""Figure 9 — overall system storage utilisation vs files inserted.
+
+Paper: PAST and CFS under-utilise the system by 30.4 % and 10.7 % relative to
+the proposed system.  The reproduction checks that the proposed system ends
+with the highest utilisation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import format_series_table
+
+
+def test_bench_fig9_utilization(benchmark, insertion_outcome):
+    """Report Figure 9 from the shared insertion run."""
+
+    def extract():
+        return insertion_outcome.final_utilization()
+
+    finals = benchmark.pedantic(extract, rounds=1, iterations=1)
+    print("\nFigure 9 — overall storage utilisation (%), final point:")
+    print({scheme: round(value, 2) for scheme, value in finals.items()})
+    print(
+        format_series_table(
+            [insertion_outcome.curves[s].utilization_pct for s in ("PAST", "CFS", "Our System")],
+            x_label="files",
+        )
+    )
+    assert finals["Our System"] >= finals["CFS"]
+    assert finals["Our System"] >= finals["PAST"]

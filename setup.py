@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older toolchains (setuptools without the
+``wheel`` package, no network for build isolation), which fall back to the
+legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Shared result types and statistics helpers for the storage comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BaselineStoreResult:
+    """Outcome of inserting one file into a storage scheme."""
+
+    filename: str
+    requested_size: int
+    success: bool
+    stored_bytes: int
+    chunk_count: int
+    lookups: int
+    failure_reason: Optional[str] = None
+
+
+@dataclass
+class InsertionStats:
+    """Running statistics over a sequence of store attempts (Figures 7-9, Table 1)."""
+
+    attempts: int = 0
+    failures: int = 0
+    requested_bytes: int = 0
+    failed_bytes: int = 0
+    lookups: int = 0
+    chunk_counts: List[int] = field(default_factory=list)
+    chunk_sizes: List[int] = field(default_factory=list)
+
+    def record(self, result: BaselineStoreResult, chunk_sizes: Optional[List[int]] = None) -> None:
+        """Fold one store result (and optionally its chunk sizes) into the stats."""
+        self.attempts += 1
+        self.requested_bytes += result.requested_size
+        self.lookups += result.lookups
+        if not result.success:
+            self.failures += 1
+            self.failed_bytes += result.requested_size
+        else:
+            self.chunk_counts.append(result.chunk_count)
+            if chunk_sizes:
+                self.chunk_sizes.extend(chunk_sizes)
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of attempted stores that failed (Figure 7 metric)."""
+        return self.failures / self.attempts if self.attempts else 0.0
+
+    @property
+    def failed_data_fraction(self) -> float:
+        """Fraction of attempted bytes that failed to be stored (Figure 8 metric)."""
+        return self.failed_bytes / self.requested_bytes if self.requested_bytes else 0.0
+
+    def chunk_count_stats(self) -> tuple[float, float]:
+        """Mean and standard deviation of chunks per successfully stored file."""
+        if not self.chunk_counts:
+            return 0.0, 0.0
+        values = np.asarray(self.chunk_counts, dtype=float)
+        return float(values.mean()), float(values.std())
+
+    def chunk_size_stats(self) -> tuple[float, float]:
+        """Mean and standard deviation of (data) chunk sizes."""
+        if not self.chunk_sizes:
+            return 0.0, 0.0
+        values = np.asarray(self.chunk_sizes, dtype=float)
+        return float(values.mean()), float(values.std())

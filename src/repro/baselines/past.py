@@ -1,0 +1,116 @@
+"""PAST baseline: whole-file storage on the DHT root of the file name.
+
+PAST (Rowstron & Druschel, SOSP 2001) stores each file in its entirety on the
+node whose id is numerically closest to ``SHA-1(filename)``, with ``k``
+replicas on that node's leaf-set neighbours.  When the target node cannot hold
+the file, PAST retries by *rehashing the file name with a new salt* (Section 3
+of the paper).  The failure mode the paper highlights -- a store fails when no
+probed node can hold the entire file, so the maximum storable file size is
+bounded by the largest single contribution -- emerges directly from this
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import BaselineStoreResult
+from repro.overlay.dht import DHTView
+from repro.overlay.ids import key_for
+from repro.overlay.node import OverlayNode
+
+
+class PastStore:
+    """A PAST-style whole-file store over a DHT view."""
+
+    def __init__(self, dht: DHTView, replication: int = 1, retries: int = 3) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.dht = dht
+        self.replication = replication
+        self.retries = retries
+        #: filename -> (name actually stored under, holder nodes).
+        self.files: dict[str, tuple[str, List[OverlayNode]]] = {}
+        self.total_lookups = 0
+
+    def _salted_name(self, filename: str, attempt: int) -> str:
+        return filename if attempt == 0 else f"{filename}#salt{attempt}"
+
+    def store_file(self, filename: str, size: int) -> BaselineStoreResult:
+        """Insert one file; a single p2p lookup per attempt, as in PAST."""
+        if filename in self.files:
+            return BaselineStoreResult(
+                filename=filename,
+                requested_size=size,
+                success=False,
+                stored_bytes=0,
+                chunk_count=0,
+                lookups=0,
+                failure_reason="file already stored",
+            )
+        lookups = 0
+        for attempt in range(self.retries + 1):
+            name = self._salted_name(filename, attempt)
+            target = self.dht.lookup(key_for(name))
+            lookups += 1
+            holders = self._try_place(name, size, target)
+            if holders is not None:
+                self.files[filename] = (name, holders)
+                self.total_lookups += lookups
+                return BaselineStoreResult(
+                    filename=filename,
+                    requested_size=size,
+                    success=True,
+                    stored_bytes=size * len(holders),
+                    chunk_count=1,
+                    lookups=lookups,
+                )
+        self.total_lookups += lookups
+        return BaselineStoreResult(
+            filename=filename,
+            requested_size=size,
+            success=False,
+            stored_bytes=0,
+            chunk_count=0,
+            lookups=lookups,
+            failure_reason=f"no node could hold {size} bytes after {self.retries + 1} attempts",
+        )
+
+    def _try_place(self, name: str, size: int, target: OverlayNode) -> Optional[List[OverlayNode]]:
+        """Place the file on ``target`` plus replication-1 neighbours; None on failure."""
+        holders: List[OverlayNode] = []
+        if not target.store_block(name, size):
+            return None
+        holders.append(target)
+        if self.replication > 1:
+            for neighbor in self.dht.neighbors(target.node_id, (self.replication - 1) * 2):
+                if len(holders) >= self.replication:
+                    break
+                if neighbor.store_block(name, size):
+                    holders.append(neighbor)
+            if len(holders) < self.replication:
+                # PAST requires all k replicas; undo and report failure.
+                for holder in holders:
+                    holder.remove_block(name)
+                return None
+        return holders
+
+    def is_file_available(self, filename: str) -> bool:
+        """Whether at least one replica of the whole file survives."""
+        entry = self.files.get(filename)
+        if not entry:
+            return False
+        stored_name, holders = entry
+        return any(holder.alive and holder.has_block(stored_name) for holder in holders)
+
+    def delete_file(self, filename: str) -> bool:
+        """Remove the file and its replicas."""
+        entry = self.files.pop(filename, None)
+        if entry is None:
+            return False
+        stored_name, holders = entry
+        for holder in holders:
+            holder.remove_block(stored_name)
+        return True

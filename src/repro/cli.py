@@ -1,0 +1,153 @@
+"""Command-line entry point: run any of the paper's experiments.
+
+Examples
+--------
+Run the insertion comparison (Figures 7-9, Table 1) at the default scale::
+
+    python -m repro.cli insertion
+
+Run the coding-performance measurement (Table 2) at the paper's parameters::
+
+    python -m repro.cli coding --chunk-mb 4 --blocks 4096
+
+List everything::
+
+    python -m repro.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.availability import AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.churn import ChurnConfig, ChurnExperiment
+from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
+from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
+from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
+from repro.experiments.results import format_series_table
+from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
+from repro.workloads.filetrace import GB, MB
+
+
+def _run_insertion(args: argparse.Namespace) -> int:
+    config = InsertionConfig(
+        node_count=args.nodes,
+        file_count=args.files,
+        seed=args.seed,
+    )
+    outcome = InsertionExperiment(config).run()
+    print("Figure 7 — failed stores (%, final):", outcome.final_failed_stores())
+    print("Figure 8 — failed data (%, final):  ", outcome.final_failed_data())
+    print("Figure 9 — utilisation (%, final):  ", outcome.final_utilization())
+    print()
+    print("Table 1 — chunk statistics")
+    for scheme in ("CFS", "Our System"):
+        stats = outcome.curves[scheme].chunk_stats
+        print(
+            f"  {scheme:12s} chunks/file {stats.get('mean_chunks_per_file', 0):7.2f} "
+            f"(sd {stats.get('std_chunks_per_file', 0):6.2f})   "
+            f"chunk size {stats.get('mean_chunk_size', 0) / MB:8.2f} MB "
+            f"(sd {stats.get('std_chunk_size', 0) / MB:7.2f} MB)"
+        )
+    return 0
+
+
+def _run_availability(args: argparse.Namespace) -> int:
+    config = AvailabilityConfig(node_count=args.nodes, file_count=args.files, seed=args.seed)
+    series = AvailabilityExperiment(config).run()
+    print("Figure 10 — unavailable files (%) vs failed nodes")
+    print(format_series_table(list(series.values()), x_label="failed_nodes"))
+    return 0
+
+
+def _run_coding(args: argparse.Namespace) -> int:
+    config = CodingPerfConfig(chunk_size=int(args.chunk_mb * MB), blocks_per_chunk=args.blocks)
+    print(run_coding_performance(config).format())
+    return 0
+
+
+def _run_churn(args: argparse.Namespace) -> int:
+    config = ChurnConfig(node_count=args.nodes, file_count=args.files, seed=args.seed)
+    print(ChurnExperiment(config).run().format())
+    return 0
+
+
+def _run_multicast(args: argparse.Namespace) -> int:
+    experiment = MulticastExperiment(MulticastConfig(seed=args.seed))
+    sweep = experiment.run_ransub_sweep()
+    print("Figure 11 — epochs to full dissemination per RanSub size")
+    for fraction, series in sorted(sweep.items()):
+        print(f"  RanSub {fraction:5.0%}: {len(series):4d} epochs")
+    minimum, average, maximum = experiment.run_saturation()
+    print("Figure 12 — final min/avg/max packets per node:",
+          minimum.final(), average.final(), maximum.final())
+    return 0
+
+
+def _run_condor(args: argparse.Namespace) -> int:
+    sizes = tuple(int(float(size) * GB) for size in args.sizes.split(","))
+    config = CondorCaseStudyConfig(file_sizes=sizes, seed=args.seed)
+    print(run_condor_case_study(config).format(float_format="{:.1f}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    subparsers = parser.add_subparsers(dest="experiment")
+
+    insertion = subparsers.add_parser("insertion", help="Figures 7-9 and Table 1")
+    insertion.add_argument("--nodes", type=int, default=200)
+    insertion.add_argument("--files", type=int, default=None)
+    insertion.add_argument("--seed", type=int, default=1)
+    insertion.set_defaults(func=_run_insertion)
+
+    availability = subparsers.add_parser("availability", help="Figure 10")
+    availability.add_argument("--nodes", type=int, default=300)
+    availability.add_argument("--files", type=int, default=2000)
+    availability.add_argument("--seed", type=int, default=2)
+    availability.set_defaults(func=_run_availability)
+
+    coding = subparsers.add_parser("coding", help="Table 2")
+    coding.add_argument("--chunk-mb", type=float, default=1.0)
+    coding.add_argument("--blocks", type=int, default=512)
+    coding.set_defaults(func=_run_coding)
+
+    churn = subparsers.add_parser("churn", help="Table 3")
+    churn.add_argument("--nodes", type=int, default=300)
+    churn.add_argument("--files", type=int, default=2000)
+    churn.add_argument("--seed", type=int, default=4)
+    churn.set_defaults(func=_run_churn)
+
+    multicast = subparsers.add_parser("multicast", help="Figures 11 and 12")
+    multicast.add_argument("--seed", type=int, default=5)
+    multicast.set_defaults(func=_run_multicast)
+
+    condor = subparsers.add_parser("condor", help="Table 4")
+    condor.add_argument("--sizes", type=str, default="1,2,4,8,16,32,64,128",
+                        help="comma-separated file sizes in GB")
+    condor.add_argument("--seed", type=int, default=6)
+    condor.set_defaults(func=_run_condor)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        print("Available experiments: insertion, availability, coding, churn, multicast, condor")
+        return 0
+    handler: Callable[[argparse.Namespace], int] = args.func
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,564 @@
+"""The contributory storage system (the paper's primary contribution).
+
+:class:`StorageSystem` implements the store/retrieve pipeline of Section 4:
+
+1. a file is split into variable-sized chunks, each sized by ``getCapacity``
+   probes to the nodes that will hold its encoded blocks;
+2. every chunk is erasure coded into ``m`` encoded blocks named
+   ``filename_chunk_ECB`` and placed on the DHT node responsible for each name
+   (plus optional neighbour replicas);
+3. the chunk layout is recorded in a Chunk Allocation Table stored under
+   ``filename.CAT`` and replicated on neighbouring nodes;
+4. retrieval fetches the CAT, determines the needed chunks (whole file or a
+   byte range), gathers enough encoded blocks per chunk and decodes them.
+
+The class operates in two modes:
+
+* **capacity mode** (default) tracks only sizes and placements -- this is what
+  the large-scale insertion/availability/churn experiments use, mirroring the
+  paper's own simulations;
+* **payload mode** (``payload_mode=True``) moves real bytes through the real
+  erasure coders, so store → fail nodes → retrieve round-trips are genuine
+  end-to-end tests of the data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import naming
+from repro.core.capacity import CapacityProbe, ProbeResult
+from repro.core.cat import CatEntry, ChunkAllocationTable
+from repro.core.chunker import Chunker
+from repro.core.policies import StoragePolicy
+from repro.erasure.base import EncodedChunk
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.null_code import NullCode
+from repro.overlay.dht import DHTView
+from repro.overlay.ids import NodeId
+from repro.overlay.node import NeighborBlockRecord, OverlayNode
+
+
+@dataclass(frozen=True)
+class BlockPlacement:
+    """Where one encoded block (and its optional replicas) lives."""
+
+    block_name: str
+    node_id: NodeId
+    size: int
+    replica_nodes: Tuple[NodeId, ...] = ()
+
+    @property
+    def copies(self) -> int:
+        """Total copies of the block (primary plus replicas)."""
+        return 1 + len(self.replica_nodes)
+
+
+@dataclass
+class StoredChunk:
+    """Book-keeping for one stored chunk."""
+
+    chunk_no: int
+    start: int
+    size: int
+    placements: List[BlockPlacement] = field(default_factory=list)
+    #: Present only in payload mode: the encoder output (needed to decode).
+    encoded: Optional[EncodedChunk] = None
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is a zero-sized placeholder chunk."""
+        return self.size == 0
+
+
+@dataclass
+class StoredFile:
+    """Book-keeping for one stored file."""
+
+    name: str
+    size: int
+    cat: ChunkAllocationTable
+    chunks: List[StoredChunk]
+    cat_placements: List[BlockPlacement] = field(default_factory=list)
+
+    def data_chunks(self) -> List[StoredChunk]:
+        """Chunks that actually hold data (non zero-sized)."""
+        return [chunk for chunk in self.chunks if not chunk.is_empty]
+
+
+@dataclass(frozen=True)
+class StoreResult:
+    """Outcome of one file store."""
+
+    filename: str
+    requested_size: int
+    success: bool
+    stored_bytes: int
+    chunk_count: int
+    data_chunk_count: int
+    lookups: int
+    failure_reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RetrieveResult:
+    """Outcome of one retrieval (whole file or byte range)."""
+
+    filename: str
+    complete: bool
+    bytes_available: int
+    chunks_needed: int
+    chunks_recovered: int
+    blocks_fetched: int
+    lookups: int
+    data: Optional[bytes] = None
+    failure_reason: Optional[str] = None
+
+
+class StorageSystem:
+    """The striped, erasure-coded contributory storage system."""
+
+    def __init__(
+        self,
+        dht: DHTView,
+        codec: Optional[ChunkCodec] = None,
+        policy: Optional[StoragePolicy] = None,
+        payload_mode: bool = False,
+        track_neighbor_ledgers: bool = False,
+    ) -> None:
+        self.dht = dht
+        self.codec = codec or ChunkCodec(NullCode(), blocks_per_chunk=1)
+        self.policy = policy or StoragePolicy()
+        self.payload_mode = payload_mode
+        self.track_neighbor_ledgers = track_neighbor_ledgers
+        self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
+        self.chunker = Chunker(self.probe, self.codec, self.policy)
+        self.files: Dict[str, StoredFile] = {}
+        #: Payload-mode block contents: (node id value, block name) -> bytes.
+        self._block_payloads: Dict[Tuple[int, str], bytes] = {}
+        self.total_lookups = 0
+        self.store_attempts = 0
+        self.store_failures = 0
+        self.failed_bytes = 0
+
+    # ------------------------------------------------------------------ store --
+    def store_file(self, filename: str, size: int) -> StoreResult:
+        """Store a file of ``size`` bytes in capacity mode (sizes only)."""
+        if self.payload_mode:
+            raise RuntimeError("store_file() is for capacity mode; use store_bytes() in payload mode")
+        return self._store(filename, size, data=None)
+
+    def store_bytes(self, filename: str, data: bytes) -> StoreResult:
+        """Store real file contents (payload mode)."""
+        if not self.payload_mode:
+            raise RuntimeError("store_bytes() requires payload_mode=True")
+        return self._store(filename, len(data), data=data)
+
+    def _store(self, filename: str, size: int, data: Optional[bytes]) -> StoreResult:
+        if filename in self.files:
+            return StoreResult(
+                filename=filename,
+                requested_size=size,
+                success=False,
+                stored_bytes=0,
+                chunk_count=0,
+                data_chunk_count=0,
+                lookups=0,
+                failure_reason="file already stored",
+            )
+        self.store_attempts += 1
+        lookups_before = self.probe.total_probes
+        chunks: List[StoredChunk] = []
+        remaining = size
+        offset = 0
+        chunk_no = 1
+        consecutive_zero = 0
+        encoded_blocks = self.codec.encoded_block_count()
+        failure_reason: Optional[str] = None
+
+        while remaining > 0:
+            probe = self.probe.probe_chunk(filename, chunk_no, encoded_blocks)
+            chunk_size = self.chunker.size_chunk(probe, remaining)
+            chunk = StoredChunk(chunk_no=chunk_no, start=offset, size=chunk_size)
+            if chunk_size > 0:
+                chunk_data = data[offset : offset + chunk_size] if data is not None else None
+                placed = self._place_chunk(filename, chunk, probe, chunk_data)
+                if not placed:
+                    # Capacity evaporated between probe and store: the paper's
+                    # remedy is to treat the chunk as zero-sized and continue.
+                    chunk = StoredChunk(chunk_no=chunk_no, start=offset, size=0)
+            chunks.append(chunk)
+            if chunk.size == 0:
+                consecutive_zero += 1
+                if consecutive_zero > self.policy.max_consecutive_zero_chunks:
+                    failure_reason = (
+                        f"{consecutive_zero} consecutive zero-sized chunks "
+                        f"(limit {self.policy.max_consecutive_zero_chunks})"
+                    )
+                    break
+            else:
+                consecutive_zero = 0
+                offset += chunk.size
+                remaining -= chunk.size
+            chunk_no += 1
+
+        if failure_reason is None and remaining == 0:
+            cat = ChunkAllocationTable.from_chunk_sizes(filename, [c.size for c in chunks])
+            cat_placements = self._store_cat(filename, cat)
+            if cat_placements is None:
+                failure_reason = "unable to store chunk allocation table"
+            else:
+                stored = StoredFile(
+                    name=filename,
+                    size=size,
+                    cat=cat,
+                    chunks=chunks,
+                    cat_placements=cat_placements,
+                )
+                self.files[filename] = stored
+                return StoreResult(
+                    filename=filename,
+                    requested_size=size,
+                    success=True,
+                    stored_bytes=size,
+                    chunk_count=len(chunks),
+                    data_chunk_count=len(stored.data_chunks()),
+                    lookups=self.probe.total_probes - lookups_before,
+                )
+
+        # Failure path.
+        if self.policy.rollback_on_failure:
+            for chunk in chunks:
+                self._release_chunk(chunk)
+            stored_bytes = 0
+        else:
+            stored_bytes = sum(chunk.size for chunk in chunks if chunk.placements)
+        self.store_failures += 1
+        self.failed_bytes += size
+        return StoreResult(
+            filename=filename,
+            requested_size=size,
+            success=False,
+            stored_bytes=stored_bytes,
+            chunk_count=len(chunks),
+            data_chunk_count=sum(1 for chunk in chunks if not chunk.is_empty),
+            lookups=self.probe.total_probes - lookups_before,
+            failure_reason=failure_reason or "incomplete store",
+        )
+
+    def _place_chunk(
+        self,
+        filename: str,
+        chunk: StoredChunk,
+        probe: ProbeResult,
+        chunk_data: Optional[bytes],
+    ) -> bool:
+        """Place every encoded block of ``chunk``; False if placement failed."""
+        if chunk_data is not None:
+            encoded = self.codec.encode(chunk_data)
+            chunk.encoded = encoded
+            block_sizes = [block.size for block in encoded.blocks]
+            payloads: Optional[List[bytes]] = [block.data for block in encoded.blocks]
+        else:
+            block_size = self.codec.encoded_block_size(chunk.size)
+            count = self.codec.encoded_block_count()
+            # The last block of a chunk may be smaller; capacity mode keeps the
+            # accounting simple and conservative by charging equal-sized blocks
+            # that sum to at least the encoded chunk size.
+            block_sizes = [block_size] * count
+            payloads = None
+
+        placements: List[BlockPlacement] = []
+        for index, block_size in enumerate(block_sizes):
+            name = probe.block_names[index] if index < len(probe.block_names) else naming.block_name(
+                filename, chunk.chunk_no, index + 1
+            )
+            node = probe.nodes[index] if index < len(probe.nodes) else self.dht.lookup(
+                naming.key_for_name(name)
+            )
+            if not node.store_block(name, block_size):
+                for placement in placements:
+                    self._release_placement(placement)
+                return False
+            replica_ids = self._replicate_block(name, block_size, node)
+            placement = BlockPlacement(
+                block_name=name, node_id=node.node_id, size=block_size, replica_nodes=replica_ids
+            )
+            placements.append(placement)
+            if payloads is not None:
+                self._block_payloads[(int(node.node_id), name)] = payloads[index]
+                for replica_id in replica_ids:
+                    self._block_payloads[(int(replica_id), name)] = payloads[index]
+            if self.track_neighbor_ledgers:
+                self._record_in_ledgers(name, block_size, filename, node)
+        chunk.placements = placements
+        return True
+
+    def _replicate_block(self, name: str, size: int, primary: OverlayNode) -> Tuple[NodeId, ...]:
+        """Best-effort placement of ``block_replication - 1`` neighbour replicas."""
+        extra = self.policy.block_replication - 1
+        if extra <= 0:
+            return ()
+        replicas: List[NodeId] = []
+        for neighbor in self.dht.neighbors(primary.node_id, extra * 2):
+            if len(replicas) >= extra:
+                break
+            if neighbor.node_id == primary.node_id:
+                continue
+            if neighbor.store_block(name, size):
+                replicas.append(neighbor.node_id)
+        return tuple(replicas)
+
+    def _record_in_ledgers(self, name: str, size: int, filename: str, holder: OverlayNode) -> None:
+        record = NeighborBlockRecord(block_name=name, size=size, owner_file=filename)
+        for neighbor in self.dht.immediate_neighbors(holder.node_id):
+            neighbor.record_neighbor_block(holder.node_id, record)
+
+    def _store_cat(self, filename: str, cat: ChunkAllocationTable) -> Optional[List[BlockPlacement]]:
+        """Store the CAT object and its replicas; None if no live node has room.
+
+        The primary target is the node responsible for ``filename.CAT``; if it
+        is full, salted retries re-hash the name, and as a last resort the CAT
+        is diverted to the nearest neighbour with room (a CAT is a few hundred
+        bytes, so it should never be the reason a multi-gigabyte store fails
+        while free space remains anywhere in the pool).
+        """
+        size = cat.serialized_size
+        base_name = naming.cat_name(filename)
+        serialized = cat.serialize().encode("utf-8") if self.payload_mode else None
+
+        def finalize(name: str, node: OverlayNode) -> List[BlockPlacement]:
+            replica_ids = []
+            for neighbor in self.dht.neighbors(node.node_id, self.policy.cat_replication - 1):
+                if neighbor.store_block(name, size):
+                    replica_ids.append(neighbor.node_id)
+                    if serialized is not None:
+                        self._block_payloads[(int(neighbor.node_id), name)] = serialized
+            if serialized is not None:
+                self._block_payloads[(int(node.node_id), name)] = serialized
+            return [
+                BlockPlacement(
+                    block_name=name, node_id=node.node_id, size=size, replica_nodes=tuple(replica_ids)
+                )
+            ]
+
+        primary: Optional[OverlayNode] = None
+        for attempt in range(self.policy.cat_store_retries + 1):
+            name = base_name if attempt == 0 else f"{base_name}~salt{attempt}"
+            node = self.dht.lookup(naming.key_for_name(name))
+            if primary is None:
+                primary = node
+            self.total_lookups += 1
+            if node.store_block(name, size):
+                return finalize(name, node)
+        # Diversion: place the CAT on the closest neighbour with room.
+        if primary is not None:
+            for candidate in self.dht.neighbors(primary.node_id, 16):
+                if candidate.store_block(base_name, size):
+                    return finalize(base_name, candidate)
+        return None
+
+    # ----------------------------------------------------------------- delete --
+    def delete_file(self, filename: str) -> bool:
+        """Remove a file, releasing every block, replica and CAT copy."""
+        stored = self.files.pop(filename, None)
+        if stored is None:
+            return False
+        for chunk in stored.chunks:
+            self._release_chunk(chunk)
+        for placement in stored.cat_placements:
+            self._release_placement(placement)
+        return True
+
+    def _release_chunk(self, chunk: StoredChunk) -> None:
+        for placement in chunk.placements:
+            self._release_placement(placement)
+        chunk.placements = []
+
+    def _release_placement(self, placement: BlockPlacement) -> None:
+        for node_id in (placement.node_id, *placement.replica_nodes):
+            if node_id in self.dht.network:
+                self.dht.network.node(node_id).remove_block(placement.block_name)
+            self._block_payloads.pop((int(node_id), placement.block_name), None)
+
+    # --------------------------------------------------------------- retrieval --
+    def _fetch_block(self, placement: BlockPlacement) -> Optional[bytes]:
+        """Fetch one block's payload from any live holder (payload mode)."""
+        for node_id in (placement.node_id, *placement.replica_nodes):
+            if node_id not in self.dht.network:
+                continue
+            node = self.dht.network.node(node_id)
+            if node.has_block(placement.block_name):
+                payload = self._block_payloads.get((int(node_id), placement.block_name))
+                if payload is not None:
+                    return payload
+        return None
+
+    def _live_copies(self, placement: BlockPlacement) -> int:
+        """Number of live nodes still holding the block."""
+        count = 0
+        for node_id in (placement.node_id, *placement.replica_nodes):
+            if node_id in self.dht.network and self.dht.network.node(node_id).has_block(placement.block_name):
+                count += 1
+        return count
+
+    def chunk_is_recoverable(self, chunk: StoredChunk) -> bool:
+        """Whether enough encoded blocks of ``chunk`` survive to decode it."""
+        if chunk.is_empty:
+            return True
+        surviving = sum(1 for placement in chunk.placements if self._live_copies(placement) > 0)
+        required = self.codec.spec().required_blocks()
+        return surviving >= required
+
+    def is_file_available(self, filename: str) -> bool:
+        """Whether every chunk of the file can still be recovered."""
+        stored = self.files.get(filename)
+        if stored is None:
+            return False
+        return all(self.chunk_is_recoverable(chunk) for chunk in stored.chunks)
+
+    def retrieve_file(self, filename: str) -> RetrieveResult:
+        """Retrieve the entire file."""
+        stored = self.files.get(filename)
+        if stored is None:
+            return RetrieveResult(
+                filename=filename,
+                complete=False,
+                bytes_available=0,
+                chunks_needed=0,
+                chunks_recovered=0,
+                blocks_fetched=0,
+                lookups=0,
+                failure_reason="unknown file",
+            )
+        return self._retrieve(stored, stored.cat.non_empty_entries())
+
+    def retrieve_range(self, filename: str, offset: int, length: int) -> RetrieveResult:
+        """Retrieve ``length`` bytes starting at ``offset`` (partial-file access)."""
+        stored = self.files.get(filename)
+        if stored is None:
+            return RetrieveResult(
+                filename=filename,
+                complete=False,
+                bytes_available=0,
+                chunks_needed=0,
+                chunks_recovered=0,
+                blocks_fetched=0,
+                lookups=0,
+                failure_reason="unknown file",
+            )
+        entries = [entry for entry in stored.cat.chunks_for_range(offset, length) if not entry.is_empty]
+        result = self._retrieve(stored, entries)
+        if result.data is not None:
+            base = entries[0].start if entries else 0
+            window = result.data[offset - base : offset - base + length]
+            result = RetrieveResult(
+                filename=result.filename,
+                complete=result.complete,
+                bytes_available=len(window) if result.complete else result.bytes_available,
+                chunks_needed=result.chunks_needed,
+                chunks_recovered=result.chunks_recovered,
+                blocks_fetched=result.blocks_fetched,
+                lookups=result.lookups,
+                data=window,
+                failure_reason=result.failure_reason,
+            )
+        return result
+
+    def _retrieve(self, stored: StoredFile, entries: List[CatEntry]) -> RetrieveResult:
+        lookups = 1  # locating the CAT object
+        blocks_fetched = 0
+        recovered = 0
+        bytes_available = 0
+        pieces: List[bytes] = []
+        complete = True
+        failure_reason: Optional[str] = None
+        chunk_by_no = {chunk.chunk_no: chunk for chunk in stored.chunks}
+        required = self.codec.spec().required_blocks()
+
+        for entry in entries:
+            chunk = chunk_by_no.get(entry.chunk_no)
+            if chunk is None:
+                complete = False
+                failure_reason = f"chunk {entry.chunk_no} metadata missing"
+                continue
+            if not self.payload_mode:
+                lookups += min(required, len(chunk.placements))
+                if self.chunk_is_recoverable(chunk):
+                    recovered += 1
+                    bytes_available += chunk.size
+                    blocks_fetched += min(required, len(chunk.placements))
+                else:
+                    complete = False
+                    failure_reason = f"chunk {entry.chunk_no} unrecoverable"
+                continue
+            # Payload mode: fetch enough blocks and decode.
+            available: Dict[int, bytes] = {}
+            for index, placement in enumerate(chunk.placements):
+                payload = self._fetch_block(placement)
+                lookups += 1
+                if payload is not None:
+                    available[index] = payload
+                    blocks_fetched += 1
+            if chunk.encoded is None:
+                complete = False
+                failure_reason = f"chunk {entry.chunk_no} has no encoder metadata"
+                continue
+            try:
+                piece = self.codec.decode(chunk.encoded, available)
+            except Exception as error:  # noqa: BLE001 - decoding failure is a data-loss event
+                complete = False
+                failure_reason = f"chunk {entry.chunk_no} decode failed: {error}"
+                continue
+            recovered += 1
+            bytes_available += chunk.size
+            pieces.append(piece)
+
+        self.total_lookups += lookups
+        data = b"".join(pieces) if (self.payload_mode and complete) else None
+        return RetrieveResult(
+            filename=stored.name,
+            complete=complete,
+            bytes_available=bytes_available,
+            chunks_needed=len(entries),
+            chunks_recovered=recovered,
+            blocks_fetched=blocks_fetched,
+            lookups=lookups,
+            data=data,
+            failure_reason=failure_reason,
+        )
+
+    # --------------------------------------------------------------- statistics --
+    def chunk_statistics(self) -> Dict[str, float]:
+        """Mean/sd of data-chunk counts and sizes across stored files (Table 1)."""
+        counts: List[int] = []
+        sizes: List[int] = []
+        for stored in self.files.values():
+            data_chunks = stored.data_chunks()
+            counts.append(len(data_chunks))
+            sizes.extend(chunk.size for chunk in data_chunks)
+        counts_array = np.asarray(counts, dtype=float) if counts else np.zeros(0)
+        sizes_array = np.asarray(sizes, dtype=float) if sizes else np.zeros(0)
+        return {
+            "files": float(len(counts)),
+            "mean_chunks_per_file": float(counts_array.mean()) if counts else 0.0,
+            "std_chunks_per_file": float(counts_array.std()) if counts else 0.0,
+            "mean_chunk_size": float(sizes_array.mean()) if sizes else 0.0,
+            "std_chunk_size": float(sizes_array.std()) if sizes else 0.0,
+        }
+
+    def utilization(self) -> float:
+        """Fraction of contributed capacity currently used (Figure 9 metric)."""
+        return self.dht.utilization()
+
+    def stored_bytes(self) -> int:
+        """Total bytes of user data currently stored (excluding coding overhead)."""
+        return sum(stored.size for stored in self.files.values())
+
+    @property
+    def file_count(self) -> int:
+        """Number of files successfully stored and not deleted."""
+        return len(self.files)

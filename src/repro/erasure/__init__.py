@@ -1,0 +1,48 @@
+"""Erasure-coding substrate.
+
+The paper protects every variable-sized chunk with an erasure code applied
+*within* the chunk (Section 4.2): the chunk is split into ``n`` equal blocks,
+the code produces ``m`` encoded blocks, and the chunk can be recovered from a
+subset of the encoded blocks.  Three codes appear in the evaluation
+(Table 2 / Figure 10): a NULL code (plain copy), a (2, 3) XOR parity code, and
+Maymounkov's rateless *online code* with q = 3 and epsilon = 0.01.  A
+Reed-Solomon code over GF(256) is provided as an extension (it is the optimal
+erasure code the paper alludes to when discussing "optimal" vs "sub-optimal"
+codes in Section 2.2).
+
+All coders operate on real bytes so the coding-performance experiment is a
+real measurement; :class:`CodeSpec` captures the per-code metadata (blocks
+produced, blocks needed, loss tolerance) used by the capacity-only
+simulations.
+"""
+
+from repro.erasure.base import (
+    CodeSpec,
+    DecodingError,
+    EncodedBlock,
+    EncodedChunk,
+    ErasureCode,
+    split_into_blocks,
+)
+from repro.erasure.null_code import NullCode
+from repro.erasure.xor_code import XorParityCode
+from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.chunk_codec import ChunkCodec, registry, get_code
+
+__all__ = [
+    "CodeSpec",
+    "DecodingError",
+    "EncodedBlock",
+    "EncodedChunk",
+    "ErasureCode",
+    "split_into_blocks",
+    "NullCode",
+    "XorParityCode",
+    "OnlineCode",
+    "OnlineCodeParameters",
+    "ReedSolomonCode",
+    "ChunkCodec",
+    "registry",
+    "get_code",
+]

@@ -1,0 +1,466 @@
+"""Maymounkov's rateless *online code* (the paper's preferred erasure code).
+
+The online code (Section 2.2 of the paper, following Maymounkov's TR2003-883)
+is a sub-optimal rateless erasure code built from two layers:
+
+* the **outer code** produces ``0.55 * q * epsilon * n`` auxiliary blocks; each
+  original block is XORed into ``q`` pseudo-randomly chosen auxiliary blocks;
+* the **inner code** produces an unbounded stream of *check blocks*; each check
+  block XORs ``d`` composite blocks (originals + auxiliaries), where ``d`` is
+  drawn from the online-code degree distribution parameterised by ``epsilon``.
+
+Only the check blocks are stored.  Decoding is the classic belief-propagation
+("peeling") process: a check block whose neighbourhood contains exactly one
+unknown composite recovers it, auxiliary-block constraints are peeled the same
+way, and the process repeats until all original blocks are known.  Because the
+stream is rateless, losing encoded blocks never requires re-encoding: new check
+blocks can always be generated — the property the paper exploits to "simply
+drop an encoded chunk on a neighbor node and create another one at a different
+location" (Section 4.4).
+
+For small chunks (few blocks) belief propagation needs noticeably more than
+``(1 + epsilon) * n`` check blocks to start; the implementation therefore also
+offers an exact GF(2) Gaussian-elimination fallback that is used automatically
+for small systems so that unit tests decode deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.erasure.base import (
+    CodeSpec,
+    DecodingError,
+    EncodedBlock,
+    EncodedChunk,
+    ErasureCode,
+    join_blocks,
+    split_into_blocks,
+)
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class OnlineCodeParameters:
+    """Tuning parameters of the online code.
+
+    The paper uses ``q = 3`` and ``epsilon = 0.01`` (Section 6.2).  ``quality``
+    multiplies the nominal ``(1 + epsilon) * n'`` check-block count when the
+    caller does not specify an explicit output size, and ``margin`` adds a
+    small constant number of further check blocks.  The defaults keep the
+    storage overhead for a paper-sized chunk (4096 blocks) at ~3-4 %, matching
+    Table 2, while giving small chunks enough extra equations that decoding
+    from the full block set virtually never fails.
+    """
+
+    epsilon: float = 0.01
+    q: int = 3
+    quality: float = 1.0
+    margin: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if self.q < 1:
+            raise ValueError("q must be >= 1")
+        if self.quality < 1.0:
+            raise ValueError("quality must be >= 1.0")
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+
+    @property
+    def max_degree(self) -> int:
+        """F, the maximum check-block degree."""
+        return max(2, int(math.ceil(math.log(self.epsilon**2 / 4.0) / math.log(1.0 - self.epsilon / 2.0))))
+
+    def degree_distribution(self) -> np.ndarray:
+        """Probabilities rho_1..rho_F of the check-block degree distribution."""
+        big_f = self.max_degree
+        rho = np.zeros(big_f, dtype=float)
+        rho[0] = 1.0 - (1.0 + 1.0 / big_f) / (1.0 + self.epsilon)
+        for degree in range(2, big_f + 1):
+            rho[degree - 1] = (1.0 - rho[0]) * big_f / ((big_f - 1) * degree * (degree - 1))
+        rho = np.clip(rho, 0.0, None)
+        rho /= rho.sum()
+        return rho
+
+    def auxiliary_count(self, n_blocks: int) -> int:
+        """Number of auxiliary blocks produced by the outer code."""
+        return max(1, int(math.ceil(0.55 * self.q * self.epsilon * n_blocks)))
+
+
+class OnlineCode(ErasureCode):
+    """Rateless online code with deterministic, seed-derived block composition."""
+
+    name = "online"
+
+    #: Systems with at most this many composite blocks fall back to exact
+    #: GF(2) elimination when peeling stalls (keeps small tests deterministic).
+    GAUSSIAN_FALLBACK_LIMIT = 2048
+
+    #: Systems with at most this many composite blocks get the encode-time
+    #: guarantee that the full encoded stream determines every original block
+    #: (extra check blocks are appended until it does).  At the paper's scale
+    #: (4096 blocks per chunk) the asymptotic guarantees of the online code
+    #: apply and no such check is performed.
+    SMALL_SYSTEM_GUARANTEE = 640
+
+    def __init__(self, parameters: Optional[OnlineCodeParameters] = None, seed: int = 0) -> None:
+        self.parameters = parameters or OnlineCodeParameters()
+        self.seed = int(seed)
+
+    # -- graph construction -----------------------------------------------------
+    def _aux_assignment(self, n_blocks: int, chunk_seed: int) -> List[List[int]]:
+        """For each auxiliary block, the original-block indices XORed into it."""
+        params = self.parameters
+        aux_count = params.auxiliary_count(n_blocks)
+        rng = np.random.default_rng(derive_seed(chunk_seed, "outer"))
+        membership: List[List[int]] = [[] for _ in range(aux_count)]
+        for original in range(n_blocks):
+            chosen = rng.choice(aux_count, size=min(params.q, aux_count), replace=False)
+            for aux_index in chosen:
+                membership[int(aux_index)].append(original)
+        return membership
+
+    def _check_neighbors(
+        self, composite_count: int, check_index: int, chunk_seed: int, rho_cdf: np.ndarray
+    ) -> List[int]:
+        """Composite-block indices XORed into check block ``check_index``.
+
+        Every check block's composition is derived solely from the chunk seed
+        and its own index (degree via inverse-CDF sampling of the online-code
+        degree distribution, then a uniform neighbour set), so any block of the
+        unbounded stream can be regenerated independently -- the property that
+        makes the code rateless and keeps encoder and decoder in agreement.
+        """
+        rng = np.random.default_rng(derive_seed(chunk_seed, "inner", check_index))
+        degree = int(np.searchsorted(rho_cdf, rng.random(), side="right")) + 1
+        degree = min(max(1, degree), composite_count)
+        neighbors = rng.choice(composite_count, size=degree, replace=False)
+        return [int(v) for v in neighbors]
+
+    def _rho_cdf(self) -> np.ndarray:
+        """Cumulative degree distribution used by inverse-CDF sampling."""
+        return np.cumsum(self.parameters.degree_distribution())
+
+    @staticmethod
+    def _graph_peel_succeeds(
+        n_blocks: int,
+        composite_count: int,
+        aux_membership: Sequence[Sequence[int]],
+        neighbor_sets: Sequence[Sequence[int]],
+    ) -> bool:
+        """Symbolic belief-propagation check (no payloads): would peeling finish?"""
+        known = [False] * composite_count
+        equations: List[set] = [set(neighbors) for neighbors in neighbor_sets]
+        aux_added = [False] * len(aux_membership)
+        progress = True
+        while progress:
+            progress = False
+            for neighbors in equations:
+                resolved = [n for n in neighbors if known[n]]
+                for n in resolved:
+                    neighbors.discard(n)
+                if len(neighbors) == 1:
+                    target = neighbors.pop()
+                    if not known[target]:
+                        known[target] = True
+                        progress = True
+            for aux_offset in range(len(aux_membership)):
+                if not aux_added[aux_offset] and known[n_blocks + aux_offset]:
+                    equations.append(set(aux_membership[aux_offset]) | {n_blocks + aux_offset})
+                    aux_added[aux_offset] = True
+        return all(known[:n_blocks])
+
+    def _decodable_from_all(
+        self,
+        n_blocks: int,
+        composite_count: int,
+        aux_membership: Sequence[Sequence[int]],
+        neighbor_sets: Sequence[Sequence[int]],
+    ) -> bool:
+        """Would the decoder succeed given every encoded block produced so far?
+
+        Cheap graph peeling is tried first; only when it stalls (and the system
+        is small enough for the decoder's exact GF(2) fallback) is the rank
+        test run.
+        """
+        if self._graph_peel_succeeds(n_blocks, composite_count, aux_membership, neighbor_sets):
+            return True
+        if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
+            return self._stream_determines_originals(
+                n_blocks, composite_count, aux_membership, neighbor_sets
+            )
+        return False
+
+    @staticmethod
+    def _stream_determines_originals(
+        n_blocks: int,
+        composite_count: int,
+        aux_membership: Sequence[Sequence[int]],
+        neighbor_sets: Sequence[Sequence[int]],
+    ) -> bool:
+        """GF(2) rank test: do the check + auxiliary equations pin down every original?"""
+        rows: List[np.ndarray] = []
+        for neighbors in neighbor_sets:
+            row = np.zeros(composite_count, dtype=np.uint8)
+            for neighbor in neighbors:
+                row[neighbor] ^= 1
+            rows.append(row)
+        for aux_offset, members in enumerate(aux_membership):
+            row = np.zeros(composite_count, dtype=np.uint8)
+            row[n_blocks + aux_offset] ^= 1
+            for member in members:
+                row[member] ^= 1
+            rows.append(row)
+        matrix = np.vstack(rows)
+        solvable = np.zeros(composite_count, dtype=bool)
+        pivot_row = 0
+        for column in range(composite_count):
+            candidates = np.nonzero(matrix[pivot_row:, column])[0]
+            if candidates.size == 0:
+                continue
+            chosen = pivot_row + int(candidates[0])
+            if chosen != pivot_row:
+                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
+            for row_index in np.nonzero(matrix[:, column])[0]:
+                if row_index != pivot_row:
+                    matrix[row_index] ^= matrix[pivot_row]
+            pivot_row += 1
+            if pivot_row == matrix.shape[0]:
+                break
+        # After reduction, an original column is determined iff some row has
+        # its only 1 in that column.
+        row_weights = matrix.sum(axis=1)
+        for row_index in np.nonzero(row_weights == 1)[0]:
+            solvable[int(np.nonzero(matrix[row_index])[0][0])] = True
+        return bool(solvable[:n_blocks].all())
+
+    def default_output_blocks(self, n_blocks: int) -> int:
+        """Check blocks produced when the caller does not ask for a count."""
+        params = self.parameters
+        composite = n_blocks + params.auxiliary_count(n_blocks)
+        return int(math.ceil(params.quality * (1.0 + params.epsilon) * composite)) + params.margin
+
+    # -- encode -------------------------------------------------------------------
+    def encode(self, data: bytes, n_blocks: int, output_blocks: Optional[int] = None) -> EncodedChunk:
+        originals = split_into_blocks(data, n_blocks)
+        block_size = len(originals[0]) if originals else 0
+        chunk_seed = derive_seed(self.seed, "chunk", len(data), n_blocks)
+        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
+        aux_blocks: List[np.ndarray] = []
+        for members in aux_membership:
+            value = np.zeros(block_size, dtype=np.uint8)
+            for original in members:
+                np.bitwise_xor(value, originals[original], out=value)
+            aux_blocks.append(value)
+        composites: List[np.ndarray] = list(originals) + aux_blocks
+        composite_count = len(composites)
+
+        if output_blocks is None:
+            output_blocks = self.default_output_blocks(n_blocks)
+        if output_blocks < 1:
+            raise ValueError("output_blocks must be >= 1")
+        rho_cdf = self._rho_cdf()
+
+        encoded: List[EncodedBlock] = []
+        neighbor_sets: List[List[int]] = []
+        for check_index in range(output_blocks):
+            neighbors = self._check_neighbors(composite_count, check_index, chunk_seed, rho_cdf)
+            value = np.zeros(block_size, dtype=np.uint8)
+            for neighbor in neighbors:
+                np.bitwise_xor(value, composites[neighbor], out=value)
+            encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
+            neighbor_sets.append(neighbors)
+
+        # Rateless small-system guarantee: for chunks split into few blocks the
+        # nominal (1 + epsilon) overhead gives no probabilistic guarantee, so
+        # keep appending check blocks (continuing the same stream) until the
+        # full set of encoded blocks determines every original block.
+        if composite_count <= self.SMALL_SYSTEM_GUARANTEE:
+            extra_cap = 8 * composite_count + 16
+            while len(encoded) < output_blocks + extra_cap and not self._decodable_from_all(
+                n_blocks, composite_count, aux_membership, neighbor_sets
+            ):
+                check_index = len(encoded)
+                neighbors = self._check_neighbors(composite_count, check_index, chunk_seed, rho_cdf)
+                value = np.zeros(block_size, dtype=np.uint8)
+                for neighbor in neighbors:
+                    np.bitwise_xor(value, composites[neighbor], out=value)
+                encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
+                neighbor_sets.append(neighbors)
+            output_blocks = len(encoded)
+
+        return EncodedChunk(
+            code_name=self.name,
+            original_size=len(data),
+            block_size=block_size,
+            n_blocks=n_blocks,
+            blocks=encoded,
+            metadata={
+                "chunk_seed": chunk_seed,
+                "output_blocks": output_blocks,
+                "epsilon": self.parameters.epsilon,
+                "q": self.parameters.q,
+            },
+        )
+
+    def generate_additional_blocks(self, chunk: EncodedChunk, data: bytes, count: int) -> List[EncodedBlock]:
+        """Produce ``count`` *new* check blocks for an already-encoded chunk.
+
+        This is the rateless property the recovery pipeline relies on: new
+        encoded blocks can be created for a chunk without touching the blocks
+        that already exist (their indices simply continue the stream).
+        """
+        if count < 1:
+            return []
+        start = int(chunk.metadata["output_blocks"])
+        extended = self.encode(data, chunk.n_blocks, output_blocks=start + count)
+        return extended.blocks[start:]
+
+    # -- decode -------------------------------------------------------------------
+    def decode(self, chunk: EncodedChunk, available: Dict[int, bytes]) -> bytes:
+        chunk_seed = int(chunk.metadata["chunk_seed"])
+        n_blocks = chunk.n_blocks
+        params_eps = float(chunk.metadata.get("epsilon", self.parameters.epsilon))
+        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
+        composite_count = n_blocks + len(aux_membership)
+        total_outputs = int(chunk.metadata["output_blocks"])
+        rho_cdf = self._rho_cdf()
+
+        block_size = chunk.block_size
+        known: List[Optional[np.ndarray]] = [None] * composite_count
+
+        # Equations: each available check block, plus (lazily) each auxiliary
+        # block constraint once the auxiliary value itself is known.
+        equations: List[Tuple[set, np.ndarray]] = []
+        for index, payload in available.items():
+            if not 0 <= index < total_outputs:
+                raise DecodingError(f"unknown encoded block index {index}")
+            neighbors = set(self._check_neighbors(composite_count, index, chunk_seed, rho_cdf))
+            value = np.frombuffer(payload, dtype=np.uint8).copy()
+            equations.append((neighbors, value))
+
+        aux_equations_added = [False] * len(aux_membership)
+
+        def add_aux_equation(aux_offset: int) -> None:
+            if aux_equations_added[aux_offset]:
+                return
+            aux_composite = n_blocks + aux_offset
+            if known[aux_composite] is None:
+                return
+            members = set(aux_membership[aux_offset])
+            equations.append((members | {aux_composite}, np.zeros(block_size, dtype=np.uint8)))
+            aux_equations_added[aux_offset] = True
+
+        # Peeling loop.
+        progress = True
+        while progress:
+            progress = False
+            for neighbors, value in equations:
+                # Reduce the equation by already-known composites.
+                resolved = [n for n in neighbors if known[n] is not None]
+                for n in resolved:
+                    np.bitwise_xor(value, known[n], out=value)
+                    neighbors.discard(n)
+                if len(neighbors) == 1:
+                    target = neighbors.pop()
+                    known[target] = value.copy()
+                    progress = True
+                    if target >= n_blocks:
+                        add_aux_equation(target - n_blocks)
+            # Auxiliary constraints may have become useful even without new
+            # recoveries from check blocks (e.g. aux known from the start).
+            for aux_offset in range(len(aux_membership)):
+                add_aux_equation(aux_offset)
+
+        if any(known[i] is None for i in range(n_blocks)):
+            if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
+                self._gaussian_fallback(chunk, available, known, aux_membership, chunk_seed, rho_cdf)
+            if any(known[i] is None for i in range(n_blocks)):
+                missing = sum(1 for i in range(n_blocks) if known[i] is None)
+                raise DecodingError(
+                    f"online code peeling stalled: {missing}/{n_blocks} original blocks "
+                    f"unrecovered from {len(available)} check blocks (epsilon={params_eps})"
+                )
+
+        return join_blocks([known[i] for i in range(n_blocks)], chunk.original_size)  # type: ignore[list-item]
+
+    def _gaussian_fallback(
+        self,
+        chunk: EncodedChunk,
+        available: Dict[int, bytes],
+        known: List[Optional[np.ndarray]],
+        aux_membership: Sequence[Sequence[int]],
+        chunk_seed: int,
+        rho_cdf: np.ndarray,
+    ) -> None:
+        """Exact GF(2) elimination over all equations (small systems only)."""
+        n_blocks = chunk.n_blocks
+        composite_count = n_blocks + len(aux_membership)
+        block_size = chunk.block_size
+        total_outputs = int(chunk.metadata["output_blocks"])
+
+        rows: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for index, payload in available.items():
+            row = np.zeros(composite_count, dtype=np.uint8)
+            for neighbor in self._check_neighbors(composite_count, index, chunk_seed, rho_cdf):
+                row[neighbor] ^= 1
+            rows.append(row)
+            values.append(np.frombuffer(payload, dtype=np.uint8).copy())
+        for aux_offset, members in enumerate(aux_membership):
+            row = np.zeros(composite_count, dtype=np.uint8)
+            row[n_blocks + aux_offset] ^= 1
+            for member in members:
+                row[member] ^= 1
+            rows.append(row)
+            values.append(np.zeros(block_size, dtype=np.uint8))
+        if not rows:
+            return
+
+        matrix = np.vstack(rows)
+        payload = np.vstack(values) if block_size else np.zeros((len(rows), 0), dtype=np.uint8)
+
+        pivot_of_column: Dict[int, int] = {}
+        pivot_row = 0
+        for column in range(composite_count):
+            candidates = np.nonzero(matrix[pivot_row:, column])[0]
+            if candidates.size == 0:
+                continue
+            chosen = pivot_row + int(candidates[0])
+            if chosen != pivot_row:
+                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
+                payload[[pivot_row, chosen]] = payload[[chosen, pivot_row]]
+            others = np.nonzero(matrix[:, column])[0]
+            for row_index in others:
+                if row_index != pivot_row:
+                    matrix[row_index] ^= matrix[pivot_row]
+                    payload[row_index] ^= payload[pivot_row]
+            pivot_of_column[column] = pivot_row
+            pivot_row += 1
+            if pivot_row == matrix.shape[0]:
+                break
+
+        for column, row_index in pivot_of_column.items():
+            # After full reduction the pivot row expresses exactly one composite.
+            if int(matrix[row_index].sum()) == 1:
+                known[column] = payload[row_index].copy()
+
+    # -- metadata -------------------------------------------------------------------
+    def spec(self, n_blocks: int) -> CodeSpec:
+        output = self.default_output_blocks(n_blocks)
+        composite = n_blocks + self.parameters.auxiliary_count(n_blocks)
+        required = int(math.ceil((1.0 + self.parameters.epsilon) * composite))
+        required = min(required, output)
+        return CodeSpec(
+            name=self.name,
+            input_blocks=n_blocks,
+            output_blocks=output,
+            loss_tolerance=max(0, output - required),
+            size_overhead=(output / n_blocks - 1.0) if n_blocks else 0.0,
+        )

@@ -1,0 +1,99 @@
+"""Multicast-based replica dissemination: Figures 11 and 12.
+
+The paper simulates one source distributing an encoded chunk (split into 1000
+packets) to 32 replica holders at the leaves of a binary tree of height 5
+(63 nodes total).  Figure 11 sweeps the RanSub set size from 3 % to 16 % of
+the tree and plots the average number of packets received per node over the
+epochs; Figure 12 fixes RanSub at 16 % and plots the minimum / average /
+maximum per-node packet counts, showing that the tree saturates evenly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.results import Series
+from repro.multicast.bullet import BulletConfig, BulletSession
+from repro.multicast.tree import build_binary_tree
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class MulticastConfig:
+    """Defaults matching the paper's Section 6.3 setup."""
+
+    tree_height: int = 5
+    total_packets: int = 1000
+    #: RanSub set sizes (fractions of the tree) swept by Figure 11.
+    ransub_fractions: tuple = (0.03, 0.05, 0.06, 0.08, 0.10, 0.11, 0.13, 0.14, 0.16)
+    #: RanSub fraction used by Figure 12.
+    saturation_fraction: float = 0.16
+    link_capacity: int = 10
+    peer_capacity: int = 5
+    download_capacity: int = 25
+    max_epochs: int = 800
+    seed: int = 5
+
+
+class MulticastExperiment:
+    """Runs the RanSub sweep and the saturation study."""
+
+    def __init__(self, config: Optional[MulticastConfig] = None) -> None:
+        self.config = config or MulticastConfig()
+
+    def _session(self, fraction: float, rng) -> BulletSession:
+        config = self.config
+        tree = build_binary_tree(config.tree_height)
+        bullet_config = BulletConfig(
+            total_packets=config.total_packets,
+            ransub_fraction=fraction,
+            link_capacity=config.link_capacity,
+            peer_capacity=config.peer_capacity,
+            download_capacity=config.download_capacity,
+            max_epochs=config.max_epochs,
+        )
+        return BulletSession(tree, bullet_config, rng=rng)
+
+    def run_ransub_sweep(self) -> Dict[float, Series]:
+        """Figure 11: average packets per node over epochs, per RanSub size."""
+        streams = RandomStreams(self.config.seed)
+        results: Dict[float, Series] = {}
+        for fraction in self.config.ransub_fractions:
+            session = self._session(fraction, streams.fresh("sweep", fraction))
+            session.run(until_complete=True)
+            series = Series(label=f"RanSub = {fraction:.0%}")
+            for stats in session.history:
+                series.append(stats.epoch, stats.average)
+            results[fraction] = series
+        return results
+
+    def completion_epochs(self, sweep: Optional[Dict[float, Series]] = None) -> Dict[float, int]:
+        """Epochs needed to fully disseminate, per RanSub size (Fig. 11 summary)."""
+        if sweep is None:
+            sweep = self.run_ransub_sweep()
+        return {fraction: len(series) for fraction, series in sweep.items()}
+
+    def run_saturation(self) -> Tuple[Series, Series, Series]:
+        """Figure 12: (minimum, average, maximum) packets per node over epochs."""
+        streams = RandomStreams(self.config.seed)
+        session = self._session(self.config.saturation_fraction, streams.fresh("saturation"))
+        session.run(until_complete=True)
+        minimum = Series(label="Min")
+        average = Series(label="Average")
+        maximum = Series(label="Max")
+        for stats in session.history:
+            minimum.append(stats.epoch, stats.minimum)
+            average.append(stats.epoch, stats.average)
+            maximum.append(stats.epoch, stats.maximum)
+        return minimum, average, maximum
+
+    @staticmethod
+    def saturation_spread(minimum: Series, average: Series, maximum: Series) -> float:
+        """Mean (max - min) gap relative to the total packets, a measure of evenness."""
+        if not average.y:
+            return 0.0
+        gaps = np.asarray(maximum.y) - np.asarray(minimum.y)
+        return float(gaps.mean())

@@ -1,0 +1,274 @@
+"""Large-scale insertion experiment: Figures 7, 8, 9 and Table 1.
+
+The paper inserts a 1.2 M-file trace into a 10 000-node overlay under three
+schemes -- PAST (whole files), CFS (4 MB fixed chunks) and the proposed system
+(capacity-negotiated variable chunks) -- and reports, as insertion progresses,
+the fraction of failed stores (Fig. 7), the fraction of data that failed to be
+stored (Fig. 8), the overall capacity utilisation (Fig. 9) and the chunk-count
+/ chunk-size statistics (Table 1).
+
+The harness reproduces that loop at a configurable scale.  Every scheme runs
+against its own copy of an identical node population (same ids, same
+capacities) so the comparison isolates the placement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.cfs import CfsStore
+from repro.baselines.common import InsertionStats
+from repro.baselines.past import PastStore
+from repro.core.policies import StoragePolicy
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.null_code import NullCode
+from repro.experiments.results import Series
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.sim.rng import RandomStreams
+from repro.workloads.capacity import CapacityConfig, generate_capacities
+from repro.workloads.filetrace import GB, MB, FileTrace, FileTraceConfig, generate_file_trace
+
+
+@dataclass(frozen=True)
+class InsertionConfig:
+    """Scaled-down defaults for the insertion experiment.
+
+    ``expected_utilization`` controls how much data is inserted relative to the
+    total contributed capacity; the paper inserts 278.7 TB into 439.1 TB
+    (~63.5 %).  Set ``node_count=10_000`` and ``file_count=None`` with the
+    paper's capacity/trace configs to run at full scale.
+    """
+
+    node_count: int = 200
+    capacity_mean: int = 45 * GB
+    capacity_std: int = 10 * GB
+    mean_file_size: int = 243 * MB
+    std_file_size: int = 55 * MB
+    min_file_size: int = 50 * MB
+    #: Explicit number of files; if None it is derived from expected_utilization.
+    file_count: Optional[int] = None
+    expected_utilization: float = 0.635
+    cfs_block_size: int = 4 * MB
+    #: PAST's salted-rehash retries.  The paper describes the mechanism but its
+    #: reported 36 % failure rate is only consistent with the retry being
+    #: absent/ineffective in the original simulation, so the default is 0; the
+    #: ablation benchmarks sweep this knob.
+    past_retries: int = 0
+    cfs_retries_per_block: int = 3
+    zero_chunk_limit: int = 5
+    replication: int = 1
+    sample_points: int = 20
+    seed: int = 1
+    repetitions: int = 1
+
+    def resolved_file_count(self) -> int:
+        """File count implied by the expected utilisation when not set explicitly."""
+        if self.file_count is not None:
+            return self.file_count
+        total_capacity = self.node_count * self.capacity_mean
+        return max(1, int(round(total_capacity * self.expected_utilization / self.mean_file_size)))
+
+
+@dataclass
+class SchemeCurve:
+    """Per-scheme sampled curves plus final statistics."""
+
+    scheme: str
+    failed_stores_pct: Series
+    failed_data_pct: Series
+    utilization_pct: Series
+    stats: InsertionStats
+    chunk_stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class InsertionOutcome:
+    """Everything the Figures 7-9 / Table 1 benches need, for one replication set."""
+
+    config: InsertionConfig
+    curves: Dict[str, SchemeCurve]
+    files_inserted: int
+
+    def final_failed_stores(self) -> Dict[str, float]:
+        """Scheme -> final failed-store percentage (the numbers quoted in §6.1)."""
+        return {name: curve.failed_stores_pct.final() for name, curve in self.curves.items()}
+
+    def final_failed_data(self) -> Dict[str, float]:
+        """Scheme -> final failed-data percentage."""
+        return {name: curve.failed_data_pct.final() for name, curve in self.curves.items()}
+
+    def final_utilization(self) -> Dict[str, float]:
+        """Scheme -> final utilisation percentage."""
+        return {name: curve.utilization_pct.final() for name, curve in self.curves.items()}
+
+
+class InsertionExperiment:
+    """Runs the three-scheme insertion comparison."""
+
+    SCHEMES = ("PAST", "CFS", "Our System")
+
+    def __init__(self, config: Optional[InsertionConfig] = None) -> None:
+        self.config = config or InsertionConfig()
+
+    # -- population construction -----------------------------------------------
+    def _build_population(self, streams: RandomStreams, replication_index: int) -> Dict[str, DHTView]:
+        config = self.config
+        capacity_config = CapacityConfig(
+            node_count=config.node_count,
+            distribution="normal",
+            mean=config.capacity_mean,
+            std=config.capacity_std,
+        )
+        capacities = generate_capacities(
+            capacity_config, rng=streams.fresh("capacities", replication_index)
+        )
+        views: Dict[str, DHTView] = {}
+        for scheme in self.SCHEMES:
+            # Identical node ids and capacities per scheme: rebuild from the
+            # same derived stream so the populations match exactly.
+            network = OverlayNetwork.build(
+                config.node_count,
+                rng=streams.fresh("overlay", replication_index),
+                capacities=list(capacities),
+            )
+            views[scheme] = DHTView(network)
+        return views
+
+    def _build_trace(self, streams: RandomStreams, replication_index: int) -> FileTrace:
+        config = self.config
+        trace_config = FileTraceConfig(
+            file_count=self.config.resolved_file_count(),
+            mean_size=config.mean_file_size,
+            std_size=config.std_file_size,
+            min_size=config.min_file_size,
+        )
+        return generate_file_trace(trace_config, rng=streams.fresh("trace", replication_index))
+
+    # -- single replication -------------------------------------------------------
+    def run_once(self, replication_index: int = 0) -> InsertionOutcome:
+        """Run one replication of the experiment and return the sampled curves."""
+        config = self.config
+        streams = RandomStreams(config.seed)
+        views = self._build_population(streams, replication_index)
+        trace = self._build_trace(streams, replication_index)
+
+        past = PastStore(views["PAST"], replication=config.replication, retries=config.past_retries)
+        cfs = CfsStore(
+            views["CFS"],
+            block_size=config.cfs_block_size,
+            replication=config.replication,
+            retries_per_block=config.cfs_retries_per_block,
+        )
+        ours = StorageSystem(
+            views["Our System"],
+            codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
+            policy=StoragePolicy(
+                max_consecutive_zero_chunks=config.zero_chunk_limit,
+                block_replication=config.replication,
+            ),
+        )
+
+        stats = {scheme: InsertionStats() for scheme in self.SCHEMES}
+        curves = {
+            scheme: SchemeCurve(
+                scheme=scheme,
+                failed_stores_pct=Series(label=scheme),
+                failed_data_pct=Series(label=scheme),
+                utilization_pct=Series(label=scheme),
+                stats=stats[scheme],
+            )
+            for scheme in self.SCHEMES
+        }
+
+        total_files = len(trace)
+        sample_every = max(1, total_files // max(1, config.sample_points))
+
+        for index, record in enumerate(trace, start=1):
+            past_result = past.store_file(record.name, record.size)
+            stats["PAST"].record(past_result)
+
+            cfs_result = cfs.store_file(record.name, record.size)
+            stats["CFS"].record(
+                cfs_result,
+                chunk_sizes=cfs.chunk_sizes(record.name) if cfs_result.success else None,
+            )
+
+            ours_result = ours.store_file(record.name, record.size)
+            if ours_result.success:
+                stored = ours.files[record.name]
+                chunk_sizes = [chunk.size for chunk in stored.data_chunks()]
+            else:
+                chunk_sizes = None
+            stats["Our System"].record(
+                _as_baseline_result(ours_result), chunk_sizes=chunk_sizes
+            )
+
+            if index % sample_every == 0 or index == total_files:
+                curves["PAST"].failed_stores_pct.append(index, 100.0 * stats["PAST"].failure_fraction)
+                curves["CFS"].failed_stores_pct.append(index, 100.0 * stats["CFS"].failure_fraction)
+                curves["Our System"].failed_stores_pct.append(
+                    index, 100.0 * stats["Our System"].failure_fraction
+                )
+                curves["PAST"].failed_data_pct.append(index, 100.0 * stats["PAST"].failed_data_fraction)
+                curves["CFS"].failed_data_pct.append(index, 100.0 * stats["CFS"].failed_data_fraction)
+                curves["Our System"].failed_data_pct.append(
+                    index, 100.0 * stats["Our System"].failed_data_fraction
+                )
+                curves["PAST"].utilization_pct.append(index, 100.0 * views["PAST"].utilization())
+                curves["CFS"].utilization_pct.append(index, 100.0 * views["CFS"].utilization())
+                curves["Our System"].utilization_pct.append(
+                    index, 100.0 * views["Our System"].utilization()
+                )
+
+        # Table 1 statistics.
+        cfs_count_mean, cfs_count_std = stats["CFS"].chunk_count_stats()
+        cfs_size_mean, cfs_size_std = stats["CFS"].chunk_size_stats()
+        curves["CFS"].chunk_stats = {
+            "mean_chunks_per_file": cfs_count_mean,
+            "std_chunks_per_file": cfs_count_std,
+            "mean_chunk_size": cfs_size_mean,
+            "std_chunk_size": cfs_size_std,
+        }
+        curves["Our System"].chunk_stats = ours.chunk_statistics()
+
+        return InsertionOutcome(config=config, curves=curves, files_inserted=total_files)
+
+    # -- replication averaging -------------------------------------------------------
+    def run(self) -> InsertionOutcome:
+        """Run the configured number of replications and average the final numbers.
+
+        The full sampled curves of the *first* replication are returned (they
+        are what the figures plot); the final-point values are averaged over
+        replications, matching the paper's "each case was simulated ten times,
+        the results represent the average".
+        """
+        outcomes = [self.run_once(replication) for replication in range(self.config.repetitions)]
+        first = outcomes[0]
+        if len(outcomes) == 1:
+            return first
+        for scheme in self.SCHEMES:
+            for metric in ("failed_stores_pct", "failed_data_pct", "utilization_pct"):
+                finals = [getattr(outcome.curves[scheme], metric).final() for outcome in outcomes]
+                series: Series = getattr(first.curves[scheme], metric)
+                series.y[-1] = float(np.mean(finals))
+        return first
+
+
+def _as_baseline_result(result) -> "object":
+    """Adapt a core StoreResult to the BaselineStoreResult interface for stats."""
+    from repro.baselines.common import BaselineStoreResult
+
+    return BaselineStoreResult(
+        filename=result.filename,
+        requested_size=result.requested_size,
+        success=result.success,
+        stored_bytes=result.stored_bytes,
+        chunk_count=result.data_chunk_count,
+        lookups=result.lookups,
+        failure_reason=result.failure_reason,
+    )

@@ -1,0 +1,36 @@
+"""Multicast-based replica dissemination (Bullet + RanSub).
+
+Section 4.4.1 of the paper replaces the usual primary-creates-replicas scheme
+with a multicast push: once the k replica holders of an encoded chunk are
+known, a locality-aware overlay tree is built from the source to those
+holders (children are chosen greedily from the proximity-aware Pastry routing
+table) and the Bullet algorithm disseminates the chunk's packets down the
+tree, with nodes also pulling missing packets from peers they learn about
+through RanSub epochs.
+
+* :mod:`repro.multicast.ransub` -- the epoch-based distribute/collect random
+  subset protocol;
+* :mod:`repro.multicast.tree` -- tree construction (fixed binary trees for the
+  paper's experiment, locality-aware trees from the overlay);
+* :mod:`repro.multicast.bullet` -- the packet dissemination session and the
+  per-epoch statistics reported in Figures 11 and 12.
+"""
+
+from repro.multicast.ransub import RanSubProtocol, RanSubView
+from repro.multicast.tree import MulticastTree, TreeNode, build_binary_tree, build_locality_tree
+from repro.multicast.bullet import BulletConfig, BulletSession, EpochStats
+from repro.multicast.replication import MulticastReplicator, ReplicationReport
+
+__all__ = [
+    "RanSubProtocol",
+    "RanSubView",
+    "MulticastTree",
+    "TreeNode",
+    "build_binary_tree",
+    "build_locality_tree",
+    "BulletConfig",
+    "BulletSession",
+    "EpochStats",
+    "MulticastReplicator",
+    "ReplicationReport",
+]

@@ -1,0 +1,144 @@
+"""Multicast-driven replica creation for stored chunks (Section 4.4.1).
+
+The paper replaces the usual "primary node creates the replicas" scheme with a
+push over a locality-aware multicast tree: once the k replica holders of an
+encoded block are chosen (the block's DHT root plus k-1 of its identifier-space
+neighbours), the storing node builds a tree towards them using the
+proximity-aware routing state and runs Bullet to disseminate the block.
+
+:class:`MulticastReplicator` ties that machinery to
+:class:`repro.core.storage.StorageSystem`: it picks the replica holders,
+reserves the space, runs a :class:`~repro.multicast.bullet.BulletSession` per
+block, and records the resulting replica placements back into the stored-file
+metadata so that availability checks and recovery see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk
+from repro.multicast.bullet import BulletConfig, BulletSession
+from repro.multicast.tree import build_locality_tree
+from repro.overlay.ids import NodeId
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of replicating one chunk's encoded blocks."""
+
+    filename: str
+    chunk_no: int
+    replicas_requested: int
+    replicas_created: int = 0
+    replicas_skipped_no_space: int = 0
+    epochs_used: int = 0
+    packets_per_block: int = 0
+    #: Replica holders per block name.
+    holders: Dict[str, List[NodeId]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested replica of every block was created."""
+        return self.replicas_skipped_no_space == 0 and self.replicas_created > 0
+
+
+class MulticastReplicator:
+    """Creates k replicas of stored chunks by multicast push."""
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        config: Optional[BulletConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        fanout: int = 2,
+    ) -> None:
+        self.storage = storage
+        self.dht = storage.dht
+        self.config = config or BulletConfig(total_packets=100, ransub_fraction=0.16)
+        self.rng = rng or np.random.default_rng(0)
+        self.fanout = fanout
+
+    # -- target selection -----------------------------------------------------
+    def _replica_targets(self, primary: NodeId, block_name: str, size: int, count: int) -> List[NodeId]:
+        """k-1 identifier-space neighbours of the primary that can hold the block."""
+        targets: List[NodeId] = []
+        for candidate in self.dht.neighbors(primary, count * 3):
+            if len(targets) >= count:
+                break
+            if candidate.node_id == primary:
+                continue
+            if candidate.store_block(block_name, size):
+                targets.append(candidate.node_id)
+        return targets
+
+    # -- replication ------------------------------------------------------------
+    def replicate_chunk(self, filename: str, chunk_no: int, replicas: int) -> ReplicationReport:
+        """Create ``replicas`` additional copies of every encoded block of a chunk.
+
+        Data movement is modelled by one Bullet session per chunk: the source
+        is the node that stored the chunk, the leaves are the replica holders,
+        and the session's epochs measure how long the push takes.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        stored = self.storage.files.get(filename)
+        if stored is None:
+            raise KeyError(f"unknown file: {filename!r}")
+        chunk = next((c for c in stored.chunks if c.chunk_no == chunk_no), None)
+        if chunk is None or chunk.is_empty:
+            raise KeyError(f"file {filename!r} has no data chunk {chunk_no}")
+
+        report = ReplicationReport(
+            filename=filename, chunk_no=chunk_no, replicas_requested=replicas
+        )
+        all_targets: List[NodeId] = []
+        new_placements: List[BlockPlacement] = []
+        for placement in chunk.placements:
+            targets = self._replica_targets(
+                placement.node_id, placement.block_name, placement.size, replicas
+            )
+            report.holders[placement.block_name] = targets
+            report.replicas_created += len(targets)
+            report.replicas_skipped_no_space += replicas - len(targets)
+            all_targets.extend(targets)
+            new_placements.append(
+                BlockPlacement(
+                    block_name=placement.block_name,
+                    node_id=placement.node_id,
+                    size=placement.size,
+                    replica_nodes=placement.replica_nodes + tuple(targets),
+                )
+            )
+            # Payload mode: the replica holders receive the block contents.
+            if self.storage.payload_mode:
+                payload = self.storage._block_payloads.get(
+                    (int(placement.node_id), placement.block_name)
+                )
+                if payload is not None:
+                    for target in targets:
+                        self.storage._block_payloads[(int(target), placement.block_name)] = payload
+
+        chunk.placements = new_placements
+
+        if all_targets:
+            source = chunk.placements[0].node_id
+            tree = build_locality_tree(self.dht.network, source, all_targets, fanout=self.fanout)
+            session = BulletSession(tree, self.config, rng=self.rng)
+            session.run(until_complete=True)
+            report.epochs_used = len(session.history)
+            report.packets_per_block = self.config.total_packets
+        return report
+
+    def replicate_file(self, filename: str, replicas: int) -> List[ReplicationReport]:
+        """Replicate every data chunk of a file; returns one report per chunk."""
+        stored = self.storage.files.get(filename)
+        if stored is None:
+            raise KeyError(f"unknown file: {filename!r}")
+        return [
+            self.replicate_chunk(filename, chunk.chunk_no, replicas)
+            for chunk in stored.data_chunks()
+        ]

@@ -1,0 +1,51 @@
+"""Pastry-style structured peer-to-peer overlay.
+
+The paper builds its storage system on Pastry/FreePastry.  This package is a
+from-scratch Python reproduction of the parts the storage system actually
+relies on:
+
+* a circular 160-bit identifier space shared by node ids and object keys
+  (:mod:`repro.overlay.ids`);
+* per-node state -- leaf set and prefix routing table with proximity-aware
+  entries (:mod:`repro.overlay.node`, :mod:`repro.overlay.routing`);
+* a simulated directly-connected network of overlay nodes supporting join,
+  leave, failure, message routing with hop counts, and leaf-set repair
+  (:mod:`repro.overlay.network`);
+* a fast *oracle* DHT view (sorted-id bisect) that resolves keys to live nodes
+  with the same result the converged overlay would produce; the large-scale
+  insertion experiments use this view, exactly like the paper's FreePastry
+  "simulator mode" uses a directly-connected network
+  (:mod:`repro.overlay.dht`).
+"""
+
+from repro.overlay.ids import (
+    ID_BITS,
+    ID_SPACE,
+    NodeId,
+    distance,
+    key_for,
+    node_id_from_int,
+    random_node_id,
+    ring_between,
+)
+from repro.overlay.node import LeafSet, OverlayNode
+from repro.overlay.routing import RoutingTable
+from repro.overlay.network import OverlayNetwork, RouteResult
+from repro.overlay.dht import DHTView
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "NodeId",
+    "distance",
+    "key_for",
+    "node_id_from_int",
+    "random_node_id",
+    "ring_between",
+    "LeafSet",
+    "OverlayNode",
+    "RoutingTable",
+    "OverlayNetwork",
+    "RouteResult",
+    "DHTView",
+]

@@ -1,0 +1,223 @@
+"""Per-node overlay state: leaf set, routing table, and local storage bookkeeping.
+
+The storage design relies on three properties of a Pastry node (Section 4.4 of
+the paper):
+
+* the *leaf set* -- the L/2 numerically closest nodes on each side -- which the
+  system uses both for replica placement and for detecting the failure of an
+  immediate neighbour;
+* when a node fails, the portion of the identifier space mapped to it is split
+  between its two immediate neighbours, which therefore become responsible for
+  re-creating the blocks that were stored on it;
+* each node keeps "a list of blocks stored on its neighbors" so it knows what
+  to re-create (the neighbour-block ledger below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.overlay.ids import NodeId, clockwise_distance, distance
+from repro.overlay.routing import RoutingTable
+
+
+class LeafSet:
+    """The numerically closest live neighbours of a node, split by ring side."""
+
+    def __init__(self, owner: NodeId, half_size: int = 8) -> None:
+        if half_size < 1:
+            raise ValueError("leaf set half size must be >= 1")
+        self.owner = owner
+        self.half_size = half_size
+        self._smaller: List[NodeId] = []   # counter-clockwise neighbours, nearest first
+        self._larger: List[NodeId] = []    # clockwise neighbours, nearest first
+
+    # -- membership ---------------------------------------------------------
+    def members(self) -> List[NodeId]:
+        """All leaf-set members (both sides), nearest first per side."""
+        return list(self._smaller) + list(self._larger)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._smaller or node_id in self._larger
+
+    def __len__(self) -> int:
+        return len(self._smaller) + len(self._larger)
+
+    def consider(self, node_id: NodeId) -> bool:
+        """Offer a node; keep it if it is among the closest on its side."""
+        if node_id == self.owner:
+            return False
+        side, changed = self._side_of(node_id), False
+        if node_id not in side:
+            side.append(node_id)
+            changed = True
+        self._trim()
+        return changed and node_id in self
+
+    def remove(self, node_id: NodeId) -> bool:
+        """Drop a (failed) node.  Returns True if it was a member."""
+        for side in (self._smaller, self._larger):
+            if node_id in side:
+                side.remove(node_id)
+                return True
+        return False
+
+    def _side_of(self, node_id: NodeId) -> List[NodeId]:
+        # A node is on the "larger" (clockwise) side if it is nearer going
+        # clockwise from the owner than counter-clockwise.
+        clockwise = clockwise_distance(self.owner, node_id)
+        counter = clockwise_distance(node_id, self.owner)
+        return self._larger if clockwise <= counter else self._smaller
+
+    def _trim(self) -> None:
+        self._larger.sort(key=lambda nid: clockwise_distance(self.owner, nid))
+        self._smaller.sort(key=lambda nid: clockwise_distance(nid, self.owner))
+        del self._larger[self.half_size:]
+        del self._smaller[self.half_size:]
+
+    # -- queries used by the storage system ----------------------------------
+    def immediate_neighbors(self) -> List[NodeId]:
+        """The single nearest neighbour on each side (up to two nodes)."""
+        result: List[NodeId] = []
+        if self._smaller:
+            result.append(self._smaller[0])
+        if self._larger:
+            result.append(self._larger[0])
+        return result
+
+    def nearest(self, count: int) -> List[NodeId]:
+        """The ``count`` members numerically closest to the owner."""
+        members = sorted(self.members(), key=lambda nid: distance(nid, self.owner))
+        return members[:count]
+
+    def covers(self, key: NodeId) -> bool:
+        """Whether ``key`` falls within the span of the leaf set."""
+        if not self._smaller or not self._larger:
+            return False
+        low = self._smaller[-1]
+        high = self._larger[-1]
+        return clockwise_distance(low, key) <= clockwise_distance(low, high)
+
+    def closest_to(self, key: NodeId) -> NodeId:
+        """The member (or the owner) numerically closest to ``key``."""
+        candidates = self.members() + [self.owner]
+        return min(candidates, key=lambda nid: (distance(nid, key), int(nid)))
+
+
+@dataclass
+class NeighborBlockRecord:
+    """One entry of the neighbour-block ledger: a block a neighbour stores."""
+
+    block_name: str
+    size: int
+    owner_file: str
+
+
+@dataclass
+class OverlayNode:
+    """A participant in the overlay.
+
+    Besides the Pastry state (leaf set, routing table, coordinates for the
+    proximity metric) the node carries the storage-related attributes used by
+    the contributory storage system: contributed capacity, used space, the set
+    of blocks it stores, and the ledger of blocks stored on its neighbours.
+    """
+
+    node_id: NodeId
+    #: Position used by the proximity metric (Euclidean distance in a plane),
+    #: standing in for network latency between participants.
+    coordinates: tuple[float, float] = (0.0, 0.0)
+    #: Total storage contributed by this participant, in bytes.
+    capacity: int = 0
+    #: Bytes currently consumed by stored blocks.
+    used: int = 0
+    #: Whether the node is currently alive.
+    alive: bool = True
+    #: Fraction of free capacity reported per getCapacity reply (Section 4.3:
+    #: "a node may choose to only report a fraction of its actual available
+    #: capacity per getCapacity message").
+    capacity_report_fraction: float = 1.0
+    leaf_set: LeafSet = field(init=False)
+    routing_table: RoutingTable = field(init=False)
+    #: Names and sizes of blocks stored locally: {block_name: size}.
+    stored_blocks: Dict[str, int] = field(default_factory=dict)
+    #: Ledger of blocks stored on leaf-set neighbours (Section 4.4).
+    neighbor_blocks: Dict[NodeId, Dict[str, NeighborBlockRecord]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.leaf_set = LeafSet(self.node_id)
+        self.routing_table = RoutingTable(self.node_id)
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def free(self) -> int:
+        """Bytes of contributed space not currently used."""
+        return max(0, self.capacity - self.used)
+
+    def report_capacity(self) -> int:
+        """Reply to a ``getCapacity`` probe (may understate per local policy)."""
+        if not self.alive:
+            return 0
+        return int(self.free * self.capacity_report_fraction)
+
+    # -- block storage -------------------------------------------------------
+    def store_block(self, block_name: str, size: int) -> bool:
+        """Accept a block if there is room.  Returns False when full/dead/duplicate."""
+        if not self.alive or size < 0:
+            return False
+        if block_name in self.stored_blocks:
+            return False
+        if size > self.free:
+            return False
+        self.stored_blocks[block_name] = int(size)
+        self.used += int(size)
+        return True
+
+    def remove_block(self, block_name: str) -> bool:
+        """Delete a stored block, releasing its space."""
+        size = self.stored_blocks.pop(block_name, None)
+        if size is None:
+            return False
+        self.used -= size
+        return True
+
+    def has_block(self, block_name: str) -> bool:
+        """Whether the node currently stores the named block."""
+        return self.alive and block_name in self.stored_blocks
+
+    # -- neighbour ledger ----------------------------------------------------
+    def record_neighbor_block(self, neighbor: NodeId, record: NeighborBlockRecord) -> None:
+        """Note that ``neighbor`` stores ``record`` (updated on create/remove)."""
+        self.neighbor_blocks.setdefault(neighbor, {})[record.block_name] = record
+
+    def forget_neighbor_block(self, neighbor: NodeId, block_name: str) -> None:
+        """Remove a neighbour-ledger entry (file deleted or block migrated)."""
+        ledger = self.neighbor_blocks.get(neighbor)
+        if ledger is not None:
+            ledger.pop(block_name, None)
+            if not ledger:
+                del self.neighbor_blocks[neighbor]
+
+    def ledger_for(self, neighbor: NodeId) -> List[NeighborBlockRecord]:
+        """All blocks this node believes ``neighbor`` stores."""
+        return list(self.neighbor_blocks.get(neighbor, {}).values())
+
+    # -- failure ------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the node failed; its stored blocks become unreachable."""
+        self.alive = False
+
+    def recover(self, wipe: bool = True) -> None:
+        """Bring the node back.  By default it returns empty (disk wiped)."""
+        self.alive = True
+        if wipe:
+            self.stored_blocks.clear()
+            self.used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return (
+            f"OverlayNode({self.node_id!r}, {state}, used={self.used}/{self.capacity}, "
+            f"blocks={len(self.stored_blocks)})"
+        )

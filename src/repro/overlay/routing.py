@@ -1,0 +1,120 @@
+"""Pastry prefix routing table with proximity-aware entries.
+
+A Pastry routing table has one row per shared-prefix length and one column per
+identifier digit.  Entry ``(row, column)`` holds a node whose id shares the
+first ``row`` digits with the owner and whose ``row``-th digit equals
+``column``.  Among equally suitable candidates, Pastry keeps the one that is
+*closest by the proximity metric* (network latency); the paper's multicast
+tree construction (Section 4.4.1) explicitly exploits this property, so the
+reproduction keeps per-entry proximity as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.overlay.ids import BITS_PER_DIGIT, DIGITS, NodeId
+
+
+@dataclass(frozen=True)
+class RoutingEntry:
+    """A routing-table slot: the node id it points at and its proximity."""
+
+    node_id: NodeId
+    proximity: float
+
+
+class RoutingTable:
+    """The prefix routing table of one overlay node."""
+
+    ROWS = DIGITS
+    COLUMNS = 1 << BITS_PER_DIGIT
+
+    def __init__(self, owner: NodeId) -> None:
+        self.owner = owner
+        # Sparse representation: {(row, column): RoutingEntry}
+        self._entries: Dict[Tuple[int, int], RoutingEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[RoutingEntry]:
+        """Iterate over all populated entries."""
+        return iter(self._entries.values())
+
+    def slot_for(self, node_id: NodeId) -> Optional[Tuple[int, int]]:
+        """The (row, column) slot a node id belongs to, or None for the owner itself."""
+        if node_id == self.owner:
+            return None
+        row = self.owner.shared_prefix_length(node_id)
+        column = node_id.digit(row)
+        return (row, column)
+
+    def get(self, row: int, column: int) -> Optional[RoutingEntry]:
+        """The entry at (row, column), if populated."""
+        return self._entries.get((row, column))
+
+    def consider(self, node_id: NodeId, proximity: float) -> bool:
+        """Offer a node for inclusion; keep it if the slot is empty or it is closer.
+
+        Returns True if the table changed.
+        """
+        slot = self.slot_for(node_id)
+        if slot is None:
+            return False
+        current = self._entries.get(slot)
+        if current is None or proximity < current.proximity or (
+            proximity == current.proximity and node_id < current.node_id
+        ):
+            self._entries[slot] = RoutingEntry(node_id=node_id, proximity=proximity)
+            return True
+        return False
+
+    def remove(self, node_id: NodeId) -> bool:
+        """Remove a (failed) node from the table.  Returns True if it was present."""
+        slot = self.slot_for(node_id)
+        if slot is None:
+            return False
+        current = self._entries.get(slot)
+        if current is not None and current.node_id == node_id:
+            del self._entries[slot]
+            return True
+        return False
+
+    def next_hop(self, key: NodeId) -> Optional[NodeId]:
+        """Pastry's primary routing rule: the entry matching one more digit of ``key``."""
+        row = self.owner.shared_prefix_length(key)
+        if row >= self.ROWS:
+            return None
+        column = key.digit(row)
+        entry = self._entries.get((row, column))
+        return entry.node_id if entry is not None else None
+
+    def candidates_with_longer_or_equal_prefix(self, key: NodeId) -> List[NodeId]:
+        """Fallback candidates: entries sharing at least as long a prefix with ``key``.
+
+        Used by the "rare case" rule of Pastry routing when the primary entry
+        is missing: forward to any known node that is numerically closer to the
+        key than the present node and shares at least as long a prefix.
+        """
+        minimum = self.owner.shared_prefix_length(key)
+        result: List[NodeId] = []
+        for entry in self._entries.values():
+            if entry.node_id.shared_prefix_length(key) >= minimum:
+                result.append(entry.node_id)
+        return result
+
+    def closest_by_proximity(self, count: int, exclude: Callable[[NodeId], bool] | None = None) -> List[RoutingEntry]:
+        """The ``count`` entries with smallest proximity (used for multicast trees)."""
+        entries = [
+            entry
+            for entry in self._entries.values()
+            if exclude is None or not exclude(entry.node_id)
+        ]
+        entries.sort(key=lambda entry: (entry.proximity, int(entry.node_id)))
+        return entries[:count]
+
+    def known_nodes(self) -> List[NodeId]:
+        """All node ids present in the table."""
+        return [entry.node_id for entry in self._entries.values()]

@@ -1,0 +1,45 @@
+"""Trace (de)serialisation.
+
+Generated traces can be saved so an experiment can be repeated on the exact
+same workload (the reproduction analogue of the paper distributing its crawled
+trace).  The format is a small JSON header plus a NumPy ``.npz`` payload for
+the sizes, which keeps million-file traces compact and fast to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.filetrace import FileRecord, FileTrace
+
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: FileTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (a ``.npz`` file).  Returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = np.asarray([record.name for record in trace.files])
+    sizes = trace.sizes
+    header = json.dumps({"version": _FORMAT_VERSION, "count": len(trace)})
+    np.savez_compressed(path, header=np.asarray(header), names=names, sizes=sizes)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> FileTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(str(archive["header"]))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version: {header.get('version')!r}")
+        names = [str(name) for name in archive["names"]]
+        sizes = [int(size) for size in archive["sizes"]]
+    if len(names) != len(sizes):
+        raise ValueError("corrupt trace: name/size arrays differ in length")
+    return FileTrace(files=[FileRecord(name=name, size=size) for name, size in zip(names, sizes)])

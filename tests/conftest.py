@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import StoragePolicy
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.null_code import NullCode
+from repro.erasure.xor_code import XorParityCode
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_network(rng: np.random.Generator) -> OverlayNetwork:
+    """A 32-node overlay where every node contributes 64 MB."""
+    return OverlayNetwork.build(32, rng, capacities=[64 * MB] * 32)
+
+
+@pytest.fixture
+def dht(small_network: OverlayNetwork) -> DHTView:
+    """A DHT view over the small overlay."""
+    return DHTView(small_network)
+
+
+@pytest.fixture
+def capacity_storage(dht: DHTView) -> StorageSystem:
+    """A capacity-mode storage system with no error coding."""
+    return StorageSystem(dht, codec=ChunkCodec(NullCode(), blocks_per_chunk=1), policy=StoragePolicy())
+
+
+@pytest.fixture
+def payload_storage(dht: DHTView) -> StorageSystem:
+    """A payload-mode storage system protected by a (2,3) XOR code."""
+    return StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(),
+        payload_mode=True,
+    )

@@ -1,0 +1,205 @@
+"""Unit tests for the PAST and CFS baseline implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cfs import CfsStore
+from repro.baselines.common import BaselineStoreResult, InsertionStats
+from repro.baselines.past import PastStore
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def network() -> OverlayNetwork:
+    return OverlayNetwork.build(24, np.random.default_rng(8), capacities=[64 * MB] * 24)
+
+
+@pytest.fixture
+def dht(network) -> DHTView:
+    return DHTView(network)
+
+
+# -- PAST --------------------------------------------------------------------------------
+def test_past_store_places_whole_file_on_one_node(dht):
+    past = PastStore(dht)
+    result = past.store_file("movie", 30 * MB)
+    assert result.success
+    assert result.chunk_count == 1
+    assert result.lookups == 1
+    name, holders = past.files["movie"]
+    assert len(holders) == 1
+    assert holders[0].has_block(name)
+
+
+def test_past_cannot_store_file_larger_than_one_node(dht):
+    past = PastStore(dht, retries=5)
+    result = past.store_file("giant", 100 * MB)  # every node holds only 64 MB
+    assert not result.success
+    assert result.lookups == 6
+
+
+def test_past_salted_retry_finds_space(dht, network):
+    past = PastStore(dht, retries=4)
+    # Fill the primary target of "unlucky" so the first attempt fails.
+    from repro.overlay.ids import key_for
+
+    primary = dht.lookup(key_for("unlucky"))
+    primary.used = primary.capacity
+    result = past.store_file("unlucky", 10 * MB)
+    assert result.success
+    assert result.lookups >= 2
+    stored_name, holders = past.files["unlucky"]
+    assert holders[0].node_id != primary.node_id or stored_name != "unlucky"
+
+
+def test_past_no_retries_fails_on_full_primary(dht):
+    from repro.overlay.ids import key_for
+
+    past = PastStore(dht, retries=0)
+    primary = dht.lookup(key_for("unlucky"))
+    primary.used = primary.capacity
+    assert not past.store_file("unlucky", 10 * MB).success
+
+
+def test_past_replication_places_k_copies(dht):
+    past = PastStore(dht, replication=3)
+    result = past.store_file("copied", 5 * MB)
+    assert result.success
+    _, holders = past.files["copied"]
+    assert len(holders) == 3
+    assert result.stored_bytes == 3 * 5 * MB
+
+
+def test_past_availability_and_delete(dht, network):
+    past = PastStore(dht, replication=2)
+    past.store_file("hafile", 5 * MB)
+    assert past.is_file_available("hafile")
+    _, holders = past.files["hafile"]
+    for holder in holders:
+        holder.fail()
+    assert not past.is_file_available("hafile")
+    assert past.delete_file("hafile")
+    assert not past.delete_file("hafile")
+    assert not past.is_file_available("never")
+
+
+def test_past_duplicate_store_rejected(dht):
+    past = PastStore(dht)
+    assert past.store_file("dup", MB).success
+    assert not past.store_file("dup", MB).success
+
+
+def test_past_parameter_validation(dht):
+    with pytest.raises(ValueError):
+        PastStore(dht, replication=0)
+    with pytest.raises(ValueError):
+        PastStore(dht, retries=-1)
+
+
+# -- CFS ------------------------------------------------------------------------------------
+def test_cfs_splits_into_fixed_blocks(dht):
+    cfs = CfsStore(dht, block_size=4 * MB)
+    result = cfs.store_file("dataset", 30 * MB)
+    assert result.success
+    assert result.chunk_count == 8  # ceil(30/4)
+    sizes = cfs.chunk_sizes("dataset")
+    assert sizes[:-1] == [4 * MB] * 7
+    assert sizes[-1] == 30 * MB - 7 * 4 * MB
+    assert result.lookups >= 8
+
+
+def test_cfs_block_count_for(dht):
+    cfs = CfsStore(dht, block_size=4 * MB)
+    assert cfs.block_count_for(0) == 0
+    assert cfs.block_count_for(1) == 1
+    assert cfs.block_count_for(4 * MB) == 1
+    assert cfs.block_count_for(4 * MB + 1) == 2
+
+
+def test_cfs_stores_file_larger_than_any_node(dht):
+    cfs = CfsStore(dht, block_size=4 * MB, retries_per_block=8)
+    result = cfs.store_file("large", 200 * MB)
+    assert result.success
+
+
+def test_cfs_failure_rolls_back_by_default(dht, network):
+    cfs = CfsStore(dht, block_size=4 * MB, retries_per_block=0)
+    # Leave almost no room anywhere.
+    for node in network.live_nodes():
+        node.used = node.capacity - 1 * MB
+    used_before = dht.total_used()
+    result = cfs.store_file("wontfit", 40 * MB)
+    assert not result.success
+    assert dht.total_used() == used_before
+
+
+def test_cfs_failure_without_rollback_keeps_blocks(dht, network):
+    cfs = CfsStore(dht, block_size=4 * MB, retries_per_block=0, rollback_on_failure=False)
+    for node in network.live_nodes():
+        node.used = node.capacity - 5 * MB
+    result = cfs.store_file("partial", 400 * MB)
+    assert not result.success
+    assert result.stored_bytes > 0
+
+
+def test_cfs_replication_on_successors(dht):
+    cfs = CfsStore(dht, block_size=4 * MB, replication=2)
+    cfs.store_file("replicated", 8 * MB)
+    for name, primary, size, replicas in cfs.files["replicated"]:
+        assert len(replicas) == 1
+        assert replicas[0].has_block(name)
+
+
+def test_cfs_availability_and_delete(dht):
+    cfs = CfsStore(dht, block_size=4 * MB)
+    cfs.store_file("avail", 12 * MB)
+    assert cfs.is_file_available("avail")
+    name, primary, _, _ = cfs.files["avail"][0]
+    primary.fail()
+    assert not cfs.is_file_available("avail")
+    assert cfs.delete_file("avail")
+    assert not cfs.is_file_available("avail")
+    assert not cfs.delete_file("avail")
+
+
+def test_cfs_duplicate_and_validation(dht):
+    cfs = CfsStore(dht)
+    assert cfs.store_file("dup", MB).success
+    assert not cfs.store_file("dup", MB).success
+    with pytest.raises(ValueError):
+        CfsStore(dht, block_size=0)
+    with pytest.raises(ValueError):
+        CfsStore(dht, replication=0)
+    with pytest.raises(ValueError):
+        CfsStore(dht, retries_per_block=-1)
+
+
+# -- InsertionStats ------------------------------------------------------------------------------
+def test_insertion_stats_tracks_failures_and_chunks():
+    stats = InsertionStats()
+    stats.record(
+        BaselineStoreResult("a", 100, True, 100, 4, 4), chunk_sizes=[25, 25, 25, 25]
+    )
+    stats.record(BaselineStoreResult("b", 200, False, 0, 0, 3))
+    assert stats.attempts == 2
+    assert stats.failures == 1
+    assert stats.failure_fraction == 0.5
+    assert stats.failed_data_fraction == pytest.approx(200 / 300)
+    assert stats.lookups == 7
+    mean_count, std_count = stats.chunk_count_stats()
+    assert mean_count == 4 and std_count == 0
+    mean_size, _ = stats.chunk_size_stats()
+    assert mean_size == 25
+
+
+def test_insertion_stats_empty():
+    stats = InsertionStats()
+    assert stats.failure_fraction == 0.0
+    assert stats.failed_data_fraction == 0.0
+    assert stats.chunk_count_stats() == (0.0, 0.0)
+    assert stats.chunk_size_stats() == (0.0, 0.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_option_exits_cleanly(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "insertion" in out and "condor" in out
+
+
+def test_no_arguments_prints_help_list(capsys):
+    assert main([]) == 0
+    assert "Available experiments" in capsys.readouterr().out
+
+
+def test_parser_knows_all_experiments():
+    parser = build_parser()
+    for name in ("insertion", "availability", "coding", "churn", "multicast", "condor"):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+        assert callable(args.func)
+
+
+def test_coding_command_runs(capsys):
+    assert main(["coding", "--chunk-mb", "0.25", "--blocks", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "Null" in out and "Online" in out
+
+
+def test_multicast_command_runs(capsys):
+    assert main(["multicast", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out and "Figure 12" in out
+
+
+def test_availability_command_runs_small(capsys):
+    assert main(["availability", "--nodes", "60", "--files", "150", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out and "Online code" in out
+
+
+def test_condor_command_runs_small(capsys):
+    assert main(["condor", "--sizes", "1,16", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "bigCopy" in out
+
+
+def test_churn_command_runs_small(capsys):
+    assert main(["churn", "--nodes", "50", "--files", "120", "--seed", "4"]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_insertion_command_runs_small(capsys):
+    assert main(["insertion", "--nodes", "25", "--files", "300", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out and "Table 1" in out

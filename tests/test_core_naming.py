@@ -1,0 +1,70 @@
+"""Unit tests for the chunk/block naming convention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import naming
+from repro.overlay.ids import key_for
+
+
+def test_chunk_name_matches_paper_example():
+    # "testImageFile_2 represents the second chunk of the file testImageFile"
+    assert naming.chunk_name("testImageFile", 2) == "testImageFile_2"
+
+
+def test_block_name_layout():
+    assert naming.block_name("scan", 3, 7) == "scan_3_7"
+
+
+def test_cat_name_suffix():
+    assert naming.cat_name("weather.dat") == "weather.dat.CAT"
+
+
+def test_one_based_numbering_enforced():
+    with pytest.raises(ValueError):
+        naming.chunk_name("f", 0)
+    with pytest.raises(ValueError):
+        naming.block_name("f", 1, 0)
+
+
+def test_parse_chunk_name_round_trip():
+    parsed = naming.parse_chunk_name(naming.chunk_name("my_data_file", 12))
+    assert parsed == ("my_data_file", 12)
+
+
+def test_parse_block_name_round_trip():
+    parsed = naming.parse_block_name(naming.block_name("my_data_file", 12, 5))
+    assert parsed is not None
+    assert parsed.filename == "my_data_file"
+    assert parsed.chunk_no == 12
+    assert parsed.ecb == 5
+
+
+def test_parse_handles_underscores_in_filename():
+    name = naming.block_name("a_b_c", 4, 2)
+    parsed = naming.parse_block_name(name)
+    assert parsed == ("a_b_c", 4, 2)
+
+
+def test_parse_rejects_malformed_names():
+    assert naming.parse_chunk_name("nochunkhere") is None
+    assert naming.parse_chunk_name("file_x") is None
+    assert naming.parse_block_name("file_1") is None or naming.parse_block_name("file_1").ecb == 1
+    assert naming.parse_block_name("justafile") is None
+
+
+def test_replica_name_zero_is_identity():
+    assert naming.replica_name("f_1_1", 0) == "f_1_1"
+    assert naming.replica_name("f_1_1", 2) == "f_1_1_r2"
+    with pytest.raises(ValueError):
+        naming.replica_name("x", -1)
+
+
+def test_key_for_name_is_sha1():
+    assert naming.key_for_name("f_1_1") == key_for("f_1_1")
+
+
+def test_distinct_block_names_get_distinct_keys():
+    keys = {int(naming.key_for_name(naming.block_name("f", c, e))) for c in range(1, 5) for e in range(1, 5)}
+    assert len(keys) == 16

@@ -1,0 +1,159 @@
+"""Unit tests for failure handling, block regeneration and CAT rebuilding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.null_code import NullCode
+from repro.erasure.xor_code import XorParityCode
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def xor_storage(dht) -> StorageSystem:
+    return StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(),
+    )
+
+
+def first_block_holder(storage: StorageSystem, filename: str):
+    stored = storage.files[filename]
+    return stored.data_chunks()[0].placements[0].node_id
+
+
+def test_handle_failure_regenerates_blocks_elsewhere(xor_storage, dht):
+    xor_storage.store_file("file-a", 30 * MB)
+    recovery = RecoveryManager(xor_storage)
+    victim = first_block_holder(xor_storage, "file-a")
+    lost_bytes = dht.network.node(victim).used
+    impact = recovery.handle_failure(victim)
+    assert impact.bytes_on_failed_node == lost_bytes
+    assert impact.bytes_regenerated > 0
+    assert impact.data_bytes_lost == 0
+    # The file is still fully available afterwards.
+    assert xor_storage.is_file_available("file-a")
+    # Regenerated placements point at live nodes.
+    for chunk in xor_storage.files["file-a"].data_chunks():
+        for placement in chunk.placements:
+            assert dht.network.node(placement.node_id).alive
+
+
+def test_handle_failure_updates_dht_view(xor_storage, dht):
+    xor_storage.store_file("file-b", 10 * MB)
+    recovery = RecoveryManager(xor_storage)
+    victim = first_block_holder(xor_storage, "file-b")
+    live_before = dht.live_count
+    recovery.handle_failure(victim)
+    assert dht.live_count == live_before - 1
+    assert not dht.network.node(victim).alive
+
+
+def test_repeated_failures_eventually_lose_data(xor_storage, dht):
+    xor_storage.store_file("file-c", 60 * MB)
+    recovery = RecoveryManager(xor_storage)
+    rng = np.random.default_rng(0)
+    # Fail most of the overlay; with only a (2,3) code some chunk must die.
+    victims = list(dht.network.live_ids())
+    rng.shuffle(victims)
+    for victim in victims[: len(victims) - 4]:
+        recovery.handle_failure(victim)
+    totals = recovery.totals()
+    assert totals["failures"] == len(victims) - 4
+    assert totals["total_regenerated_bytes"] >= 0
+    # With that much carnage the file is essentially guaranteed to lose data.
+    assert totals["total_data_lost_bytes"] > 0 or not xor_storage.is_file_available("file-c")
+
+
+def test_lost_chunks_counted_once(xor_storage, dht):
+    xor_storage.store_file("file-d", 10 * MB)
+    recovery = RecoveryManager(xor_storage)
+    stored = xor_storage.files["file-d"]
+    chunk = stored.data_chunks()[0]
+    holders = [placement.node_id for placement in chunk.placements]
+    impacts = [recovery.handle_failure(holder) for holder in dict.fromkeys(holders)]
+    total_lost = sum(impact.data_bytes_lost for impact in impacts)
+    assert total_lost <= chunk.size  # never double counted
+
+
+def test_relocation_disabled_drops_blocks(dht):
+    storage = StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(),
+    )
+    storage.store_file("file-e", 20 * MB)
+    recovery = RecoveryManager(storage, relocate_when_full=False)
+    # Exhaust every node so regenerated blocks cannot be placed anywhere.
+    for node in dht.network.live_nodes():
+        node.used = node.capacity
+    victim = first_block_holder(storage, "file-e")
+    impact = recovery.handle_failure(victim)
+    assert impact.bytes_regenerated == 0
+    assert impact.bytes_dropped > 0
+
+
+def test_cat_copy_restored_after_failure(xor_storage, dht):
+    xor_storage.store_file("file-f", 8 * MB)
+    stored = xor_storage.files["file-f"]
+    cat_holder = stored.cat_placements[0].node_id
+    recovery = RecoveryManager(xor_storage)
+    impact = recovery.handle_failure(cat_holder)
+    # Either the responsible node already held a replica or a copy was restored.
+    assert impact.cat_copies_restored >= 0
+    new_root = dht.lookup(__import__("repro.core.naming", fromlist=["naming"]).key_for_name("file-f.CAT"))
+    assert new_root.alive
+
+
+def test_rebuild_cat_matches_original(xor_storage):
+    xor_storage.store_file("file-g", 120 * MB)
+    recovery = RecoveryManager(xor_storage)
+    rebuilt = recovery.rebuild_cat("file-g")
+    original = xor_storage.files["file-g"].cat
+    assert rebuilt.chunk_sizes() == original.chunk_sizes()
+    assert rebuilt.file_size == original.file_size
+
+
+def test_rebuild_cat_unknown_file(xor_storage):
+    recovery = RecoveryManager(xor_storage)
+    with pytest.raises(KeyError):
+        recovery.rebuild_cat("nope")
+
+
+def test_payload_mode_recovery_restores_payload(dht):
+    storage = StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        payload_mode=True,
+    )
+    data = np.random.default_rng(1).integers(0, 256, size=6 * MB, dtype=np.uint8).tobytes()
+    storage.store_bytes("file-h", data)
+    recovery = RecoveryManager(storage)
+    victim = first_block_holder(storage, "file-h")
+    recovery.handle_failure(victim)
+    out = storage.retrieve_file("file-h")
+    assert out.complete and out.data == data
+    # And the regenerated block is again fetchable after a second failure of a
+    # different holder, because the chunk regained full redundancy.
+    second_victim = first_block_holder(storage, "file-h")
+    if second_victim != victim:
+        recovery.handle_failure(second_victim)
+        out = storage.retrieve_file("file-h")
+        assert out.complete and out.data == data
+
+
+def test_totals_empty_manager():
+    network = OverlayNetwork.build(8, np.random.default_rng(0), capacities=[MB] * 8)
+    storage = StorageSystem(DHTView(network))
+    totals = RecoveryManager(storage).totals()
+    assert totals["failures"] == 0
+    assert totals["total_regenerated_bytes"] == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the chunk codec wrapper and the code registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.erasure.chunk_codec import ChunkCodec, get_code, registry
+from repro.erasure.null_code import NullCode
+from repro.erasure.online_code import OnlineCode
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.xor_code import XorParityCode
+
+
+def payload(size: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def test_registry_contains_all_paper_codes():
+    assert set(registry) == {"null", "xor", "online", "reed-solomon"}
+    assert isinstance(get_code("null"), NullCode)
+    assert isinstance(get_code("xor"), XorParityCode)
+    assert isinstance(get_code("online"), OnlineCode)
+    assert isinstance(get_code("reed-solomon"), ReedSolomonCode)
+
+
+def test_get_code_unknown_name():
+    with pytest.raises(KeyError):
+        get_code("turbo")
+
+
+def test_blocks_per_chunk_validation():
+    with pytest.raises(ValueError):
+        ChunkCodec(NullCode(), blocks_per_chunk=0)
+
+
+def test_max_chunk_size_matches_paper_example():
+    codec = ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2)
+    assert codec.max_chunk_size(10 * (1 << 20)) == 20 * (1 << 20)
+    assert codec.max_chunk_size(0) == 0
+
+
+def test_encoded_block_size_and_count():
+    codec = ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2)
+    assert codec.encoded_block_count() == 3
+    assert codec.encoded_block_size(100) == 50
+    assert codec.encoded_block_size(101) == 51
+    assert codec.encoded_block_size(0) == 0
+
+
+def test_encode_decode_round_trip_through_codec():
+    codec = ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=4)
+    data = payload(30_000, seed=1)
+    encoded = codec.encode(data)
+    available = {b.index: b.data for b in encoded.blocks}
+    assert codec.decode(encoded, available) == data
+
+
+def test_measure_reports_sizes_and_times():
+    codec = ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=4)
+    data = payload(50_000, seed=2)
+    measurement = codec.measure(data)
+    assert measurement.code_name == "xor"
+    assert measurement.chunk_size == 50_000
+    assert measurement.encoded_size > 50_000
+    assert measurement.size_overhead == pytest.approx(0.5, rel=0.01)
+    assert measurement.encode_seconds >= 0.0
+    assert measurement.decode_seconds >= 0.0
+
+
+def test_measure_with_loss_subset_exercises_recovery():
+    codec = ChunkCodec(ReedSolomonCode(parity_blocks=2), blocks_per_chunk=4)
+    data = payload(10_000, seed=3)
+    measurement = codec.measure(data, decode_subset=4)
+    assert measurement.encoded_size == pytest.approx(len(data) * 6 / 4, rel=0.01)
+
+
+def test_spec_passthrough():
+    codec = ChunkCodec(ReedSolomonCode(parity_blocks=2), blocks_per_chunk=6)
+    spec = codec.spec()
+    assert spec.input_blocks == 6
+    assert spec.output_blocks == 8
+    assert spec.required_blocks() == 6

@@ -1,0 +1,103 @@
+"""Unit tests for the Reed-Solomon (GF(256)) extension code."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.erasure.base import DecodingError
+from repro.erasure.reed_solomon import ReedSolomonCode, gf_inv, gf_matrix_inverse, gf_mul
+
+
+def payload(size: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+# -- field arithmetic --------------------------------------------------------------
+def test_gf_mul_identity_and_zero():
+    for value in range(256):
+        assert gf_mul(value, 1) == value
+        assert gf_mul(value, 0) == 0
+
+
+def test_gf_inverse_property():
+    for value in range(1, 256):
+        assert gf_mul(value, gf_inv(value)) == 1
+
+
+def test_gf_inv_zero_rejected():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+def test_gf_matrix_inverse_round_trip():
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(1, 256, size=(5, 5)).astype(np.int32)
+    try:
+        inverse = gf_matrix_inverse(matrix)
+    except DecodingError:
+        pytest.skip("random matrix happened to be singular")
+    product = np.zeros((5, 5), dtype=np.int32)
+    for i in range(5):
+        for j in range(5):
+            acc = 0
+            for k in range(5):
+                acc ^= gf_mul(int(matrix[i, k]), int(inverse[k, j]))
+            product[i, j] = acc
+    assert np.array_equal(product, np.eye(5, dtype=np.int32))
+
+
+# -- codec behaviour -----------------------------------------------------------------
+def test_round_trip_systematic_path():
+    code = ReedSolomonCode(parity_blocks=3)
+    data = payload(10_000, seed=1)
+    encoded = code.encode(data, 6)
+    assert len(encoded.blocks) == 9
+    restored = code.decode(encoded, {b.index: b.data for b in encoded.blocks})
+    assert restored == data
+
+
+@pytest.mark.parametrize("lost", list(itertools.combinations(range(6), 2)))
+def test_recovers_any_two_losses(lost):
+    code = ReedSolomonCode(parity_blocks=2)
+    data = payload(2_048, seed=2)
+    encoded = code.encode(data, 4)
+    available = {b.index: b.data for b in encoded.blocks}
+    for index in lost:
+        del available[index]
+    assert code.decode(encoded, available) == data
+
+
+def test_fails_below_k_blocks():
+    code = ReedSolomonCode(parity_blocks=2)
+    data = payload(1_024, seed=3)
+    encoded = code.encode(data, 4)
+    available = {b.index: b.data for b in list(encoded.blocks)[:3]}
+    with pytest.raises(DecodingError):
+        code.decode(encoded, available)
+
+
+def test_decode_from_parity_only_subset():
+    code = ReedSolomonCode(parity_blocks=4)
+    data = payload(4_096, seed=4)
+    encoded = code.encode(data, 4)
+    # Use blocks 2..7: half systematic, half parity.
+    available = {b.index: b.data for b in encoded.blocks if b.index >= 2}
+    assert code.decode(encoded, available) == data
+
+
+def test_spec_is_mds():
+    spec = ReedSolomonCode(parity_blocks=3).spec(5)
+    assert spec.output_blocks == 8
+    assert spec.loss_tolerance == 3
+    assert spec.required_blocks() == 5
+    assert spec.size_overhead == pytest.approx(3 / 5)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ReedSolomonCode(parity_blocks=0)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(parity_blocks=200).encode(b"x" * 100, 100)

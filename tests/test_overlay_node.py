@@ -1,0 +1,125 @@
+"""Unit tests for leaf sets and per-node state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.ids import NodeId
+from repro.overlay.node import LeafSet, NeighborBlockRecord, OverlayNode
+
+
+def make_node(value: int, capacity: int = 1000) -> OverlayNode:
+    return OverlayNode(node_id=NodeId(value), capacity=capacity)
+
+
+# -- LeafSet ----------------------------------------------------------------------
+def test_leaf_set_keeps_closest_on_each_side():
+    owner = NodeId(1000)
+    leaf = LeafSet(owner, half_size=2)
+    for value in (1100, 1200, 1300, 900, 800, 700):
+        leaf.consider(NodeId(value))
+    members = {int(member) for member in leaf.members()}
+    assert members == {1100, 1200, 900, 800}
+
+
+def test_leaf_set_ignores_owner_and_duplicates():
+    owner = NodeId(50)
+    leaf = LeafSet(owner, half_size=2)
+    assert not leaf.consider(owner)
+    assert leaf.consider(NodeId(60))
+    leaf.consider(NodeId(60))
+    assert len(leaf) == 1
+
+
+def test_leaf_set_remove():
+    leaf = LeafSet(NodeId(0), half_size=2)
+    leaf.consider(NodeId(10))
+    assert leaf.remove(NodeId(10))
+    assert not leaf.remove(NodeId(10))
+    assert len(leaf) == 0
+
+
+def test_leaf_set_immediate_neighbors():
+    leaf = LeafSet(NodeId(1000), half_size=3)
+    for value in (1010, 1050, 990, 950):
+        leaf.consider(NodeId(value))
+    immediate = {int(node) for node in leaf.immediate_neighbors()}
+    assert immediate == {990, 1010}
+
+
+def test_leaf_set_closest_to_includes_owner():
+    leaf = LeafSet(NodeId(1000), half_size=2)
+    leaf.consider(NodeId(2000))
+    assert int(leaf.closest_to(NodeId(1001))) == 1000
+    assert int(leaf.closest_to(NodeId(1999))) == 2000
+
+
+def test_leaf_set_requires_positive_half_size():
+    with pytest.raises(ValueError):
+        LeafSet(NodeId(0), half_size=0)
+
+
+# -- OverlayNode block storage -------------------------------------------------------
+def test_store_block_respects_capacity():
+    node = make_node(1, capacity=100)
+    assert node.store_block("a", 60)
+    assert not node.store_block("b", 50)  # would exceed capacity
+    assert node.store_block("c", 40)
+    assert node.free == 0
+
+
+def test_store_block_rejects_duplicates_and_dead_nodes():
+    node = make_node(2, capacity=100)
+    assert node.store_block("a", 10)
+    assert not node.store_block("a", 10)
+    node.fail()
+    assert not node.store_block("b", 10)
+
+
+def test_remove_block_releases_space():
+    node = make_node(3, capacity=100)
+    node.store_block("a", 70)
+    assert node.remove_block("a")
+    assert node.free == 100
+    assert not node.remove_block("a")
+
+
+def test_has_block_false_when_failed():
+    node = make_node(4, capacity=100)
+    node.store_block("a", 10)
+    node.fail()
+    assert not node.has_block("a")
+
+
+def test_report_capacity_applies_fraction_and_liveness():
+    node = make_node(5, capacity=100)
+    node.capacity_report_fraction = 0.5
+    assert node.report_capacity() == 50
+    node.store_block("a", 40)
+    assert node.report_capacity() == 30
+    node.fail()
+    assert node.report_capacity() == 0
+
+
+def test_recover_wipes_by_default():
+    node = make_node(6, capacity=100)
+    node.store_block("a", 30)
+    node.fail()
+    node.recover()
+    assert node.alive and node.used == 0 and not node.stored_blocks
+    node.store_block("b", 30)
+    node.fail()
+    node.recover(wipe=False)
+    assert node.has_block("b")
+
+
+def test_neighbor_ledger_record_and_forget():
+    node = make_node(7)
+    neighbor = NodeId(99)
+    record = NeighborBlockRecord(block_name="f_1_1", size=10, owner_file="f")
+    node.record_neighbor_block(neighbor, record)
+    assert node.ledger_for(neighbor) == [record]
+    node.forget_neighbor_block(neighbor, "f_1_1")
+    assert node.ledger_for(neighbor) == []
+    # Forgetting an unknown entry is a no-op.
+    node.forget_neighbor_block(neighbor, "missing")

@@ -1,0 +1,83 @@
+"""Unit tests for churn models and failure schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.churn import ChurnModel, FailureSchedule
+
+
+def test_failure_schedule_size_matches_fraction():
+    rng = np.random.default_rng(0)
+    schedule = FailureSchedule(list(range(100)), 0.2, rng)
+    assert len(schedule) == 20
+
+
+def test_failure_schedule_nodes_unique_and_from_population():
+    rng = np.random.default_rng(1)
+    population = list(range(50))
+    schedule = FailureSchedule(population, 0.5, rng)
+    chosen = schedule.node_ids
+    assert len(set(chosen)) == len(chosen)
+    assert set(chosen) <= set(population)
+
+
+def test_failure_schedule_times_follow_spacing():
+    rng = np.random.default_rng(2)
+    schedule = FailureSchedule(list(range(10)), 1.0, rng, spacing=2.5)
+    times = [event.time for event in schedule]
+    assert times == [2.5 * index for index in range(10)]
+
+
+def test_failure_schedule_up_to_prefix():
+    rng = np.random.default_rng(3)
+    schedule = FailureSchedule(list(range(30)), 1.0, rng)
+    assert [event.node_id for event in schedule.up_to(5)] == schedule.node_ids[:5]
+
+
+def test_failure_schedule_rejects_bad_fraction_and_spacing():
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        FailureSchedule([1, 2, 3], 1.5, rng)
+    with pytest.raises(ValueError):
+        FailureSchedule([1, 2, 3], 0.5, rng, spacing=0)
+
+
+def test_failure_schedule_is_deterministic_for_seed():
+    one = FailureSchedule(list(range(40)), 0.25, np.random.default_rng(9))
+    two = FailureSchedule(list(range(40)), 0.25, np.random.default_rng(9))
+    assert one.node_ids == two.node_ids
+
+
+def test_churn_model_availability():
+    model = ChurnModel(mean_uptime=90.0, mean_downtime=10.0, rng=np.random.default_rng(0))
+    assert model.availability() == pytest.approx(0.9)
+
+
+def test_churn_model_sessions_cover_horizon():
+    model = ChurnModel(mean_uptime=5.0, mean_downtime=5.0, rng=np.random.default_rng(1))
+    sample = model.sample_sessions(node_id=7, horizon=100.0)
+    assert sample.node_id == 7
+    assert (sample.up_times > 0).all()
+    assert (sample.down_times > 0).all()
+    assert sample.up_times.sum() + sample.down_times.sum() >= 100.0
+
+
+def test_churn_model_failure_times_sorted_and_within_horizon():
+    model = ChurnModel(mean_uptime=10.0, mean_downtime=1.0, rng=np.random.default_rng(2))
+    events = model.failure_times(range(200), horizon=20.0)
+    times = [event.time for event in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 20.0 for t in times)
+    assert [event.order for event in events] == list(range(len(events)))
+
+
+def test_churn_model_rejects_nonpositive_parameters():
+    with pytest.raises(ValueError):
+        ChurnModel(0.0, 1.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        ChurnModel(1.0, -1.0, np.random.default_rng(0))
+    model = ChurnModel(1.0, 1.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        model.sample_sessions(1, horizon=0.0)
