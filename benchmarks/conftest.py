@@ -9,6 +9,7 @@ the other modules.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -19,6 +20,43 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment  # noqa: E402
+
+#: Where the coding-throughput benchmark writes its per-PR trajectory record.
+BENCH_CODING_PATH = Path(__file__).resolve().parent.parent / "BENCH_coding.json"
+
+#: Rows accumulated by ``test_bench_coding_throughput.py`` during the session.
+_CODING_RESULTS: dict = {"results": [], "speedups": {}}
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test under benchmarks/ `bench` so tier-1 runs deselect them."""
+    for item in items:
+        try:
+            in_bench_dir = Path(str(item.path)).resolve().is_relative_to(_BENCH_DIR)
+        except (OSError, ValueError):
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
+
+
+@pytest.fixture(scope="session")
+def coding_bench_results() -> dict:
+    """Session accumulator for coding-throughput rows (written at exit)."""
+    return _CODING_RESULTS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist BENCH_coding.json so the perf trajectory is tracked across PRs.
+
+    Only a clean, complete sweep (summary computed, session green) may
+    overwrite the previous record — a failed or interrupted run must not
+    destroy the trajectory.
+    """
+    if exitstatus == 0 and _CODING_RESULTS["results"] and _CODING_RESULTS["speedups"]:
+        BENCH_CODING_PATH.write_text(json.dumps(_CODING_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

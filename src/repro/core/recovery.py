@@ -144,7 +144,45 @@ class RecoveryManager:
             index = placement_index
             if index < len(chunk.encoded.blocks):
                 payload = chunk.encoded.blocks[index].data
+                fresh = self._fresh_check_block(chunk)
+                if fresh is not None:
+                    # Rateless repair (Section 4.4): the replacement is a *new*
+                    # check block continuing the stream, not a byte-identical
+                    # copy of the lost one.
+                    chunk.encoded.blocks[index] = fresh
+                    payload = fresh.data
                 self.storage._block_payloads[(int(new_holder.node_id), block_name)] = payload
+                # Surviving replicas still hold the *old* payload under this
+                # block name; refresh them so a later fetch from a replica
+                # cannot serve stale bytes keyed by the new stream index.
+                for replica_id in old_placement.replica_nodes:
+                    replica_key = (int(replica_id), block_name)
+                    if replica_key in self.storage._block_payloads:
+                        self.storage._block_payloads[replica_key] = payload
+
+    def _fresh_check_block(self, chunk: StoredChunk):
+        """Mint a brand-new encoded block for a rateless chunk, if possible.
+
+        Returns ``None`` for non-rateless codes (their repair re-places the
+        original payload).  For the online code, the surviving blocks are
+        decoded and ``generate_additional_blocks`` continues the check-block
+        stream — the cached code-structure layer means this reuses the graph
+        the encoder built rather than re-deriving it.
+        """
+        code = self.storage.codec.code
+        if not hasattr(code, "generate_additional_blocks") or chunk.encoded is None:
+            return None
+        encoded = chunk.encoded
+        try:
+            data = code.decode(encoded, {b.index: b.data for b in encoded.blocks})
+            new_blocks = code.generate_additional_blocks(encoded, data, 1)
+        except Exception:  # noqa: BLE001 - fall back to copying the lost payload
+            return None
+        if not new_blocks:
+            return None
+        block = new_blocks[0]
+        encoded.metadata["output_blocks"] = block.index + 1
+        return block
 
     def _place_regenerated_block(
         self, block_name: str, size: int, exclude: NodeId

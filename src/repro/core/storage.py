@@ -495,18 +495,27 @@ class StorageSystem:
                     complete = False
                     failure_reason = f"chunk {entry.chunk_no} unrecoverable"
                 continue
-            # Payload mode: fetch enough blocks and decode.
+            # Payload mode: fetch enough blocks and decode.  Blocks are keyed
+            # by their *stream index* in the chunk encoding (for rateless
+            # codes the repair path mints replacement blocks whose indices
+            # continue the stream rather than reusing the lost index).
+            if chunk.encoded is None:
+                lookups += len(chunk.placements)
+                complete = False
+                failure_reason = f"chunk {entry.chunk_no} has no encoder metadata"
+                continue
             available: Dict[int, bytes] = {}
             for index, placement in enumerate(chunk.placements):
                 payload = self._fetch_block(placement)
                 lookups += 1
                 if payload is not None:
-                    available[index] = payload
+                    stream_index = (
+                        chunk.encoded.blocks[index].index
+                        if index < len(chunk.encoded.blocks)
+                        else index
+                    )
+                    available[stream_index] = payload
                     blocks_fetched += 1
-            if chunk.encoded is None:
-                complete = False
-                failure_reason = f"chunk {entry.chunk_no} has no encoder metadata"
-                continue
             try:
                 piece = self.codec.decode(chunk.encoded, available)
             except Exception as error:  # noqa: BLE001 - decoding failure is a data-loss event

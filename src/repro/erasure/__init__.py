@@ -10,6 +10,36 @@ Reed-Solomon code over GF(256) is provided as an extension (it is the optimal
 erasure code the paper alludes to when discussing "optimal" vs "sub-optimal"
 codes in Section 2.2).
 
+Architecture — the vectorized coding kernel
+-------------------------------------------
+
+All four codes sit on top of :mod:`repro.erasure.gf2`, a bit-packed GF(2)
+kernel that turns the coding hot paths into batched NumPy operations:
+
+* ``pack_matrix`` / ``xor_reduce_segments`` — payload blocks are stacked into
+  ``uint64``-word matrices and encode is a single segmented XOR-reduce over a
+  CSR description of each output block's neighbours (online code, XOR
+  parities, aux-block construction);
+* ``peel`` — a vectorized belief-propagation scheduler driven by
+  per-equation degree counters (the online-code decoder and the encoder's
+  decodability guarantee), processing whole frontiers of degree-1 equations
+  per round instead of re-scanning every equation;
+* ``bits_from_csr`` / ``eliminate`` — bit-packed Gauss-Jordan elimination for
+  the small-system exact fallback and rank tests;
+* ``hash_counters`` — counter-based splitmix64 streams so rateless graph
+  structure is derived in vectorized batches *and* any single stream index
+  can be regenerated independently (online-code stream version 2; version-1
+  chunks from the per-index RNG era still decode via
+  :mod:`repro.erasure._legacy`).
+
+Code structures (aux assignments, degree CDFs, check-neighbour prefixes,
+Reed-Solomon generator matrices) are memoised in ``lru_cache`` layers keyed
+by the chunk seed and code parameters, so decode and the repair path reuse
+exactly the graph the encoder built.  The storage/recovery layers
+(:mod:`repro.core.storage`, :mod:`repro.core.recovery`) and the coding
+benchmarks (``benchmarks/test_bench_coding_throughput.py``) all ride on this
+kernel.
+
 All coders operate on real bytes so the coding-performance experiment is a
 real measurement; :class:`CodeSpec` captures the per-code metadata (blocks
 produced, blocks needed, loss tolerance) used by the capacity-only
@@ -23,12 +53,18 @@ from repro.erasure.base import (
     EncodedChunk,
     ErasureCode,
     split_into_blocks,
+    split_into_matrix,
 )
 from repro.erasure.null_code import NullCode
 from repro.erasure.xor_code import XorParityCode
-from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
+from repro.erasure.online_code import (
+    STREAM_VERSION,
+    OnlineCode,
+    OnlineCodeParameters,
+    clear_code_graph_cache,
+)
 from repro.erasure.reed_solomon import ReedSolomonCode
-from repro.erasure.chunk_codec import ChunkCodec, registry, get_code
+from repro.erasure.chunk_codec import ChunkCodec, clear_coding_caches, registry, get_code
 
 __all__ = [
     "CodeSpec",
@@ -37,10 +73,14 @@ __all__ = [
     "EncodedChunk",
     "ErasureCode",
     "split_into_blocks",
+    "split_into_matrix",
     "NullCode",
     "XorParityCode",
     "OnlineCode",
     "OnlineCodeParameters",
+    "STREAM_VERSION",
+    "clear_code_graph_cache",
+    "clear_coding_caches",
     "ReedSolomonCode",
     "ChunkCodec",
     "registry",

@@ -1,0 +1,434 @@
+"""Reference (seed) implementations of the coding hot paths, kept verbatim.
+
+The vectorized kernel (:mod:`repro.erasure.gf2`) replaced the original
+per-block Python loops everywhere that matters.  The originals are preserved
+here for two reasons:
+
+* **Stream-format compatibility.** Online-code chunks encoded before the
+  batched stream derivation (metadata without ``stream_version``, i.e.
+  version 1) derive their graphs from per-index ``np.random.default_rng``
+  draws.  The new decoder reproduces those graphs exactly by calling
+  :func:`legacy_aux_assignment` / :func:`legacy_check_neighbors`.
+* **Benchmark baselines.** ``benchmarks/test_bench_coding_throughput.py``
+  measures :class:`LegacyOnlineCode` and :class:`LegacyReedSolomonCode` on
+  the same machine as the vectorized codes so ``BENCH_coding.json`` records
+  honest speedups rather than numbers blessed at some other point in time.
+
+Nothing outside benchmarks and compatibility tests should import the legacy
+classes; production call sites use :class:`repro.erasure.online_code.OnlineCode`
+and :class:`repro.erasure.reed_solomon.ReedSolomonCode`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.erasure.base import (
+    DecodingError,
+    EncodedBlock,
+    EncodedChunk,
+    join_blocks,
+    split_into_blocks,
+)
+from repro.sim.rng import derive_seed
+
+
+# -- online-code stream version 1 derivation (seed behaviour, bit-for-bit) ------
+def legacy_aux_assignment(
+    n_blocks: int, aux_count: int, q: int, chunk_seed: int
+) -> List[List[int]]:
+    """For each auxiliary block, the original-block indices XORed into it."""
+    rng = np.random.default_rng(derive_seed(chunk_seed, "outer"))
+    membership: List[List[int]] = [[] for _ in range(aux_count)]
+    for original in range(n_blocks):
+        chosen = rng.choice(aux_count, size=min(q, aux_count), replace=False)
+        for aux_index in chosen:
+            membership[int(aux_index)].append(original)
+    return membership
+
+
+def legacy_check_neighbors(
+    composite_count: int, check_index: int, chunk_seed: int, rho_cdf: np.ndarray
+) -> List[int]:
+    """Composite-block neighbours of check block ``check_index`` (stream v1)."""
+    rng = np.random.default_rng(derive_seed(chunk_seed, "inner", check_index))
+    degree = int(np.searchsorted(rho_cdf, rng.random(), side="right")) + 1
+    degree = min(max(1, degree), composite_count)
+    neighbors = rng.choice(composite_count, size=degree, replace=False)
+    return [int(v) for v in neighbors]
+
+
+class LegacyOnlineCode:
+    """The seed online-code implementation (scalar loops, per-block RNGs)."""
+
+    name = "online-legacy"
+    GAUSSIAN_FALLBACK_LIMIT = 2048
+    SMALL_SYSTEM_GUARANTEE = 640
+
+    def __init__(self, parameters=None, seed: int = 0) -> None:
+        from repro.erasure.online_code import OnlineCodeParameters
+
+        self.parameters = parameters or OnlineCodeParameters()
+        self.seed = int(seed)
+
+    def _aux_assignment(self, n_blocks: int, chunk_seed: int) -> List[List[int]]:
+        params = self.parameters
+        return legacy_aux_assignment(
+            n_blocks, params.auxiliary_count(n_blocks), params.q, chunk_seed
+        )
+
+    def _rho_cdf(self) -> np.ndarray:
+        rho = self.parameters.degree_distribution()
+        return np.cumsum(np.asarray(rho, dtype=float))
+
+    @staticmethod
+    def _graph_peel_succeeds(
+        n_blocks: int,
+        composite_count: int,
+        aux_membership: Sequence[Sequence[int]],
+        neighbor_sets: Sequence[Sequence[int]],
+    ) -> bool:
+        known = [False] * composite_count
+        equations: List[set] = [set(neighbors) for neighbors in neighbor_sets]
+        aux_added = [False] * len(aux_membership)
+        progress = True
+        while progress:
+            progress = False
+            for neighbors in equations:
+                resolved = [n for n in neighbors if known[n]]
+                for n in resolved:
+                    neighbors.discard(n)
+                if len(neighbors) == 1:
+                    target = neighbors.pop()
+                    if not known[target]:
+                        known[target] = True
+                        progress = True
+            for aux_offset in range(len(aux_membership)):
+                if not aux_added[aux_offset] and known[n_blocks + aux_offset]:
+                    equations.append(set(aux_membership[aux_offset]) | {n_blocks + aux_offset})
+                    aux_added[aux_offset] = True
+        return all(known[:n_blocks])
+
+    def _decodable_from_all(
+        self, n_blocks, composite_count, aux_membership, neighbor_sets
+    ) -> bool:
+        if self._graph_peel_succeeds(n_blocks, composite_count, aux_membership, neighbor_sets):
+            return True
+        if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
+            return self._stream_determines_originals(
+                n_blocks, composite_count, aux_membership, neighbor_sets
+            )
+        return False
+
+    @staticmethod
+    def _stream_determines_originals(
+        n_blocks, composite_count, aux_membership, neighbor_sets
+    ) -> bool:
+        rows: List[np.ndarray] = []
+        for neighbors in neighbor_sets:
+            row = np.zeros(composite_count, dtype=np.uint8)
+            for neighbor in neighbors:
+                row[neighbor] ^= 1
+            rows.append(row)
+        for aux_offset, members in enumerate(aux_membership):
+            row = np.zeros(composite_count, dtype=np.uint8)
+            row[n_blocks + aux_offset] ^= 1
+            for member in members:
+                row[member] ^= 1
+            rows.append(row)
+        matrix = np.vstack(rows)
+        solvable = np.zeros(composite_count, dtype=bool)
+        pivot_row = 0
+        for column in range(composite_count):
+            candidates = np.nonzero(matrix[pivot_row:, column])[0]
+            if candidates.size == 0:
+                continue
+            chosen = pivot_row + int(candidates[0])
+            if chosen != pivot_row:
+                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
+            for row_index in np.nonzero(matrix[:, column])[0]:
+                if row_index != pivot_row:
+                    matrix[row_index] ^= matrix[pivot_row]
+            pivot_row += 1
+            if pivot_row == matrix.shape[0]:
+                break
+        row_weights = matrix.sum(axis=1)
+        for row_index in np.nonzero(row_weights == 1)[0]:
+            solvable[int(np.nonzero(matrix[row_index])[0][0])] = True
+        return bool(solvable[:n_blocks].all())
+
+    def default_output_blocks(self, n_blocks: int) -> int:
+        params = self.parameters
+        composite = n_blocks + params.auxiliary_count(n_blocks)
+        return int(math.ceil(params.quality * (1.0 + params.epsilon) * composite)) + params.margin
+
+    def encode(self, data: bytes, n_blocks: int, output_blocks: Optional[int] = None) -> EncodedChunk:
+        originals = split_into_blocks(data, n_blocks)
+        block_size = len(originals[0]) if originals else 0
+        chunk_seed = derive_seed(self.seed, "chunk", len(data), n_blocks)
+        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
+        aux_blocks: List[np.ndarray] = []
+        for members in aux_membership:
+            value = np.zeros(block_size, dtype=np.uint8)
+            for original in members:
+                np.bitwise_xor(value, originals[original], out=value)
+            aux_blocks.append(value)
+        composites: List[np.ndarray] = list(originals) + aux_blocks
+        composite_count = len(composites)
+
+        if output_blocks is None:
+            output_blocks = self.default_output_blocks(n_blocks)
+        if output_blocks < 1:
+            raise ValueError("output_blocks must be >= 1")
+        rho_cdf = self._rho_cdf()
+
+        encoded: List[EncodedBlock] = []
+        neighbor_sets: List[List[int]] = []
+        for check_index in range(output_blocks):
+            neighbors = legacy_check_neighbors(composite_count, check_index, chunk_seed, rho_cdf)
+            value = np.zeros(block_size, dtype=np.uint8)
+            for neighbor in neighbors:
+                np.bitwise_xor(value, composites[neighbor], out=value)
+            encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
+            neighbor_sets.append(neighbors)
+
+        if composite_count <= self.SMALL_SYSTEM_GUARANTEE:
+            extra_cap = 8 * composite_count + 16
+            while len(encoded) < output_blocks + extra_cap and not self._decodable_from_all(
+                n_blocks, composite_count, aux_membership, neighbor_sets
+            ):
+                check_index = len(encoded)
+                neighbors = legacy_check_neighbors(
+                    composite_count, check_index, chunk_seed, rho_cdf
+                )
+                value = np.zeros(block_size, dtype=np.uint8)
+                for neighbor in neighbors:
+                    np.bitwise_xor(value, composites[neighbor], out=value)
+                encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
+                neighbor_sets.append(neighbors)
+            output_blocks = len(encoded)
+
+        return EncodedChunk(
+            code_name="online",
+            original_size=len(data),
+            block_size=block_size,
+            n_blocks=n_blocks,
+            blocks=encoded,
+            metadata={
+                "chunk_seed": chunk_seed,
+                "output_blocks": output_blocks,
+                "epsilon": self.parameters.epsilon,
+                "q": self.parameters.q,
+            },
+        )
+
+    def decode(self, chunk: EncodedChunk, available: Dict[int, bytes]) -> bytes:
+        chunk_seed = int(chunk.metadata["chunk_seed"])
+        n_blocks = chunk.n_blocks
+        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
+        composite_count = n_blocks + len(aux_membership)
+        total_outputs = int(chunk.metadata["output_blocks"])
+        rho_cdf = self._rho_cdf()
+
+        block_size = chunk.block_size
+        known: List[Optional[np.ndarray]] = [None] * composite_count
+
+        equations: List[Tuple[set, np.ndarray]] = []
+        for index, payload in available.items():
+            if not 0 <= index < total_outputs:
+                raise DecodingError(f"unknown encoded block index {index}")
+            neighbors = set(legacy_check_neighbors(composite_count, index, chunk_seed, rho_cdf))
+            value = np.frombuffer(payload, dtype=np.uint8).copy()
+            equations.append((neighbors, value))
+
+        aux_equations_added = [False] * len(aux_membership)
+
+        def add_aux_equation(aux_offset: int) -> None:
+            if aux_equations_added[aux_offset]:
+                return
+            aux_composite = n_blocks + aux_offset
+            if known[aux_composite] is None:
+                return
+            members = set(aux_membership[aux_offset])
+            equations.append((members | {aux_composite}, np.zeros(block_size, dtype=np.uint8)))
+            aux_equations_added[aux_offset] = True
+
+        progress = True
+        while progress:
+            progress = False
+            for neighbors, value in equations:
+                resolved = [n for n in neighbors if known[n] is not None]
+                for n in resolved:
+                    np.bitwise_xor(value, known[n], out=value)
+                    neighbors.discard(n)
+                if len(neighbors) == 1:
+                    target = neighbors.pop()
+                    known[target] = value.copy()
+                    progress = True
+                    if target >= n_blocks:
+                        add_aux_equation(target - n_blocks)
+            for aux_offset in range(len(aux_membership)):
+                add_aux_equation(aux_offset)
+
+        if any(known[i] is None for i in range(n_blocks)):
+            if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
+                self._gaussian_fallback(chunk, available, known, aux_membership, chunk_seed, rho_cdf)
+            if any(known[i] is None for i in range(n_blocks)):
+                missing = sum(1 for i in range(n_blocks) if known[i] is None)
+                raise DecodingError(
+                    f"legacy online peeling stalled: {missing}/{n_blocks} unrecovered"
+                )
+        return join_blocks([known[i] for i in range(n_blocks)], chunk.original_size)  # type: ignore[list-item]
+
+    def _gaussian_fallback(
+        self,
+        chunk: EncodedChunk,
+        available: Dict[int, bytes],
+        known: List[Optional[np.ndarray]],
+        aux_membership: Sequence[Sequence[int]],
+        chunk_seed: int,
+        rho_cdf: np.ndarray,
+    ) -> None:
+        """Exact GF(2) elimination over all equations (seed implementation)."""
+        n_blocks = chunk.n_blocks
+        composite_count = n_blocks + len(aux_membership)
+        block_size = chunk.block_size
+
+        rows: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for index, payload in available.items():
+            row = np.zeros(composite_count, dtype=np.uint8)
+            for neighbor in legacy_check_neighbors(composite_count, index, chunk_seed, rho_cdf):
+                row[neighbor] ^= 1
+            rows.append(row)
+            values.append(np.frombuffer(payload, dtype=np.uint8).copy())
+        for aux_offset, members in enumerate(aux_membership):
+            row = np.zeros(composite_count, dtype=np.uint8)
+            row[n_blocks + aux_offset] ^= 1
+            for member in members:
+                row[member] ^= 1
+            rows.append(row)
+            values.append(np.zeros(block_size, dtype=np.uint8))
+        if not rows:
+            return
+
+        matrix = np.vstack(rows)
+        payload = np.vstack(values) if block_size else np.zeros((len(rows), 0), dtype=np.uint8)
+
+        pivot_of_column: Dict[int, int] = {}
+        pivot_row = 0
+        for column in range(composite_count):
+            candidates = np.nonzero(matrix[pivot_row:, column])[0]
+            if candidates.size == 0:
+                continue
+            chosen = pivot_row + int(candidates[0])
+            if chosen != pivot_row:
+                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
+                payload[[pivot_row, chosen]] = payload[[chosen, pivot_row]]
+            others = np.nonzero(matrix[:, column])[0]
+            for row_index in others:
+                if row_index != pivot_row:
+                    matrix[row_index] ^= matrix[pivot_row]
+                    payload[row_index] ^= payload[pivot_row]
+            pivot_of_column[column] = pivot_row
+            pivot_row += 1
+            if pivot_row == matrix.shape[0]:
+                break
+
+        for column, row_index in pivot_of_column.items():
+            if int(matrix[row_index].sum()) == 1:
+                known[column] = payload[row_index].copy()
+
+
+# -- Reed-Solomon seed implementation (scalar GF(256) inner loops) --------------
+class LegacyReedSolomonCode:
+    """The seed Reed-Solomon implementation: per-coefficient vector multiplies."""
+
+    name = "reed-solomon-legacy"
+
+    def __init__(self, parity_blocks: int = 2) -> None:
+        if parity_blocks < 1:
+            raise ValueError("parity_blocks must be >= 1")
+        self.parity_blocks = parity_blocks
+
+    @staticmethod
+    def _gf_mul_vector(scalar: int, vector: np.ndarray) -> np.ndarray:
+        from repro.erasure.reed_solomon import _EXP, _LOG
+
+        if scalar == 0:
+            return np.zeros_like(vector)
+        if scalar == 1:
+            return vector.copy()
+        log_s = _LOG[scalar]
+        result = np.zeros_like(vector)
+        nonzero = vector != 0
+        result[nonzero] = _EXP[log_s + _LOG[vector[nonzero]]]
+        return result.astype(np.uint8)
+
+    def _generator_rows(self, k: int) -> np.ndarray:
+        from repro.erasure.reed_solomon import gf_inv
+
+        if k + self.parity_blocks > 255:
+            raise ValueError("k + parity must be <= 255 for GF(256) Cauchy construction")
+        x_values = np.arange(k, dtype=np.int32)
+        y_values = np.arange(k, k + self.parity_blocks, dtype=np.int32) + 1
+        rows = np.zeros((self.parity_blocks, k), dtype=np.int32)
+        for i, y in enumerate(y_values):
+            for j, x in enumerate(x_values):
+                rows[i, j] = gf_inv(int(x) ^ int(y))
+        return rows
+
+    def _full_generator(self, k: int) -> np.ndarray:
+        return np.vstack([np.eye(k, dtype=np.int32), self._generator_rows(k)])
+
+    def encode(self, data: bytes, n_blocks: int) -> EncodedChunk:
+        originals = split_into_blocks(data, n_blocks)
+        block_size = len(originals[0]) if originals else 0
+        parity_rows = self._generator_rows(n_blocks)
+        encoded: List[EncodedBlock] = [
+            EncodedBlock(index=i, data=block.tobytes()) for i, block in enumerate(originals)
+        ]
+        for parity_index in range(self.parity_blocks):
+            value = np.zeros(block_size, dtype=np.uint8)
+            for data_index in range(n_blocks):
+                coefficient = int(parity_rows[parity_index, data_index])
+                np.bitwise_xor(value, self._gf_mul_vector(coefficient, originals[data_index]), out=value)
+            encoded.append(EncodedBlock(index=n_blocks + parity_index, data=value.tobytes()))
+        return EncodedChunk(
+            code_name="reed-solomon",
+            original_size=len(data),
+            block_size=block_size,
+            n_blocks=n_blocks,
+            blocks=encoded,
+            metadata={"parity_blocks": self.parity_blocks},
+        )
+
+    def decode(self, chunk: EncodedChunk, available: Dict[int, bytes]) -> bytes:
+        from repro.erasure.reed_solomon import _legacy_gf_matrix_inverse
+
+        k = chunk.n_blocks
+        if len(available) < k:
+            raise DecodingError(
+                f"reed-solomon needs {k} blocks, only {len(available)} available"
+            )
+        if all(index in available for index in range(k)):
+            blocks = [np.frombuffer(available[i], dtype=np.uint8) for i in range(k)]
+            return join_blocks(blocks, chunk.original_size)
+
+        generator = self._full_generator(k)
+        chosen = sorted(available)[:k]
+        sub_matrix = generator[chosen, :]
+        inverse = _legacy_gf_matrix_inverse(sub_matrix)
+        received = [np.frombuffer(available[index], dtype=np.uint8) for index in chosen]
+        originals: List[np.ndarray] = []
+        for row in range(k):
+            value = np.zeros(chunk.block_size, dtype=np.uint8)
+            for column in range(k):
+                coefficient = int(inverse[row, column])
+                if coefficient:
+                    np.bitwise_xor(value, self._gf_mul_vector(coefficient, received[column]), out=value)
+            originals.append(value)
+        return join_blocks(originals, chunk.original_size)

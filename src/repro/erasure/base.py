@@ -82,11 +82,14 @@ class CodeSpec:
         return self.output_blocks - self.loss_tolerance
 
 
-def split_into_blocks(data: bytes, n_blocks: int) -> List[np.ndarray]:
-    """Split ``data`` into ``n_blocks`` equal-size uint8 blocks (zero padded).
+def split_into_matrix(data: bytes, n_blocks: int) -> np.ndarray:
+    """Split ``data`` into an ``(n_blocks, block_size)`` uint8 matrix (zero padded).
 
     The paper's coder "divides the chunk into n equal size blocks"; padding is
-    removed at reassembly using the recorded original size.
+    removed at reassembly using the recorded original size.  The 2-D layout is
+    what the vectorized kernel (:mod:`repro.erasure.gf2`) operates on: whole
+    encode passes become one segmented XOR-reduce over this matrix instead of
+    per-block Python loops.
     """
     if n_blocks < 1:
         raise ValueError("n_blocks must be >= 1")
@@ -94,7 +97,17 @@ def split_into_blocks(data: bytes, n_blocks: int) -> List[np.ndarray]:
     block_size = -(-len(buffer) // n_blocks) if len(buffer) else 1
     padded = np.zeros(block_size * n_blocks, dtype=np.uint8)
     padded[: len(buffer)] = buffer
-    return [padded[i * block_size : (i + 1) * block_size] for i in range(n_blocks)]
+    return padded.reshape(n_blocks, block_size)
+
+
+def split_into_blocks(data: bytes, n_blocks: int) -> List[np.ndarray]:
+    """Split ``data`` into ``n_blocks`` equal-size uint8 blocks (zero padded).
+
+    Row views of :func:`split_into_matrix`, kept for call sites that want a
+    list of 1-D blocks.
+    """
+    matrix = split_into_matrix(data, n_blocks)
+    return [matrix[i] for i in range(n_blocks)]
 
 
 def join_blocks(blocks: Sequence[np.ndarray], original_size: int) -> bytes:

@@ -38,6 +38,21 @@ def get_code(name: str) -> ErasureCode:
     return factory()
 
 
+def clear_coding_caches() -> None:
+    """Drop every cached code structure (cold-path measurements).
+
+    Clears the online-code graph/program cache, the cached degree
+    distributions, and the Reed-Solomon generator-matrix caches.
+    """
+    from repro.erasure import online_code, reed_solomon
+
+    online_code.clear_code_graph_cache()
+    online_code._degree_distribution_cached.cache_clear()
+    online_code._rho_cdf_cached.cache_clear()
+    reed_solomon._cauchy_parity_rows.cache_clear()
+    reed_solomon._full_generator_cached.cache_clear()
+
+
 @dataclass
 class CodingMeasurement:
     """Timing/size record for one encode(+decode) round (Table 2 rows)."""
@@ -54,6 +69,20 @@ class CodingMeasurement:
         if self.chunk_size == 0:
             return 0.0
         return self.encoded_size / self.chunk_size - 1.0
+
+    @property
+    def encode_throughput_mb_s(self) -> float:
+        """Encode throughput in MB/s (the unit tracked by BENCH_coding.json)."""
+        if self.encode_seconds <= 0.0:
+            return 0.0
+        return self.chunk_size / (1 << 20) / self.encode_seconds
+
+    @property
+    def decode_throughput_mb_s(self) -> float:
+        """Decode throughput in MB/s."""
+        if self.decode_seconds <= 0.0:
+            return 0.0
+        return self.chunk_size / (1 << 20) / self.decode_seconds
 
 
 class ChunkCodec:
@@ -98,13 +127,19 @@ class ChunkCodec:
         return self.code.decode(chunk, available)
 
     # -- measurement ---------------------------------------------------------------
-    def measure(self, data: bytes, decode_subset: Optional[int] = None) -> CodingMeasurement:
+    def measure(
+        self, data: bytes, decode_subset: Optional[int] = None, cold: bool = False
+    ) -> CodingMeasurement:
         """Encode then decode ``data``, recording wall-clock time and sizes.
 
         ``decode_subset`` limits how many encoded blocks the decoder sees
         (defaults to all of them); pass a smaller count to exercise the
-        loss-recovery path.
+        loss-recovery path.  ``cold=True`` drops the cached code-structure
+        layer first, so the measurement includes graph derivation and decode
+        program compilation rather than the steady-state hot path.
         """
+        if cold:
+            clear_coding_caches()
         start = time.perf_counter()
         encoded = self.encode(data)
         encode_seconds = time.perf_counter() - start

@@ -10,38 +10,76 @@ is a sub-optimal rateless erasure code built from two layers:
   drawn from the online-code degree distribution parameterised by ``epsilon``.
 
 Only the check blocks are stored.  Decoding is the classic belief-propagation
-("peeling") process: a check block whose neighbourhood contains exactly one
-unknown composite recovers it, auxiliary-block constraints are peeled the same
-way, and the process repeats until all original blocks are known.  Because the
-stream is rateless, losing encoded blocks never requires re-encoding: new check
-blocks can always be generated — the property the paper exploits to "simply
-drop an encoded chunk on a neighbor node and create another one at a different
-location" (Section 4.4).
+("peeling") process, with an exact GF(2) Gaussian-elimination fallback for
+small systems so that unit tests decode deterministically.
 
-For small chunks (few blocks) belief propagation needs noticeably more than
-``(1 + epsilon) * n`` check blocks to start; the implementation therefore also
-offers an exact GF(2) Gaussian-elimination fallback that is used automatically
-for small systems so that unit tests decode deterministically.
+Implementation notes (the vectorized kernel):
+
+* All graph structure — auxiliary assignments, check-block degrees and
+  neighbour sets — is derived in *batched* vectorized passes from
+  counter-based splitmix64 hashes (stream version 2), so any index range of
+  the unbounded check stream can be generated in one call and any single
+  index independently (the rateless property).  Chunks encoded by the seed
+  implementation (per-index ``np.random.default_rng`` streams, version 1)
+  carry no ``stream_version`` metadata and are still decoded bit-for-bit via
+  the preserved derivation in :mod:`repro.erasure._legacy`.
+* Payload math runs on the bit-packed GF(2) kernel
+  (:mod:`repro.erasure.gf2`): encode is a segmented XOR-reduce over a stacked
+  composite matrix, decode is the vectorized peeling scheduler driven by
+  per-equation degree counters, and the small-system fallback is bit-packed
+  Gauss-Jordan elimination.
+* Code structures are cached per ``(epsilon, q, n_blocks, chunk_seed,
+  version)`` in an LRU layer, so decode and
+  :meth:`OnlineCode.generate_additional_blocks` reuse the graph the encoder
+  just built instead of recomputing it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.erasure import gf2
+from repro.erasure._legacy import legacy_aux_assignment, legacy_check_neighbors
 from repro.erasure.base import (
     CodeSpec,
     DecodingError,
     EncodedBlock,
     EncodedChunk,
     ErasureCode,
-    join_blocks,
-    split_into_blocks,
+    split_into_matrix,
 )
 from repro.sim.rng import derive_seed
+
+#: Stream-derivation version written into chunk metadata.  Version 1 (the
+#: seed implementation) derived each check block from its own freshly
+#: constructed generator; version 2 derives whole index ranges from
+#: counter-based hashes in one vectorized pass.  Decoders accept both.
+STREAM_VERSION = 2
+
+
+@lru_cache(maxsize=None)
+def _degree_distribution_cached(epsilon: float) -> np.ndarray:
+    big_f = OnlineCodeParameters.max_degree_for(epsilon)
+    rho = np.zeros(big_f, dtype=float)
+    rho[0] = 1.0 - (1.0 + 1.0 / big_f) / (1.0 + epsilon)
+    for degree in range(2, big_f + 1):
+        rho[degree - 1] = (1.0 - rho[0]) * big_f / ((big_f - 1) * degree * (degree - 1))
+    rho = np.clip(rho, 0.0, None)
+    rho /= rho.sum()
+    rho.setflags(write=False)
+    return rho
+
+
+@lru_cache(maxsize=None)
+def _rho_cdf_cached(epsilon: float) -> np.ndarray:
+    cdf = np.cumsum(_degree_distribution_cached(epsilon))
+    cdf.setflags(write=False)
+    return cdf
 
 
 @dataclass(frozen=True)
@@ -72,25 +110,365 @@ class OnlineCodeParameters:
         if self.margin < 0:
             raise ValueError("margin must be non-negative")
 
+    @staticmethod
+    def max_degree_for(epsilon: float) -> int:
+        """F, the maximum check-block degree, as a function of epsilon."""
+        return max(2, int(math.ceil(math.log(epsilon**2 / 4.0) / math.log(1.0 - epsilon / 2.0))))
+
     @property
     def max_degree(self) -> int:
         """F, the maximum check-block degree."""
-        return max(2, int(math.ceil(math.log(self.epsilon**2 / 4.0) / math.log(1.0 - self.epsilon / 2.0))))
+        return self.max_degree_for(self.epsilon)
 
     def degree_distribution(self) -> np.ndarray:
-        """Probabilities rho_1..rho_F of the check-block degree distribution."""
-        big_f = self.max_degree
-        rho = np.zeros(big_f, dtype=float)
-        rho[0] = 1.0 - (1.0 + 1.0 / big_f) / (1.0 + self.epsilon)
-        for degree in range(2, big_f + 1):
-            rho[degree - 1] = (1.0 - rho[0]) * big_f / ((big_f - 1) * degree * (degree - 1))
-        rho = np.clip(rho, 0.0, None)
-        rho /= rho.sum()
-        return rho
+        """Probabilities rho_1..rho_F of the check-block degree distribution.
+
+        Cached per ``epsilon`` (the distribution is recomputed for every
+        encode *and* decode otherwise); the returned array is read-only.
+        """
+        return _degree_distribution_cached(self.epsilon)
+
+    def rho_cdf(self) -> np.ndarray:
+        """Cumulative degree distribution used by inverse-CDF sampling (cached)."""
+        return _rho_cdf_cached(self.epsilon)
 
     def auxiliary_count(self, n_blocks: int) -> int:
         """Number of auxiliary blocks produced by the outer code."""
         return max(1, int(math.ceil(0.55 * self.q * self.epsilon * n_blocks)))
+
+
+class DecodeProgram:
+    """A compiled decode schedule for one (graph, available-index-set) pair.
+
+    Decoding is GF(2)-linear and its control flow (which equation recovers
+    which composite, in which order; which equations combine to solve the
+    peeling residual) depends only on the graph — not on payload bytes.  The
+    program stores that control flow as flat arrays:
+
+    * ``schedule`` — one entry per peeling round: ``(targets, source_eqs,
+      vars_sorted, unique_eqs, seg_offsets)``.  Replay assigns
+      ``solution[targets] = values[source_eqs]`` and then XORs the
+      newly-known payloads into the affected equations with one segmented
+      reduce.  Events that can no longer influence the outcome (updates to
+      equations already consumed) are filtered out at compile time.
+    * ``residual_vars``/``residual_flat``/``residual_offsets`` — the
+      inactivation step: each residual-solved composite is one XOR over the
+      peel-reduced equation values.
+
+    ``missing`` is non-zero (and the schedule unusable for full decode) when
+    the available set cannot determine every original block.  ``rounds`` /
+    ``events`` preserve peeling statistics for fingerprints and diagnostics.
+    """
+
+    __slots__ = (
+        "missing",
+        "n_equations",
+        "schedule",
+        "residual_vars",
+        "residual_flat",
+        "residual_offsets",
+        "events",
+        "rounds",
+    )
+
+    def __init__(
+        self,
+        missing: int,
+        n_equations: int,
+        schedule: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        residual_vars: np.ndarray,
+        residual_flat: np.ndarray,
+        residual_offsets: np.ndarray,
+        events: int,
+        rounds: int,
+    ):
+        self.missing = missing
+        self.n_equations = n_equations
+        self.schedule = schedule
+        self.residual_vars = residual_vars
+        self.residual_flat = residual_flat
+        self.residual_offsets = residual_offsets
+        self.events = events
+        self.rounds = rounds
+
+    def run(self, check_values: np.ndarray, composite_count: int) -> np.ndarray:
+        """Replay the schedule over packed check payloads; returns solutions.
+
+        ``check_values`` is the ``(n_checks, words)`` packed payload matrix in
+        sorted-available order; rows for the zero-valued auxiliary constraints
+        are appended internally.
+        """
+        words = check_values.shape[1]
+        values = np.zeros((self.n_equations, words), dtype=np.uint64)
+        values[: check_values.shape[0]] = check_values
+        solution = np.zeros((composite_count, words), dtype=np.uint64)
+        for targets, source_eqs, vars_sorted, unique_eqs, seg_offsets in self.schedule:
+            solution[targets] = values[source_eqs]
+            if vars_sorted.size:
+                values[unique_eqs] ^= gf2.xor_reduce_segments(solution, vars_sorted, seg_offsets)
+        if self.residual_vars.size:
+            solution[self.residual_vars] = gf2.xor_reduce_segments(
+                values, self.residual_flat, self.residual_offsets
+            )
+        return solution
+
+
+class CodeGraph:
+    """The full coding graph of one chunk, derived from its seed.
+
+    Holds the auxiliary-block memberships (CSR), the degree CDF, and a lazily
+    extended prefix of the unbounded check-block stream, also in CSR form.
+    Instances are shared through :func:`code_graph`'s LRU cache so the
+    decoder, the repair path and ``generate_additional_blocks`` all reuse the
+    structure the encoder built.
+    """
+
+    __slots__ = (
+        "epsilon",
+        "q",
+        "n_blocks",
+        "chunk_seed",
+        "version",
+        "aux_count",
+        "composite_count",
+        "rho_cdf",
+        "aux_flat",
+        "aux_offsets",
+        "_inner_seed",
+        "_check_flat",
+        "_check_offsets",
+        "_aux_eq",
+        "decodable_cache",
+        "_programs",
+    )
+
+    def __init__(self, epsilon: float, q: int, n_blocks: int, chunk_seed: int, version: int):
+        params = OnlineCodeParameters(epsilon=epsilon, q=q)
+        self.epsilon = epsilon
+        self.q = q
+        self.n_blocks = int(n_blocks)
+        self.chunk_seed = int(chunk_seed)
+        self.version = int(version)
+        self.aux_count = params.auxiliary_count(n_blocks)
+        self.composite_count = self.n_blocks + self.aux_count
+        self.rho_cdf = params.rho_cdf()
+        self.aux_flat, self.aux_offsets = self._derive_aux()
+        self._inner_seed = derive_seed(self.chunk_seed, "inner-v2")
+        self._check_flat = np.empty(0, dtype=np.int64)
+        self._check_offsets = np.zeros(1, dtype=np.int64)
+        self._aux_eq: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Memoised results of the encoder's decodability guarantee, keyed by
+        #: check-block count (the answer is a pure function of the graph).
+        self.decodable_cache: Dict[int, bool] = {}
+        #: Compiled decode programs keyed by the available-index tuple.
+        self._programs: Dict[Tuple[int, ...], "DecodeProgram"] = {}
+
+    # -- auxiliary (outer code) -------------------------------------------------
+    def _derive_aux(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of aux block -> original members."""
+        n, aux_count = self.n_blocks, self.aux_count
+        take = min(self.q, aux_count)
+        if self.version == 1:
+            membership = legacy_aux_assignment(n, aux_count, self.q, self.chunk_seed)
+            counts = np.array([len(m) for m in membership], dtype=np.int64)
+            flat = np.array([i for m in membership for i in m], dtype=np.int64)
+            offsets = np.zeros(aux_count + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            return flat, offsets
+        outer_seed = derive_seed(self.chunk_seed, "outer-v2")
+        keys = gf2.hash_counters(
+            outer_seed, np.arange(n * aux_count, dtype=np.uint64)
+        ).reshape(n, aux_count)
+        if take < aux_count:
+            chosen = np.argpartition(keys, take - 1, axis=1)[:, :take]
+        else:
+            chosen = np.broadcast_to(np.arange(aux_count, dtype=np.int64), (n, aux_count))
+        aux_of_pair = chosen.reshape(-1).astype(np.int64)
+        orig_of_pair = np.repeat(np.arange(n, dtype=np.int64), take)
+        order = np.lexsort((orig_of_pair, aux_of_pair))
+        members = orig_of_pair[order]
+        counts = np.bincount(aux_of_pair, minlength=aux_count).astype(np.int64)
+        offsets = np.zeros(aux_count + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return members, offsets
+
+    def aux_equations(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of the outer-code constraints: members(j) + composite ``n + j``.
+
+        These equations hold unconditionally (aux = XOR of its members), so
+        the decoder includes them from the start — peeling can recover an
+        auxiliary block from its members or vice versa.
+        """
+        if self._aux_eq is None:
+            member_counts = self.aux_offsets[1:] - self.aux_offsets[:-1]
+            counts = member_counts + 1
+            offsets = np.zeros(self.aux_count + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat = np.empty(int(offsets[-1]), dtype=np.int64)
+            if self.aux_flat.size:
+                positions = np.repeat(offsets[:-1] - self.aux_offsets[:-1], member_counts)
+                positions += np.arange(self.aux_flat.size, dtype=np.int64)
+                flat[positions] = self.aux_flat
+            flat[offsets[1:] - 1] = self.n_blocks + np.arange(self.aux_count, dtype=np.int64)
+            self._aux_eq = (flat, offsets)
+        return self._aux_eq
+
+    # -- check blocks (inner code) ----------------------------------------------
+    def _derive_checks(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Derive neighbour CSR for check indices [start, stop) in one pass."""
+        if self.version == 1:
+            flats: List[List[int]] = [
+                legacy_check_neighbors(self.composite_count, index, self.chunk_seed, self.rho_cdf)
+                for index in range(start, stop)
+            ]
+            counts = np.array([len(f) for f in flats], dtype=np.int64)
+            flat = np.array([v for f in flats for v in f], dtype=np.int64)
+            offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            return flat, offsets
+        indices = np.arange(start, stop, dtype=np.uint64)
+        keys = gf2.hash_counters(self._inner_seed, indices)
+        uniforms = gf2.to_unit_interval(keys)
+        degrees = np.searchsorted(self.rho_cdf, uniforms, side="right") + 1
+        degrees = np.clip(degrees, 1, self.composite_count).astype(np.int64)
+        total = int(degrees.sum())
+        base = np.repeat(keys, degrees)
+        draw_offsets = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=draw_offsets[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(draw_offsets[:-1], degrees)
+        draws = (gf2.hash_subcounters(base, within) % np.uint64(self.composite_count)).astype(
+            np.int64
+        )
+        # Deduplicate within each row (set semantics: a neighbour drawn twice
+        # still participates once), keeping CSR form.
+        rows = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+        order = np.lexsort((draws, rows))
+        rows_sorted = rows[order]
+        draws_sorted = draws[order]
+        first = np.ones(total, dtype=bool)
+        first[1:] = (rows_sorted[1:] != rows_sorted[:-1]) | (draws_sorted[1:] != draws_sorted[:-1])
+        kept = draws_sorted[first]
+        kept_counts = np.bincount(rows_sorted[first], minlength=degrees.size).astype(np.int64)
+        offsets = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=offsets[1:])
+        return kept, offsets
+
+    def ensure_checks(self, count: int) -> None:
+        """Extend the cached check-stream prefix to cover indices [0, count)."""
+        have = self._check_offsets.size - 1
+        if count <= have:
+            return
+        flat, offsets = self._derive_checks(have, count)
+        self._check_flat = np.concatenate([self._check_flat, flat])
+        self._check_offsets = np.concatenate(
+            [self._check_offsets, offsets[1:] + self._check_offsets[-1]]
+        )
+
+    def check_csr(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of the first ``count`` check blocks' neighbour sets."""
+        self.ensure_checks(count)
+        end = self._check_offsets[count]
+        return self._check_flat[:end], self._check_offsets[: count + 1]
+
+    def checks_for(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of the neighbour sets for an arbitrary array of stream indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size:
+            self.ensure_checks(int(indices.max()) + 1)
+        return gf2.csr_take(self._check_flat, self._check_offsets, indices)
+
+    # -- compiled decoding --------------------------------------------------------
+    def decode_program(
+        self, indices: Tuple[int, ...], residual_limit: int = 8192
+    ) -> "DecodeProgram":
+        """Compile (and cache) the linear decode map for an available-index set.
+
+        Decoding is GF(2)-linear, so for a fixed graph and a fixed set of
+        available check blocks each original block is one fixed XOR of check
+        payloads.  The peeling scheduler and the residual eliminator are run
+        once *symbolically* — with bit rows tracking which check equations
+        combine into each composite — and the result is flattened into a CSR
+        "program".  Replaying the program is a single batched XOR-reduce, so
+        repeated decodes of the same shape (benchmarks, repair storms,
+        retrieve-all paths) skip graph peeling entirely.  When the available
+        set cannot determine every original block, the returned (negatively
+        cached) program has ``missing > 0`` and must not be replayed.
+        """
+        if indices in self._programs:
+            return self._programs[indices]
+        index_array = np.asarray(indices, dtype=np.int64)
+        flat, offsets = gf2.concat_csr([self.checks_for(index_array), self.aux_equations()])
+        n_equations = offsets.size - 1
+
+        result = gf2.peel(flat, offsets, self.composite_count, record=True)
+        residual_vars = np.empty(0, dtype=np.int64)
+        residual_flat = np.empty(0, dtype=np.int64)
+        residual_offsets = np.zeros(1, dtype=np.int64)
+        if not bool(result.known[: self.n_blocks].all()) and (
+            self.composite_count <= residual_limit
+        ):
+            residual_vars, residual_flat, residual_offsets = gf2.compile_residual(
+                flat, offsets, self.composite_count, result
+            )
+        missing = int(self.n_blocks - result.known[: self.n_blocks].sum())
+
+        # An equation's value stops mattering once it has been consumed as a
+        # peeling source (unless the residual solver reads it): drop the
+        # events that only update dead equations.
+        trace = result.trace or []
+        use_round = np.full(n_equations, len(trace) + 1, dtype=np.int64)
+        for round_index, (_, source_eqs, _, _) in enumerate(trace):
+            use_round[source_eqs] = round_index
+        keep_always = result.counts > 0  # residual rows
+        schedule = []
+        events = 0
+        for round_index, (targets, source_eqs, ev_eqs, ev_vars) in enumerate(trace):
+            if ev_eqs.size:
+                keep = keep_always[ev_eqs] | (use_round[ev_eqs] > round_index)
+                ev_eqs = ev_eqs[keep]
+                ev_vars = ev_vars[keep]
+            if ev_eqs.size:
+                order = np.argsort(ev_eqs)
+                eqs_sorted = ev_eqs[order]
+                vars_sorted = ev_vars[order]
+                boundary = np.empty(eqs_sorted.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(eqs_sorted[1:], eqs_sorted[:-1], out=boundary[1:])
+                starts = np.flatnonzero(boundary)
+                unique_eqs = eqs_sorted[starts]
+                seg_offsets = np.append(starts, eqs_sorted.size)
+                events += int(vars_sorted.size)
+            else:
+                vars_sorted = unique_eqs = np.empty(0, dtype=np.int64)
+                seg_offsets = np.zeros(1, dtype=np.int64)
+            schedule.append((targets, source_eqs, vars_sorted, unique_eqs, seg_offsets))
+        events += int(residual_flat.size)
+
+        program = DecodeProgram(
+            missing=missing,
+            n_equations=n_equations,
+            schedule=schedule,
+            residual_vars=residual_vars,
+            residual_flat=residual_flat,
+            residual_offsets=residual_offsets,
+            events=events,
+            rounds=len(trace),
+        )
+        if len(self._programs) >= 8:
+            self._programs.pop(next(iter(self._programs)))
+        self._programs[indices] = program
+        return program
+
+
+@lru_cache(maxsize=64)
+def code_graph(epsilon: float, q: int, n_blocks: int, chunk_seed: int, version: int) -> CodeGraph:
+    """The LRU-cached code-structure layer shared by encode/decode/repair."""
+    return CodeGraph(epsilon, q, n_blocks, chunk_seed, version)
+
+
+def clear_code_graph_cache() -> None:
+    """Drop cached code graphs (benchmark cold-path measurements)."""
+    code_graph.cache_clear()
 
 
 class OnlineCode(ErasureCode):
@@ -99,8 +477,10 @@ class OnlineCode(ErasureCode):
     name = "online"
 
     #: Systems with at most this many composite blocks fall back to exact
-    #: GF(2) elimination when peeling stalls (keeps small tests deterministic).
-    GAUSSIAN_FALLBACK_LIMIT = 2048
+    #: GF(2) elimination when peeling stalls.  Inactivation decoding on the
+    #: bit-packed kernel only eliminates the (small) residual system, which is
+    #: cheap enough to cover paper-scale chunks (4096 blocks + auxiliaries).
+    GAUSSIAN_FALLBACK_LIMIT = 8192
 
     #: Systems with at most this many composite blocks get the encode-time
     #: guarantee that the full encoded stream determines every original block
@@ -109,136 +489,81 @@ class OnlineCode(ErasureCode):
     #: apply and no such check is performed.
     SMALL_SYSTEM_GUARANTEE = 640
 
-    def __init__(self, parameters: Optional[OnlineCodeParameters] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        parameters: Optional[OnlineCodeParameters] = None,
+        seed: int = 0,
+        stream_version: int = STREAM_VERSION,
+    ) -> None:
         self.parameters = parameters or OnlineCodeParameters()
         self.seed = int(seed)
+        if stream_version not in (1, STREAM_VERSION):
+            raise ValueError(f"unsupported stream version {stream_version}")
+        self.stream_version = int(stream_version)
+        #: Peeling statistics of the most recent decode (rounds, events);
+        #: exposed for the determinism fingerprints and perf diagnostics.
+        self.last_decode_stats: Dict[str, int] = {}
 
-    # -- graph construction -----------------------------------------------------
-    def _aux_assignment(self, n_blocks: int, chunk_seed: int) -> List[List[int]]:
-        """For each auxiliary block, the original-block indices XORed into it."""
-        params = self.parameters
-        aux_count = params.auxiliary_count(n_blocks)
-        rng = np.random.default_rng(derive_seed(chunk_seed, "outer"))
-        membership: List[List[int]] = [[] for _ in range(aux_count)]
-        for original in range(n_blocks):
-            chosen = rng.choice(aux_count, size=min(params.q, aux_count), replace=False)
-            for aux_index in chosen:
-                membership[int(aux_index)].append(original)
-        return membership
-
-    def _check_neighbors(
-        self, composite_count: int, check_index: int, chunk_seed: int, rho_cdf: np.ndarray
-    ) -> List[int]:
-        """Composite-block indices XORed into check block ``check_index``.
-
-        Every check block's composition is derived solely from the chunk seed
-        and its own index (degree via inverse-CDF sampling of the online-code
-        degree distribution, then a uniform neighbour set), so any block of the
-        unbounded stream can be regenerated independently -- the property that
-        makes the code rateless and keeps encoder and decoder in agreement.
-        """
-        rng = np.random.default_rng(derive_seed(chunk_seed, "inner", check_index))
-        degree = int(np.searchsorted(rho_cdf, rng.random(), side="right")) + 1
-        degree = min(max(1, degree), composite_count)
-        neighbors = rng.choice(composite_count, size=degree, replace=False)
-        return [int(v) for v in neighbors]
-
-    def _rho_cdf(self) -> np.ndarray:
-        """Cumulative degree distribution used by inverse-CDF sampling."""
-        return np.cumsum(self.parameters.degree_distribution())
+    # -- graph access -----------------------------------------------------------
+    def _graph(self, n_blocks: int, chunk_seed: int, version: Optional[int] = None) -> CodeGraph:
+        return code_graph(
+            self.parameters.epsilon,
+            self.parameters.q,
+            n_blocks,
+            chunk_seed,
+            self.stream_version if version is None else version,
+        )
 
     @staticmethod
-    def _graph_peel_succeeds(
-        n_blocks: int,
-        composite_count: int,
-        aux_membership: Sequence[Sequence[int]],
-        neighbor_sets: Sequence[Sequence[int]],
-    ) -> bool:
-        """Symbolic belief-propagation check (no payloads): would peeling finish?"""
-        known = [False] * composite_count
-        equations: List[set] = [set(neighbors) for neighbors in neighbor_sets]
-        aux_added = [False] * len(aux_membership)
-        progress = True
-        while progress:
-            progress = False
-            for neighbors in equations:
-                resolved = [n for n in neighbors if known[n]]
-                for n in resolved:
-                    neighbors.discard(n)
-                if len(neighbors) == 1:
-                    target = neighbors.pop()
-                    if not known[target]:
-                        known[target] = True
-                        progress = True
-            for aux_offset in range(len(aux_membership)):
-                if not aux_added[aux_offset] and known[n_blocks + aux_offset]:
-                    equations.append(set(aux_membership[aux_offset]) | {n_blocks + aux_offset})
-                    aux_added[aux_offset] = True
-        return all(known[:n_blocks])
+    def _graph_for_chunk(chunk: EncodedChunk, fallback: OnlineCodeParameters) -> CodeGraph:
+        """Graph for an encoded chunk, honouring its recorded stream metadata."""
+        return code_graph(
+            float(chunk.metadata.get("epsilon", fallback.epsilon)),
+            int(chunk.metadata.get("q", fallback.q)),
+            chunk.n_blocks,
+            int(chunk.metadata["chunk_seed"]),
+            int(chunk.metadata.get("stream_version", 1)),
+        )
 
-    def _decodable_from_all(
-        self,
-        n_blocks: int,
-        composite_count: int,
-        aux_membership: Sequence[Sequence[int]],
-        neighbor_sets: Sequence[Sequence[int]],
-    ) -> bool:
+    # -- composite construction -------------------------------------------------
+    @staticmethod
+    def _composite_words(graph: CodeGraph, matrix: np.ndarray) -> np.ndarray:
+        """Stack originals + aux blocks as packed uint64 words, vectorized."""
+        words = gf2.words_for_bytes(matrix.shape[1])
+        composites = np.zeros((graph.composite_count, words), dtype=np.uint64)
+        composites[: graph.n_blocks] = gf2.pack_matrix(matrix)
+        gf2.xor_reduce_segments(
+            composites[: graph.n_blocks],
+            graph.aux_flat,
+            graph.aux_offsets,
+            out=composites[graph.n_blocks :],
+        )
+        return composites
+
+    # -- decodability (symbolic) ------------------------------------------------
+    def _decodable_from_all(self, graph: CodeGraph, check_count: int) -> bool:
         """Would the decoder succeed given every encoded block produced so far?
 
-        Cheap graph peeling is tried first; only when it stalls (and the system
-        is small enough for the decoder's exact GF(2) fallback) is the rank
-        test run.
+        Vectorized graph peeling is tried first; when it stalls (and the
+        system is small enough for the decoder's exact GF(2) fallback) the
+        small residual system is eliminated exactly (inactivation).  The
+        answer is memoised on the cached graph, so re-encoding another chunk
+        with the same shape skips the check entirely.
         """
-        if self._graph_peel_succeeds(n_blocks, composite_count, aux_membership, neighbor_sets):
-            return True
-        if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
-            return self._stream_determines_originals(
-                n_blocks, composite_count, aux_membership, neighbor_sets
-            )
-        return False
-
-    @staticmethod
-    def _stream_determines_originals(
-        n_blocks: int,
-        composite_count: int,
-        aux_membership: Sequence[Sequence[int]],
-        neighbor_sets: Sequence[Sequence[int]],
-    ) -> bool:
-        """GF(2) rank test: do the check + auxiliary equations pin down every original?"""
-        rows: List[np.ndarray] = []
-        for neighbors in neighbor_sets:
-            row = np.zeros(composite_count, dtype=np.uint8)
-            for neighbor in neighbors:
-                row[neighbor] ^= 1
-            rows.append(row)
-        for aux_offset, members in enumerate(aux_membership):
-            row = np.zeros(composite_count, dtype=np.uint8)
-            row[n_blocks + aux_offset] ^= 1
-            for member in members:
-                row[member] ^= 1
-            rows.append(row)
-        matrix = np.vstack(rows)
-        solvable = np.zeros(composite_count, dtype=bool)
-        pivot_row = 0
-        for column in range(composite_count):
-            candidates = np.nonzero(matrix[pivot_row:, column])[0]
-            if candidates.size == 0:
-                continue
-            chosen = pivot_row + int(candidates[0])
-            if chosen != pivot_row:
-                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
-            for row_index in np.nonzero(matrix[:, column])[0]:
-                if row_index != pivot_row:
-                    matrix[row_index] ^= matrix[pivot_row]
-            pivot_row += 1
-            if pivot_row == matrix.shape[0]:
-                break
-        # After reduction, an original column is determined iff some row has
-        # its only 1 in that column.
-        row_weights = matrix.sum(axis=1)
-        for row_index in np.nonzero(row_weights == 1)[0]:
-            solvable[int(np.nonzero(matrix[row_index])[0][0])] = True
-        return bool(solvable[:n_blocks].all())
+        cached = graph.decodable_cache.get(check_count)
+        if cached is not None:
+            return cached
+        flat, offsets = gf2.concat_csr(
+            [graph.check_csr(check_count), graph.aux_equations()]
+        )
+        result = gf2.peel(flat, offsets, graph.composite_count)
+        if not bool(result.known[: graph.n_blocks].all()) and (
+            graph.composite_count <= self.GAUSSIAN_FALLBACK_LIMIT
+        ):
+            gf2.solve_residual(flat, offsets, graph.composite_count, result)
+        decodable = bool(result.known[: graph.n_blocks].all())
+        graph.decodable_cache[check_count] = decodable
+        return decodable
 
     def default_output_blocks(self, n_blocks: int) -> int:
         """Check blocks produced when the caller does not ask for a count."""
@@ -248,53 +573,47 @@ class OnlineCode(ErasureCode):
 
     # -- encode -------------------------------------------------------------------
     def encode(self, data: bytes, n_blocks: int, output_blocks: Optional[int] = None) -> EncodedChunk:
-        originals = split_into_blocks(data, n_blocks)
-        block_size = len(originals[0]) if originals else 0
+        matrix = split_into_matrix(data, n_blocks)
+        block_size = matrix.shape[1]
         chunk_seed = derive_seed(self.seed, "chunk", len(data), n_blocks)
-        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
-        aux_blocks: List[np.ndarray] = []
-        for members in aux_membership:
-            value = np.zeros(block_size, dtype=np.uint8)
-            for original in members:
-                np.bitwise_xor(value, originals[original], out=value)
-            aux_blocks.append(value)
-        composites: List[np.ndarray] = list(originals) + aux_blocks
-        composite_count = len(composites)
+        graph = self._graph(n_blocks, chunk_seed)
+        composites = self._composite_words(graph, matrix)
 
         if output_blocks is None:
             output_blocks = self.default_output_blocks(n_blocks)
         if output_blocks < 1:
             raise ValueError("output_blocks must be >= 1")
-        rho_cdf = self._rho_cdf()
 
-        encoded: List[EncodedBlock] = []
-        neighbor_sets: List[List[int]] = []
-        for check_index in range(output_blocks):
-            neighbors = self._check_neighbors(composite_count, check_index, chunk_seed, rho_cdf)
-            value = np.zeros(block_size, dtype=np.uint8)
-            for neighbor in neighbors:
-                np.bitwise_xor(value, composites[neighbor], out=value)
-            encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
-            neighbor_sets.append(neighbors)
+        flat, offsets = graph.check_csr(output_blocks)
+        check_words = gf2.xor_reduce_segments(composites, flat, offsets)
 
         # Rateless small-system guarantee: for chunks split into few blocks the
         # nominal (1 + epsilon) overhead gives no probabilistic guarantee, so
-        # keep appending check blocks (continuing the same stream) until the
-        # full set of encoded blocks determines every original block.
-        if composite_count <= self.SMALL_SYSTEM_GUARANTEE:
-            extra_cap = 8 * composite_count + 16
-            while len(encoded) < output_blocks + extra_cap and not self._decodable_from_all(
-                n_blocks, composite_count, aux_membership, neighbor_sets
-            ):
-                check_index = len(encoded)
-                neighbors = self._check_neighbors(composite_count, check_index, chunk_seed, rho_cdf)
-                value = np.zeros(block_size, dtype=np.uint8)
-                for neighbor in neighbors:
-                    np.bitwise_xor(value, composites[neighbor], out=value)
-                encoded.append(EncodedBlock(index=check_index, data=value.tobytes()))
-                neighbor_sets.append(neighbors)
-            output_blocks = len(encoded)
+        # keep appending check blocks (continuing the same stream, in batches)
+        # until the full set of encoded blocks determines every original block.
+        if graph.composite_count <= self.SMALL_SYSTEM_GUARANTEE:
+            cap = output_blocks + 8 * graph.composite_count + 16
+            total = output_blocks
+            extra_words: List[np.ndarray] = []
+            while total < cap and not self._decodable_from_all(graph, total):
+                batch = min(max(8, graph.composite_count // 8), cap - total)
+                graph.ensure_checks(total + batch)
+                new_flat, new_offsets = gf2.csr_take(
+                    graph._check_flat,
+                    graph._check_offsets,
+                    np.arange(total, total + batch, dtype=np.int64),
+                )
+                extra_words.append(gf2.xor_reduce_segments(composites, new_flat, new_offsets))
+                total += batch
+            if extra_words:
+                check_words = np.concatenate([check_words] + extra_words, axis=0)
+            output_blocks = total
 
+        payload_bytes = gf2.unpack_matrix(check_words, block_size)
+        encoded = [
+            EncodedBlock(index=index, data=payload_bytes[index].tobytes())
+            for index in range(output_blocks)
+        ]
         return EncodedChunk(
             code_name=self.name,
             original_size=len(data),
@@ -306,6 +625,7 @@ class OnlineCode(ErasureCode):
                 "output_blocks": output_blocks,
                 "epsilon": self.parameters.epsilon,
                 "q": self.parameters.q,
+                "stream_version": self.stream_version,
             },
         )
 
@@ -314,142 +634,54 @@ class OnlineCode(ErasureCode):
 
         This is the rateless property the recovery pipeline relies on: new
         encoded blocks can be created for a chunk without touching the blocks
-        that already exist (their indices simply continue the stream).
+        that already exist (their indices simply continue the stream).  The
+        cached code graph means only the *new* stream indices are derived —
+        the encoder's graph and the composite matrix are not rebuilt from
+        scratch beyond one pass over the chunk payload.
         """
         if count < 1:
             return []
+        graph = self._graph_for_chunk(chunk, self.parameters)
+        matrix = split_into_matrix(data, chunk.n_blocks)
+        composites = self._composite_words(graph, matrix)
         start = int(chunk.metadata["output_blocks"])
-        extended = self.encode(data, chunk.n_blocks, output_blocks=start + count)
-        return extended.blocks[start:]
+        flat, offsets = graph.checks_for(np.arange(start, start + count, dtype=np.int64))
+        words = gf2.xor_reduce_segments(composites, flat, offsets)
+        payload_bytes = gf2.unpack_matrix(words, chunk.block_size)
+        return [
+            EncodedBlock(index=start + offset, data=payload_bytes[offset].tobytes())
+            for offset in range(count)
+        ]
 
     # -- decode -------------------------------------------------------------------
     def decode(self, chunk: EncodedChunk, available: Dict[int, bytes]) -> bytes:
-        chunk_seed = int(chunk.metadata["chunk_seed"])
+        graph = self._graph_for_chunk(chunk, self.parameters)
         n_blocks = chunk.n_blocks
-        params_eps = float(chunk.metadata.get("epsilon", self.parameters.epsilon))
-        aux_membership = self._aux_assignment(n_blocks, chunk_seed)
-        composite_count = n_blocks + len(aux_membership)
         total_outputs = int(chunk.metadata["output_blocks"])
-        rho_cdf = self._rho_cdf()
-
         block_size = chunk.block_size
-        known: List[Optional[np.ndarray]] = [None] * composite_count
 
-        # Equations: each available check block, plus (lazily) each auxiliary
-        # block constraint once the auxiliary value itself is known.
-        equations: List[Tuple[set, np.ndarray]] = []
-        for index, payload in available.items():
+        indices = sorted(available)
+        for index in indices:
             if not 0 <= index < total_outputs:
                 raise DecodingError(f"unknown encoded block index {index}")
-            neighbors = set(self._check_neighbors(composite_count, index, chunk_seed, rho_cdf))
-            value = np.frombuffer(payload, dtype=np.uint8).copy()
-            equations.append((neighbors, value))
 
-        aux_equations_added = [False] * len(aux_membership)
+        # Decoding is GF(2)-linear: the cached program maps check payloads to
+        # originals in one batched XOR-reduce (peeling + residual elimination
+        # ran once, symbolically, when the program was compiled).
+        program = graph.decode_program(tuple(indices), self.GAUSSIAN_FALLBACK_LIMIT)
+        self.last_decode_stats = {"rounds": program.rounds, "events": program.events}
+        if program.missing:
+            epsilon = float(chunk.metadata.get("epsilon", self.parameters.epsilon))
+            raise DecodingError(
+                f"online code peeling stalled: {program.missing}/{n_blocks} original "
+                f"blocks unrecovered from {len(available)} check blocks "
+                f"(epsilon={epsilon})"
+            )
 
-        def add_aux_equation(aux_offset: int) -> None:
-            if aux_equations_added[aux_offset]:
-                return
-            aux_composite = n_blocks + aux_offset
-            if known[aux_composite] is None:
-                return
-            members = set(aux_membership[aux_offset])
-            equations.append((members | {aux_composite}, np.zeros(block_size, dtype=np.uint8)))
-            aux_equations_added[aux_offset] = True
-
-        # Peeling loop.
-        progress = True
-        while progress:
-            progress = False
-            for neighbors, value in equations:
-                # Reduce the equation by already-known composites.
-                resolved = [n for n in neighbors if known[n] is not None]
-                for n in resolved:
-                    np.bitwise_xor(value, known[n], out=value)
-                    neighbors.discard(n)
-                if len(neighbors) == 1:
-                    target = neighbors.pop()
-                    known[target] = value.copy()
-                    progress = True
-                    if target >= n_blocks:
-                        add_aux_equation(target - n_blocks)
-            # Auxiliary constraints may have become useful even without new
-            # recoveries from check blocks (e.g. aux known from the start).
-            for aux_offset in range(len(aux_membership)):
-                add_aux_equation(aux_offset)
-
-        if any(known[i] is None for i in range(n_blocks)):
-            if composite_count <= self.GAUSSIAN_FALLBACK_LIMIT:
-                self._gaussian_fallback(chunk, available, known, aux_membership, chunk_seed, rho_cdf)
-            if any(known[i] is None for i in range(n_blocks)):
-                missing = sum(1 for i in range(n_blocks) if known[i] is None)
-                raise DecodingError(
-                    f"online code peeling stalled: {missing}/{n_blocks} original blocks "
-                    f"unrecovered from {len(available)} check blocks (epsilon={params_eps})"
-                )
-
-        return join_blocks([known[i] for i in range(n_blocks)], chunk.original_size)  # type: ignore[list-item]
-
-    def _gaussian_fallback(
-        self,
-        chunk: EncodedChunk,
-        available: Dict[int, bytes],
-        known: List[Optional[np.ndarray]],
-        aux_membership: Sequence[Sequence[int]],
-        chunk_seed: int,
-        rho_cdf: np.ndarray,
-    ) -> None:
-        """Exact GF(2) elimination over all equations (small systems only)."""
-        n_blocks = chunk.n_blocks
-        composite_count = n_blocks + len(aux_membership)
-        block_size = chunk.block_size
-        total_outputs = int(chunk.metadata["output_blocks"])
-
-        rows: List[np.ndarray] = []
-        values: List[np.ndarray] = []
-        for index, payload in available.items():
-            row = np.zeros(composite_count, dtype=np.uint8)
-            for neighbor in self._check_neighbors(composite_count, index, chunk_seed, rho_cdf):
-                row[neighbor] ^= 1
-            rows.append(row)
-            values.append(np.frombuffer(payload, dtype=np.uint8).copy())
-        for aux_offset, members in enumerate(aux_membership):
-            row = np.zeros(composite_count, dtype=np.uint8)
-            row[n_blocks + aux_offset] ^= 1
-            for member in members:
-                row[member] ^= 1
-            rows.append(row)
-            values.append(np.zeros(block_size, dtype=np.uint8))
-        if not rows:
-            return
-
-        matrix = np.vstack(rows)
-        payload = np.vstack(values) if block_size else np.zeros((len(rows), 0), dtype=np.uint8)
-
-        pivot_of_column: Dict[int, int] = {}
-        pivot_row = 0
-        for column in range(composite_count):
-            candidates = np.nonzero(matrix[pivot_row:, column])[0]
-            if candidates.size == 0:
-                continue
-            chosen = pivot_row + int(candidates[0])
-            if chosen != pivot_row:
-                matrix[[pivot_row, chosen]] = matrix[[chosen, pivot_row]]
-                payload[[pivot_row, chosen]] = payload[[chosen, pivot_row]]
-            others = np.nonzero(matrix[:, column])[0]
-            for row_index in others:
-                if row_index != pivot_row:
-                    matrix[row_index] ^= matrix[pivot_row]
-                    payload[row_index] ^= payload[pivot_row]
-            pivot_of_column[column] = pivot_row
-            pivot_row += 1
-            if pivot_row == matrix.shape[0]:
-                break
-
-        for column, row_index in pivot_of_column.items():
-            # After full reduction the pivot row expresses exactly one composite.
-            if int(matrix[row_index].sum()) == 1:
-                known[column] = payload[row_index].copy()
+        values = gf2.pack_rows([available[i] for i in indices], block_size)
+        solution = program.run(values, graph.composite_count)
+        originals = gf2.unpack_matrix(solution[:n_blocks], block_size)
+        return originals.reshape(-1)[: chunk.original_size].tobytes()
 
     # -- metadata -------------------------------------------------------------------
     def spec(self, n_blocks: int) -> CodeSpec:

@@ -6,17 +6,24 @@ chooses the latter.  To support the ablation benchmark comparing the two
 families, this module implements the optimal code from scratch: a systematic
 Reed-Solomon code over GF(2^8) built from a Cauchy-style encoding matrix.
 
-* GF(256) arithmetic uses exp/log tables (primitive polynomial 0x11D).
-* Encoding: the ``k`` data blocks are kept verbatim; ``m - k`` parity blocks are
-  GF(256) linear combinations of the data blocks (vectorised with NumPy table
-  lookups).
-* Decoding: any ``k`` surviving blocks determine the data; the corresponding
-  ``k x k`` sub-matrix of the generator is inverted in GF(256).
+* GF(256) arithmetic uses exp/log tables (primitive polynomial 0x11D) plus a
+  shared 256x256 multiplication table, so scalar-times-vector products are a
+  single table gather (``_MUL_TABLE[coeff, block]``) with no boolean-mask
+  temporaries and no per-call allocation when ``out=`` is supplied.
+* Encoding: the ``k`` data blocks are kept verbatim; ``m - k`` parity blocks
+  come from one matrix-form pass over the stacked data-block matrix.
+* Decoding: any ``k`` surviving blocks determine the data.  The generator
+  sub-matrix is inverted with vectorized row operations, and only the *erased*
+  systematic rows are reconstructed (``e * k`` vector multiplies instead of
+  the seed's ``k * k``); surviving systematic blocks are copied through.
+* Generator matrices are cached per ``(k, parity)`` so repeated encodes and
+  repair-path decodes stop rebuilding the Cauchy construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import lru_cache
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -27,7 +34,7 @@ from repro.erasure.base import (
     EncodedChunk,
     ErasureCode,
     join_blocks,
-    split_into_blocks,
+    split_into_matrix,
 )
 
 _PRIMITIVE_POLY = 0x11D
@@ -50,38 +57,77 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 _EXP, _LOG = _build_tables()
 
 
+def _build_mul_table() -> np.ndarray:
+    """The full 256x256 GF(256) multiplication table (64 KiB, built once)."""
+    table = np.zeros((256, 256), dtype=np.uint8)
+    logs = _LOG[1:256]
+    table[1:, 1:] = _EXP[logs[:, None] + logs[None, :]]
+    return table
+
+
+_MUL_TABLE = _build_mul_table()
+_INV_TABLE = np.zeros(256, dtype=np.uint8)
+_INV_TABLE[1:] = _EXP[255 - _LOG[1:256]]
+
+
 def gf_mul(a: int, b: int) -> int:
     """Multiply two GF(256) scalars."""
-    if a == 0 or b == 0:
-        return 0
-    return int(_EXP[_LOG[a] + _LOG[b]])
+    return int(_MUL_TABLE[a, b])
 
 
 def gf_inv(a: int) -> int:
     """Multiplicative inverse in GF(256)."""
     if a == 0:
         raise ZeroDivisionError("0 has no inverse in GF(256)")
-    return int(_EXP[255 - _LOG[a]])
+    return int(_INV_TABLE[a])
 
 
-def gf_mul_vector(scalar: int, vector: np.ndarray) -> np.ndarray:
-    """Multiply a uint8 vector by a GF(256) scalar (vectorised table lookup)."""
-    if scalar == 0:
-        return np.zeros_like(vector)
-    if scalar == 1:
-        return vector.copy()
-    log_s = _LOG[scalar]
-    result = np.zeros_like(vector)
-    nonzero = vector != 0
-    result[nonzero] = _EXP[log_s + _LOG[vector[nonzero]]]
-    return result.astype(np.uint8)
+def gf_mul_vector(scalar: int, vector: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Multiply a uint8 vector by a GF(256) scalar via one table gather.
+
+    With ``out=`` the product is written in place (the RS hot path reuses one
+    scratch buffer instead of allocating ``zeros_like`` temporaries per call).
+    """
+    row = _MUL_TABLE[scalar]
+    if out is None:
+        return row[vector]
+    np.take(row, vector, out=out)
+    return out
 
 
 def gf_matrix_inverse(matrix: np.ndarray) -> np.ndarray:
-    """Invert a square GF(256) matrix via Gauss-Jordan elimination."""
+    """Invert a square GF(256) matrix via vectorized Gauss-Jordan elimination.
+
+    Each pivot step normalises the pivot row and clears the pivot column of
+    every other row in one table-gather + XOR over the stacked ``[work |
+    inverse]`` matrix — no scalar inner loops.
+    """
     size = matrix.shape[0]
     if matrix.shape != (size, size):
         raise ValueError("matrix must be square")
+    work = np.concatenate(
+        [matrix.astype(np.uint8), np.eye(size, dtype=np.uint8)], axis=1
+    )
+    for column in range(size):
+        pivot_candidates = np.nonzero(work[column:, column])[0]
+        if pivot_candidates.size == 0:
+            raise DecodingError("singular decoding matrix (blocks not independent)")
+        pivot = column + int(pivot_candidates[0])
+        if pivot != column:
+            work[[column, pivot]] = work[[pivot, column]]
+        pivot_inv = _INV_TABLE[work[column, column]]
+        work[column] = _MUL_TABLE[pivot_inv][work[column]]
+        factors = work[:, column].copy()
+        factors[column] = 0
+        rows = np.nonzero(factors)[0]
+        if rows.size:
+            work[rows] ^= _MUL_TABLE[factors[rows, None], work[column][None, :]]
+    return work[:, size:].copy()
+
+
+def _legacy_gf_matrix_inverse(matrix: np.ndarray) -> np.ndarray:
+    """The seed scalar-loop inversion (kept for the legacy benchmark baseline)."""
+    size = matrix.shape[0]
     work = matrix.astype(np.int32).copy()
     inverse = np.eye(size, dtype=np.int32)
     for column in range(size):
@@ -108,6 +154,27 @@ def gf_matrix_inverse(matrix: np.ndarray) -> np.ndarray:
     return inverse.astype(np.uint8)
 
 
+@lru_cache(maxsize=128)
+def _cauchy_parity_rows(k: int, parity_blocks: int) -> np.ndarray:
+    """Parity rows of the generator matrix (Cauchy construction), cached."""
+    if k + parity_blocks > 255:
+        raise ValueError("k + parity must be <= 255 for GF(256) Cauchy construction")
+    x_values = np.arange(k, dtype=np.int32)
+    y_values = np.arange(k, k + parity_blocks, dtype=np.int32) + 1
+    rows = _INV_TABLE[(x_values[None, :] ^ y_values[:, None])].astype(np.int32)
+    rows.setflags(write=False)
+    return rows
+
+
+@lru_cache(maxsize=128)
+def _full_generator_cached(k: int, parity_blocks: int) -> np.ndarray:
+    generator = np.vstack(
+        [np.eye(k, dtype=np.int32), _cauchy_parity_rows(k, parity_blocks)]
+    )
+    generator.setflags(write=False)
+    return generator
+
+
 class ReedSolomonCode(ErasureCode):
     """Systematic (k, k + parity) Reed-Solomon code over GF(256)."""
 
@@ -120,33 +187,24 @@ class ReedSolomonCode(ErasureCode):
 
     def _generator_rows(self, k: int) -> np.ndarray:
         """Parity rows of the generator matrix (Cauchy construction)."""
-        if k + self.parity_blocks > 255:
-            raise ValueError("k + parity must be <= 255 for GF(256) Cauchy construction")
-        x_values = np.arange(k, dtype=np.int32)
-        y_values = np.arange(k, k + self.parity_blocks, dtype=np.int32) + 1
-        rows = np.zeros((self.parity_blocks, k), dtype=np.int32)
-        for i, y in enumerate(y_values):
-            for j, x in enumerate(x_values):
-                rows[i, j] = gf_inv(int(x) ^ int(y))
-        return rows
+        return _cauchy_parity_rows(k, self.parity_blocks)
 
     def _full_generator(self, k: int) -> np.ndarray:
-        return np.vstack([np.eye(k, dtype=np.int32), self._generator_rows(k)])
+        return _full_generator_cached(k, self.parity_blocks)
 
     # -- encode -----------------------------------------------------------------
     def encode(self, data: bytes, n_blocks: int) -> EncodedChunk:
-        originals = split_into_blocks(data, n_blocks)
-        block_size = len(originals[0]) if originals else 0
+        originals = split_into_matrix(data, n_blocks)
+        block_size = originals.shape[1]
         parity_rows = self._generator_rows(n_blocks)
+        parity = _gf_coeff_matmul(parity_rows, originals)
         encoded: List[EncodedBlock] = [
-            EncodedBlock(index=i, data=block.tobytes()) for i, block in enumerate(originals)
+            EncodedBlock(index=i, data=originals[i].tobytes()) for i in range(n_blocks)
         ]
-        for parity_index in range(self.parity_blocks):
-            value = np.zeros(block_size, dtype=np.uint8)
-            for data_index in range(n_blocks):
-                coefficient = int(parity_rows[parity_index, data_index])
-                np.bitwise_xor(value, gf_mul_vector(coefficient, originals[data_index]), out=value)
-            encoded.append(EncodedBlock(index=n_blocks + parity_index, data=value.tobytes()))
+        encoded.extend(
+            EncodedBlock(index=n_blocks + parity_index, data=parity[parity_index].tobytes())
+            for parity_index in range(self.parity_blocks)
+        )
         return EncodedChunk(
             code_name=self.name,
             original_size=len(data),
@@ -172,16 +230,25 @@ class ReedSolomonCode(ErasureCode):
         chosen = sorted(available)[:k]
         sub_matrix = generator[chosen, :]
         inverse = gf_matrix_inverse(sub_matrix)
-        received = [np.frombuffer(available[index], dtype=np.uint8) for index in chosen]
-        originals: List[np.ndarray] = []
-        for row in range(k):
-            value = np.zeros(chunk.block_size, dtype=np.uint8)
-            for column in range(k):
-                coefficient = int(inverse[row, column])
-                if coefficient:
-                    np.bitwise_xor(value, gf_mul_vector(coefficient, received[column]), out=value)
-            originals.append(value)
-        return join_blocks(originals, chunk.original_size)
+
+        received = np.empty((k, chunk.block_size), dtype=np.uint8)
+        for row, index in enumerate(chosen):
+            received[row] = np.frombuffer(available[index], dtype=np.uint8)
+
+        # Only the erased systematic rows need the matrix product; surviving
+        # systematic blocks pass through verbatim.
+        surviving = set(index for index in chosen if index < k)
+        erased = [row for row in range(k) if row not in surviving]
+        reconstructed = _gf_coeff_matmul(inverse[erased], received) if erased else None
+
+        originals = np.empty((k, chunk.block_size), dtype=np.uint8)
+        for row, index in enumerate(chosen):
+            if index < k:
+                originals[index] = received[row]
+        if reconstructed is not None:
+            for position, row in enumerate(erased):
+                originals[row] = reconstructed[position]
+        return originals.reshape(-1)[: chunk.original_size].tobytes()
 
     # -- metadata -----------------------------------------------------------------
     def spec(self, n_blocks: int) -> CodeSpec:
@@ -193,3 +260,29 @@ class ReedSolomonCode(ErasureCode):
             loss_tolerance=self.parity_blocks,
             size_overhead=self.parity_blocks / n_blocks if n_blocks else 0.0,
         )
+
+
+def _gf_coeff_matmul(coefficients: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """``out[i] = XOR_j coefficients[i, j] * blocks[j]`` over GF(256).
+
+    One table gather per (row, input-block) pair with a reused scratch
+    buffer — the structure the 256x256 multiplication table exists for.
+    """
+    m, k = coefficients.shape
+    width = blocks.shape[1]
+    out = np.zeros((m, width), dtype=np.uint8)
+    if width == 0:
+        return out
+    scratch = np.empty(width, dtype=np.uint8)
+    for i in range(m):
+        row = coefficients[i]
+        for j in range(k):
+            coefficient = int(row[j])
+            if coefficient == 0:
+                continue
+            elif coefficient == 1:
+                out[i] ^= blocks[j]
+            else:
+                gf_mul_vector(coefficient, blocks[j], out=scratch)
+                out[i] ^= scratch
+    return out

@@ -82,6 +82,8 @@ def run_coding_performance(config: Optional[CodingPerfConfig] = None) -> TableRe
             "encode_ms",
             "encode_overhead_pct",
             "decode_ms",
+            "encode_MBps",
+            "decode_MBps",
         ],
     )
 
@@ -102,5 +104,7 @@ def run_coding_performance(config: Optional[CodingPerfConfig] = None) -> TableRe
             encode_ms=encode * 1e3,
             encode_overhead_pct=(100.0 * (encode / null_encode - 1.0)) if null_encode > 0 else 0.0,
             decode_ms=decode * 1e3,
+            encode_MBps=float(np.mean([m.encode_throughput_mb_s for m in runs])),
+            decode_MBps=float(np.mean([m.decode_throughput_mb_s for m in runs])),
         )
     return table

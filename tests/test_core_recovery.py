@@ -157,3 +157,96 @@ def test_totals_empty_manager():
     totals = RecoveryManager(storage).totals()
     assert totals["failures"] == 0
     assert totals["total_regenerated_bytes"] == 0
+
+
+def test_rateless_repair_mints_fresh_check_blocks(dht):
+    """Online-code repair appends new stream indices instead of copying payloads."""
+    from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
+
+    storage = StorageSystem(
+        dht,
+        codec=ChunkCodec(
+            OnlineCode(OnlineCodeParameters(epsilon=0.2, q=3, quality=1.25), seed=9),
+            blocks_per_chunk=4,
+        ),
+        payload_mode=True,
+    )
+    data = np.random.default_rng(5).integers(0, 256, size=2 * MB, dtype=np.uint8).tobytes()
+    storage.store_bytes("file-r", data)
+    stored = storage.files["file-r"]
+    chunk = stored.data_chunks()[0]
+    initial_max_index = max(block.index for block in chunk.encoded.blocks)
+
+    recovery = RecoveryManager(storage)
+    victim = first_block_holder(storage, "file-r")
+    impact = recovery.handle_failure(victim)
+    assert impact.data_bytes_lost == 0
+
+    # The repaired chunk carries at least one block whose stream index
+    # continues past the original encoding (the rateless property).
+    repaired_max = max(
+        block.index for c in stored.data_chunks() for block in c.encoded.blocks
+    )
+    assert repaired_max > initial_max_index
+
+    out = storage.retrieve_file("file-r")
+    assert out.complete and out.data == data
+
+    # A second failure of a current holder still leaves the file decodable.
+    second = first_block_holder(storage, "file-r")
+    if second != victim:
+        recovery.handle_failure(second)
+        out = storage.retrieve_file("file-r")
+        assert out.complete and out.data == data
+
+
+def test_rateless_repair_refreshes_replica_payloads(dht):
+    """After a fresh check block is minted, surviving replicas must not serve
+    the stale pre-repair payload under the new stream index."""
+    from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
+
+    storage = StorageSystem(
+        dht,
+        codec=ChunkCodec(
+            OnlineCode(OnlineCodeParameters(epsilon=0.2, q=3, quality=1.25), seed=17),
+            blocks_per_chunk=4,
+        ),
+        policy=StoragePolicy(block_replication=2),
+        payload_mode=True,
+    )
+    data = np.random.default_rng(6).integers(0, 256, size=2 * MB, dtype=np.uint8).tobytes()
+    storage.store_bytes("file-s", data)
+    stored = storage.files["file-s"]
+
+    recovery = RecoveryManager(storage)
+    victim = first_block_holder(storage, "file-s")
+    recovery.handle_failure(victim)
+
+    # Invariant: every stored payload copy (primary or replica) matches the
+    # *current* encoded block at its placement position.  A stale replica
+    # would serve pre-repair bytes keyed by the new stream index — silent
+    # corruption when the primary is unreachable.
+    checked = 0
+    for chunk in stored.data_chunks():
+        for index, placement in enumerate(chunk.placements):
+            expected = chunk.encoded.blocks[index].data
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                key = (int(node_id), placement.block_name)
+                payload = storage._block_payloads.get(key)
+                if payload is not None:
+                    assert payload == expected, (
+                        f"stale payload on node {node_id} for {placement.block_name}"
+                    )
+                    checked += 1
+    assert checked > 0
+
+    # And retrieval still round-trips when the repaired primary disappears
+    # without a recovery pass (forcing replica fallback).
+    chunk = stored.data_chunks()[0]
+    new_primary = chunk.placements[0].node_id
+    if new_primary in storage.dht.network:
+        storage.dht.network.fail(new_primary)
+        storage.dht.remove(new_primary)
+    out = storage.retrieve_file("file-s")
+    if out.complete:
+        assert out.data == data

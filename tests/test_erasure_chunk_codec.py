@@ -81,3 +81,21 @@ def test_spec_passthrough():
     assert spec.input_blocks == 6
     assert spec.output_blocks == 8
     assert spec.required_blocks() == 6
+
+
+def test_measure_cold_clears_cached_structures():
+    from repro.erasure.chunk_codec import clear_coding_caches
+    from repro.erasure.online_code import OnlineCode, OnlineCodeParameters, code_graph
+
+    codec = ChunkCodec(
+        OnlineCode(OnlineCodeParameters(epsilon=0.2, q=3, quality=1.25), seed=2),
+        blocks_per_chunk=8,
+    )
+    data = payload(8_000, seed=4)
+    warm = codec.measure(data)
+    assert code_graph.cache_info().currsize > 0
+    cold = codec.measure(data, cold=True)
+    # Cold and warm measurements decode the same bytes either way.
+    assert cold.encoded_size == warm.encoded_size
+    clear_coding_caches()
+    assert code_graph.cache_info().currsize == 0

@@ -1,0 +1,36 @@
+"""Wall-clock smoke guards for the coding kernel (tier-1, generous budgets).
+
+The real throughput numbers live in ``benchmarks/test_bench_coding_throughput``
+(run with ``-m bench``); these assertions only catch order-of-magnitude
+regressions — e.g. an accidental return to per-block RNG construction or
+scalar elimination — without making tier-1 timing-sensitive.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
+
+MB = 1 << 20
+
+
+def test_online_encode_1mib_256_blocks_within_budget():
+    data = np.random.default_rng(11).integers(0, 256, size=1 * MB, dtype=np.uint8).tobytes()
+    code = OnlineCode(OnlineCodeParameters(epsilon=0.01, q=3), seed=11)
+    code.encode(data, 256)  # cold run builds and caches the code graph
+    start = time.perf_counter()
+    encoded = code.encode(data, 256)
+    elapsed = time.perf_counter() - start
+    # ~3-4 ms on the development machine; the budget is deliberately generous
+    # (x100+) so only catastrophic regressions trip it.
+    assert elapsed < 1.0, f"warm online encode took {elapsed:.3f}s for 1 MiB / 256 blocks"
+
+    available = {block.index: block.data for block in encoded.blocks}
+    code.decode(encoded, available)  # cold decode compiles the program
+    start = time.perf_counter()
+    assert code.decode(encoded, available) == data
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0, f"warm online decode took {elapsed:.3f}s for 1 MiB / 256 blocks"
