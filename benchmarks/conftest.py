@@ -27,6 +27,12 @@ BENCH_CODING_PATH = Path(__file__).resolve().parent.parent / "BENCH_coding.json"
 #: Rows accumulated by ``test_bench_coding_throughput.py`` during the session.
 _CODING_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the insertion-throughput benchmark writes its trajectory record.
+BENCH_INSERTION_PATH = Path(__file__).resolve().parent.parent / "BENCH_insertion.json"
+
+#: Rows accumulated by ``test_bench_insertion_throughput.py`` during the session.
+_INSERTION_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -48,15 +54,27 @@ def coding_bench_results() -> dict:
     return _CODING_RESULTS
 
 
+@pytest.fixture(scope="session")
+def insertion_bench_results() -> dict:
+    """Session accumulator for insertion-throughput rows (written at exit)."""
+    return _INSERTION_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Persist BENCH_coding.json so the perf trajectory is tracked across PRs.
+    """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
     Only a clean, complete sweep (summary computed, session green) may
-    overwrite the previous record — a failed or interrupted run must not
-    destroy the trajectory.
+    overwrite the previous record of its file — a failed, filtered or
+    interrupted run must not destroy the trajectory, and the records merge
+    independently (running only the insertion sweep leaves BENCH_coding.json
+    untouched and vice versa).
     """
-    if exitstatus == 0 and _CODING_RESULTS["results"] and _CODING_RESULTS["speedups"]:
+    if exitstatus != 0:
+        return
+    if _CODING_RESULTS["results"] and _CODING_RESULTS["speedups"]:
         BENCH_CODING_PATH.write_text(json.dumps(_CODING_RESULTS, indent=2) + "\n")
+    if _INSERTION_RESULTS["results"] and _INSERTION_RESULTS["speedups"]:
+        BENCH_INSERTION_PATH.write_text(json.dumps(_INSERTION_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.baselines.common import BaselineStoreResult
+from repro.core import naming
 from repro.overlay.dht import DHTView
 from repro.overlay.ids import key_for
 from repro.overlay.node import OverlayNode
@@ -26,7 +27,17 @@ DEFAULT_BLOCK_SIZE = 4 * (1 << 20)
 
 
 class CfsStore:
-    """A CFS-style fixed-block store over a DHT view."""
+    """A CFS-style fixed-block store over a DHT view.
+
+    With ``vectorized=True`` (the default) the attempt-0 placements of *all*
+    blocks of a file are resolved in one pass -- the block names are hashed in
+    a batch and pushed through the ``searchsorted`` kernel of the array-backed
+    placement engine -- and only blocks whose target turns out to be full fall
+    back to per-attempt salted re-hashing, exactly mirroring the scalar retry
+    order.  Results, placements and lookup counts are identical to the
+    preserved seed path (``vectorized=False``); the equivalence is asserted by
+    ``tests/test_placement_equivalence.py``.
+    """
 
     def __init__(
         self,
@@ -35,6 +46,7 @@ class CfsStore:
         replication: int = 1,
         retries_per_block: int = 3,
         rollback_on_failure: bool = True,
+        vectorized: bool = True,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
@@ -47,6 +59,7 @@ class CfsStore:
         self.replication = replication
         self.retries_per_block = retries_per_block
         self.rollback_on_failure = rollback_on_failure
+        self.vectorized = vectorized
         #: filename -> list of (block name, primary holder, size, replica holders)
         self.files: Dict[str, List[tuple[str, OverlayNode, int, List[OverlayNode]]]] = {}
         self.total_lookups = 0
@@ -73,6 +86,12 @@ class CfsStore:
                 lookups=0,
                 failure_reason="file already stored",
             )
+        if self.vectorized:
+            return self._store_file_batched(filename, size)
+        return self._store_file_scalar(filename, size)
+
+    def _store_file_scalar(self, filename: str, size: int) -> BaselineStoreResult:
+        """The preserved seed path: one scalar DHT lookup per placement attempt."""
         block_count = self.block_count_for(size)
         lookups = 0
         placements: List[tuple[str, OverlayNode, int, List[OverlayNode]]] = []
@@ -91,21 +110,7 @@ class CfsStore:
                     placed = True
                     break
             if not placed:
-                self.total_lookups += lookups
-                if self.rollback_on_failure:
-                    self._release(placements)
-                    stored_bytes = 0
-                else:
-                    stored_bytes = sum(entry[2] for entry in placements)
-                return BaselineStoreResult(
-                    filename=filename,
-                    requested_size=size,
-                    success=False,
-                    stored_bytes=stored_bytes,
-                    chunk_count=len(placements),
-                    lookups=lookups,
-                    failure_reason=f"block {index} could not be placed",
-                )
+                return self._fail(filename, size, placements, lookups, index)
         self.files[filename] = placements
         self.total_lookups += lookups
         return BaselineStoreResult(
@@ -115,6 +120,93 @@ class CfsStore:
             stored_bytes=size,
             chunk_count=block_count,
             lookups=lookups,
+        )
+
+    def _store_file_batched(self, filename: str, size: int) -> BaselineStoreResult:
+        """Array-engine path: batch-resolve every attempt-0 target, then apply.
+
+        The attempt-0 resolutions are speculative (a file that fails at block
+        ``i`` would never have looked up blocks beyond ``i`` in the scalar
+        path), so lookups are charged to the view only as placement attempts
+        are actually consumed -- keeping ``lookup_count`` parity with the
+        scalar pipeline even on failed stores.
+        """
+        block_count = self.block_count_for(size)
+        state = self.dht.state
+        names = [self._block_name(filename, index, 0) for index in range(block_count)]
+        if block_count:
+            # Raises LookupError on an empty view, like the scalar path's
+            # first dht.lookup; a zero-block file never looks anything up.
+            targets = self.dht.resolve_digests(naming.name_digests(names), count=False).tolist()
+        else:
+            targets = []
+        state_nodes = state.nodes
+        lookups = 0
+        placements: List[tuple[str, OverlayNode, int, List[OverlayNode]]] = []
+        append_placement = placements.append
+        remaining = size
+        block_size = self.block_size
+        retries = self.retries_per_block
+        replicated = self.replication > 1
+        for index, (name, target_index) in enumerate(zip(names, targets)):
+            block_bytes = block_size if remaining >= block_size else remaining
+            remaining -= block_bytes
+            target = state_nodes[target_index]
+            lookups += 1
+            if target.store_block(name, block_bytes):
+                replicas = self._replicate(name, block_bytes, target) if replicated else []
+                append_placement((name, target, block_bytes, replicas))
+                continue
+            # Salted retries: resolved lazily, in the scalar attempt order.
+            # (No per-call lookup_count bump here: this path charges the
+            # view's counter in bulk, for parity with failed-store accounting.)
+            placed = False
+            for attempt in range(1, retries + 1):
+                salted = self._block_name(filename, index, attempt)
+                target = state.lookup_node(naming.key_int_for_name(salted))
+                lookups += 1
+                if target.store_block(salted, block_bytes):
+                    replicas = self._replicate(salted, block_bytes, target) if replicated else []
+                    append_placement((salted, target, block_bytes, replicas))
+                    placed = True
+                    break
+            if not placed:
+                self.dht.lookup_count += lookups
+                return self._fail(filename, size, placements, lookups, index)
+        self.dht.lookup_count += lookups
+        self.files[filename] = placements
+        self.total_lookups += lookups
+        return BaselineStoreResult(
+            filename=filename,
+            requested_size=size,
+            success=True,
+            stored_bytes=size,
+            chunk_count=block_count,
+            lookups=lookups,
+        )
+
+    def _fail(
+        self,
+        filename: str,
+        size: int,
+        placements: List[tuple[str, OverlayNode, int, List[OverlayNode]]],
+        lookups: int,
+        index: int,
+    ) -> BaselineStoreResult:
+        self.total_lookups += lookups
+        if self.rollback_on_failure:
+            self._release(placements)
+            stored_bytes = 0
+        else:
+            stored_bytes = sum(entry[2] for entry in placements)
+        return BaselineStoreResult(
+            filename=filename,
+            requested_size=size,
+            success=False,
+            stored_bytes=stored_bytes,
+            chunk_count=len(placements),
+            lookups=lookups,
+            failure_reason=f"block {index} could not be placed",
         )
 
     def _replicate(self, name: str, size: int, primary: OverlayNode) -> List[OverlayNode]:

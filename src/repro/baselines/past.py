@@ -16,14 +16,22 @@ from typing import List, Optional
 
 from repro.baselines.common import BaselineStoreResult
 from repro.overlay.dht import DHTView
-from repro.overlay.ids import key_for
 from repro.overlay.node import OverlayNode
 
 
 class PastStore:
-    """A PAST-style whole-file store over a DHT view."""
+    """A PAST-style whole-file store over a DHT view.
 
-    def __init__(self, dht: DHTView, replication: int = 1, retries: int = 3) -> None:
+    With ``vectorized=True`` (default) the per-attempt lookup runs on the
+    array-backed placement engine (raw SHA-1 -> boundary ``bisect``), skipping
+    the ``NodeId`` wrapping and ring-distance arithmetic of the preserved seed
+    path (``vectorized=False``).  Both resolve every name to the same node and
+    charge the same lookup counts.
+    """
+
+    def __init__(
+        self, dht: DHTView, replication: int = 1, retries: int = 3, vectorized: bool = True
+    ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         if retries < 0:
@@ -31,12 +39,16 @@ class PastStore:
         self.dht = dht
         self.replication = replication
         self.retries = retries
+        self.vectorized = vectorized
         #: filename -> (name actually stored under, holder nodes).
         self.files: dict[str, tuple[str, List[OverlayNode]]] = {}
         self.total_lookups = 0
 
     def _salted_name(self, filename: str, attempt: int) -> str:
         return filename if attempt == 0 else f"{filename}#salt{attempt}"
+
+    def _locate(self, name: str) -> OverlayNode:
+        return self.dht.locate_name(name, self.vectorized)
 
     def store_file(self, filename: str, size: int) -> BaselineStoreResult:
         """Insert one file; a single p2p lookup per attempt, as in PAST."""
@@ -53,7 +65,7 @@ class PastStore:
         lookups = 0
         for attempt in range(self.retries + 1):
             name = self._salted_name(filename, attempt)
-            target = self.dht.lookup(key_for(name))
+            target = self._locate(name)
             lookups += 1
             holders = self._try_place(name, size, target)
             if holders is not None:

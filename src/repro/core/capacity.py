@@ -84,6 +84,44 @@ class CapacityProbe:
             lookups=len(names),
         )
 
+    def probe_chunk_fast(self, filename: str, chunk_no: int, encoded_blocks: int) -> ProbeResult:
+        """Array-engine variant of :meth:`probe_chunk`: identical result, batched.
+
+        All block names of the chunk are hashed at once and resolved through
+        the ``searchsorted`` kernel; lookup accounting matches the scalar path
+        exactly (one lookup per probed block).
+        """
+        if encoded_blocks < 1:
+            raise ValueError("encoded_blocks must be >= 1")
+        state = self.dht.state
+        if encoded_blocks == 1:
+            # The dominant configuration of the insertion experiments (one
+            # encoded block per chunk): skip all intermediate containers.
+            name = naming.block_name(filename, chunk_no, 1)
+            node = state.lookup_node(naming.key_int_for_name(name))
+            self.dht.lookup_count += 1
+            self.total_probes += 1
+            return ProbeResult(
+                block_names=(name,), nodes=(node,), offers=(self.offer_from(node),), lookups=1
+            )
+        names = naming.block_names(filename, chunk_no, encoded_blocks)
+        if encoded_blocks >= 4:
+            indices = state.lookup_digests(naming.name_digests(names)).tolist()
+        else:
+            indices = [state.lookup_index(naming.key_int_for_name(name)) for name in names]
+        self.dht.lookup_count += len(names)
+        state_nodes = state.nodes
+        offer_from = self.offer_from
+        nodes = tuple(state_nodes[index] for index in indices)
+        offers = tuple(offer_from(node) for node in nodes)
+        self.total_probes += len(names)
+        return ProbeResult(
+            block_names=tuple(names),
+            nodes=nodes,
+            offers=offers,
+            lookups=len(names),
+        )
+
     def probe_names(self, names: Sequence[str]) -> ProbeResult:
         """Probe the responsible nodes for an explicit list of object names."""
         nodes: List[OverlayNode] = []

@@ -13,7 +13,10 @@ The CAT file for a file is named ``filename.CAT``.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+import hashlib
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.overlay.ids import NodeId, key_for
 
@@ -97,3 +100,36 @@ def parse_block_name(name: str) -> Optional[ParsedBlockName]:
 def key_for_name(name: str) -> NodeId:
     """The DHT key of a named object (SHA-1 of the name, Section 4.1)."""
     return key_for(name)
+
+
+# -- batch helpers for the array-backed placement engine -------------------------
+def block_names(filename: str, chunk_no: int, count: int) -> List[str]:
+    """The names of all ``count`` encoded blocks of one chunk, in ECB order."""
+    if chunk_no < 1:
+        raise ValueError(f"chunk numbers are 1-based, got {chunk_no}")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    prefix = f"{filename}{SEPARATOR}{chunk_no}{SEPARATOR}"
+    return [f"{prefix}{ecb}" for ecb in range(1, count + 1)]
+
+
+def key_digest(name: str) -> bytes:
+    """The raw 20-byte SHA-1 digest of a name (the key's big-endian encoding)."""
+    return hashlib.sha1(name.encode("utf-8")).digest()
+
+
+def key_int_for_name(name: str) -> int:
+    """The DHT key of a name as a plain int (hot-path variant of key_for_name)."""
+    return int.from_bytes(hashlib.sha1(name.encode("utf-8")).digest(), "big")
+
+
+def name_digests(names: Sequence[str]) -> np.ndarray:
+    """SHA-1 digests of all ``names`` at once, as an ``S20`` array.
+
+    The byte-string encoding orders exactly like the integer keys, so the
+    result can be fed straight into the ``searchsorted`` lookup kernels of
+    :class:`repro.overlay.node_state.NodeArrayState`.
+    """
+    sha1 = hashlib.sha1
+    buffer = b"".join(sha1(name.encode("utf-8")).digest() for name in names)
+    return np.frombuffer(buffer, dtype="S20")

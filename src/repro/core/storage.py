@@ -128,13 +128,21 @@ class StorageSystem:
         policy: Optional[StoragePolicy] = None,
         payload_mode: bool = False,
         track_neighbor_ledgers: bool = False,
+        vectorized: bool = True,
     ) -> None:
         self.dht = dht
         self.codec = codec or ChunkCodec(NullCode(), blocks_per_chunk=1)
         self.policy = policy or StoragePolicy()
         self.payload_mode = payload_mode
         self.track_neighbor_ledgers = track_neighbor_ledgers
+        #: When True (the default) capacity probes and name lookups run on the
+        #: array-backed placement engine (batched SHA-1 + ``searchsorted``
+        #: kernels); when False, the preserved seed scalar path is used.  Both
+        #: produce byte-identical placements, results and lookup counts -- the
+        #: equivalence is asserted by ``tests/test_placement_equivalence.py``.
+        self.vectorized = vectorized
         self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
+        self._probe_chunk = self.probe.probe_chunk_fast if vectorized else self.probe.probe_chunk
         self.chunker = Chunker(self.probe, self.codec, self.policy)
         self.files: Dict[str, StoredFile] = {}
         #: Payload-mode block contents: (node id value, block name) -> bytes.
@@ -180,7 +188,7 @@ class StorageSystem:
         failure_reason: Optional[str] = None
 
         while remaining > 0:
-            probe = self.probe.probe_chunk(filename, chunk_no, encoded_blocks)
+            probe = self._probe_chunk(filename, chunk_no, encoded_blocks)
             chunk_size = self.chunker.size_chunk(probe, remaining)
             chunk = StoredChunk(chunk_no=chunk_no, start=offset, size=chunk_size)
             if chunk_size > 0:
@@ -276,9 +284,7 @@ class StorageSystem:
             name = probe.block_names[index] if index < len(probe.block_names) else naming.block_name(
                 filename, chunk.chunk_no, index + 1
             )
-            node = probe.nodes[index] if index < len(probe.nodes) else self.dht.lookup(
-                naming.key_for_name(name)
-            )
+            node = probe.nodes[index] if index < len(probe.nodes) else self._locate(name)
             if not node.store_block(name, block_size):
                 for placement in placements:
                     self._release_placement(placement)
@@ -296,6 +302,10 @@ class StorageSystem:
                 self._record_in_ledgers(name, block_size, filename, node)
         chunk.placements = placements
         return True
+
+    def _locate(self, name: str) -> OverlayNode:
+        """The node responsible for ``name``, via the configured lookup path."""
+        return self.dht.locate_name(name, self.vectorized)
 
     def _replicate_block(self, name: str, size: int, primary: OverlayNode) -> Tuple[NodeId, ...]:
         """Best-effort placement of ``block_replication - 1`` neighbour replicas."""
@@ -348,7 +358,7 @@ class StorageSystem:
         primary: Optional[OverlayNode] = None
         for attempt in range(self.policy.cat_store_retries + 1):
             name = base_name if attempt == 0 else f"{base_name}~salt{attempt}"
-            node = self.dht.lookup(naming.key_for_name(name))
+            node = self._locate(name)
             if primary is None:
                 primary = node
             self.total_lookups += 1

@@ -10,6 +10,16 @@ stored (Fig. 8), the overall capacity utilisation (Fig. 9) and the chunk-count
 The harness reproduces that loop at a configurable scale.  Every scheme runs
 against its own copy of an identical node population (same ids, same
 capacities) so the comparison isolates the placement policy.
+
+With ``InsertionConfig.vectorized=True`` (the default) the whole pipeline runs
+on the array-backed placement engine: populations are built without the
+O(N^2) per-node Pastry state, every store resolves its block names through
+batched ``searchsorted`` kernels, and the periodic utilization samples read
+the view's incremental aggregates in O(1) instead of scanning all nodes.
+``vectorized=False`` preserves the seed scalar path end to end; both produce
+identical curves for identical seeds (``tests/test_placement_equivalence.py``),
+and ``benchmarks/test_bench_insertion_throughput.py`` records the files/s and
+lookups/s of both in ``BENCH_insertion.json``.
 """
 
 from __future__ import annotations
@@ -65,6 +75,22 @@ class InsertionConfig:
     sample_points: int = 20
     seed: int = 1
     repetitions: int = 1
+    #: Run the stores on the array-backed placement engine (batched lookups,
+    #: fast O(N) population build).  ``False`` preserves the seed scalar path
+    #: end to end -- including the O(N^2) per-node Pastry state construction --
+    #: and is the baseline the insertion benchmarks and the equivalence oracle
+    #: compare against.  Both settings produce identical curves for identical
+    #: seeds.
+    vectorized: bool = True
+    #: Override the population-build mode independently of the pipeline mode
+    #: (None = follow ``vectorized``).  The benchmarks use ``fast_build=True``
+    #: with ``vectorized=False`` to time the scalar *pipeline* at population
+    #: sizes where the seed's O(N^2) build would never finish.
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
 
     def resolved_file_count(self) -> int:
         """File count implied by the expected utilisation when not set explicitly."""
@@ -114,6 +140,9 @@ class InsertionExperiment:
 
     def __init__(self, config: Optional[InsertionConfig] = None) -> None:
         self.config = config or InsertionConfig()
+        #: The DHT views of the most recent :meth:`run_once` (scheme -> view);
+        #: benchmarks read their lookup counters from here.
+        self.last_views: Dict[str, DHTView] = {}
 
     # -- population construction -----------------------------------------------
     def _build_population(self, streams: RandomStreams, replication_index: int) -> Dict[str, DHTView]:
@@ -130,11 +159,15 @@ class InsertionExperiment:
         views: Dict[str, DHTView] = {}
         for scheme in self.SCHEMES:
             # Identical node ids and capacities per scheme: rebuild from the
-            # same derived stream so the populations match exactly.
+            # same derived stream so the populations match exactly.  The
+            # vectorized engine skips per-node Pastry routing state (the DHT
+            # view never routes hop by hop); the RNG draws are identical, so
+            # the populations -- and therefore the curves -- are unchanged.
             network = OverlayNetwork.build(
                 config.node_count,
                 rng=streams.fresh("overlay", replication_index),
                 capacities=list(capacities),
+                routing_state=not config.resolved_fast_build(),
             )
             views[scheme] = DHTView(network)
         return views
@@ -155,14 +188,21 @@ class InsertionExperiment:
         config = self.config
         streams = RandomStreams(config.seed)
         views = self._build_population(streams, replication_index)
+        self.last_views = views
         trace = self._build_trace(streams, replication_index)
 
-        past = PastStore(views["PAST"], replication=config.replication, retries=config.past_retries)
+        past = PastStore(
+            views["PAST"],
+            replication=config.replication,
+            retries=config.past_retries,
+            vectorized=config.vectorized,
+        )
         cfs = CfsStore(
             views["CFS"],
             block_size=config.cfs_block_size,
             replication=config.replication,
             retries_per_block=config.cfs_retries_per_block,
+            vectorized=config.vectorized,
         )
         ours = StorageSystem(
             views["Our System"],
@@ -171,6 +211,7 @@ class InsertionExperiment:
                 max_consecutive_zero_chunks=config.zero_chunk_limit,
                 block_replication=config.replication,
             ),
+            vectorized=config.vectorized,
         )
 
         stats = {scheme: InsertionStats() for scheme in self.SCHEMES}

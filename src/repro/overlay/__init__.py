@@ -29,6 +29,7 @@ from repro.overlay.ids import (
     ring_between,
 )
 from repro.overlay.node import LeafSet, OverlayNode
+from repro.overlay.node_state import NodeArrayState
 from repro.overlay.routing import RoutingTable
 from repro.overlay.network import OverlayNetwork, RouteResult
 from repro.overlay.dht import DHTView
@@ -43,6 +44,7 @@ __all__ = [
     "random_node_id",
     "ring_between",
     "LeafSet",
+    "NodeArrayState",
     "OverlayNode",
     "RoutingTable",
     "OverlayNetwork",

@@ -4,25 +4,36 @@ The large-scale insertion experiments of the paper (1.2 M files over 10 000
 nodes) charge the system per-lookup *costs* but do not depend on the exact
 hop-by-hop path of each message -- only on which node every key resolves to,
 which in a converged Pastry overlay is simply the live node numerically
-closest to the key.  :class:`DHTView` provides that mapping in O(log N) per
-lookup by keeping the live node ids in a sorted array (NumPy ``searchsorted``),
-together with the neighbour/replica-set queries the storage system needs.
+closest to the key.  :class:`DHTView` provides that mapping through an
+array-backed :class:`~repro.overlay.node_state.NodeArrayState`:
+
+* :meth:`lookup` keeps the seed implementation (bisect over the sorted ids
+  plus exact ring-distance comparison) -- it is the reference path the
+  vectorized kernels are benchmarked against, and its per-call cost is the
+  honest scalar baseline recorded in ``BENCH_insertion.json``;
+* :meth:`lookup_many` / :meth:`resolve_digests` are the batched kernels: all
+  keys are resolved with a single ``np.searchsorted`` over precomputed
+  responsibility boundaries (no per-key distance math);
+* capacity aggregates (:meth:`total_capacity`, :meth:`total_used`,
+  :meth:`utilization`) are O(1), maintained incrementally by the state.
 
 The result of :meth:`DHTView.lookup` is always identical to
 :meth:`repro.overlay.network.OverlayNetwork.responsible_node`; tests assert
-this equivalence.
+this equivalence, and ``tests/test_overlay_node_state.py`` asserts that the
+vectorized kernels agree with :meth:`lookup` key-for-key.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
-from repro.overlay.ids import ID_SPACE, NodeId, distance
+from repro.overlay.ids import ID_SPACE, NodeId, distance, key_for
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.node import OverlayNode
+from repro.overlay.node_state import NodeArrayState
 
 
 class DHTView:
@@ -30,75 +41,105 @@ class DHTView:
 
     def __init__(self, network: OverlayNetwork) -> None:
         self.network = network
-        self._sorted_ids: List[int] = []
-        self._id_to_node: Dict[int, OverlayNode] = {}
+        self.state = NodeArrayState()
         self.lookup_count = 0
         self.refresh()
 
     # -- maintenance ----------------------------------------------------------
     def refresh(self) -> None:
         """Rebuild the index from the overlay's current live population."""
-        live = self.network.live_nodes()
-        self._id_to_node = {int(node.node_id): node for node in live}
-        self._sorted_ids = sorted(self._id_to_node)
+        self.state.rebuild(self.network.live_nodes())
 
     def remove(self, node_id: NodeId) -> None:
         """Incrementally drop a node that failed or left."""
-        value = int(node_id)
-        if value in self._id_to_node:
-            del self._id_to_node[value]
-            index = bisect.bisect_left(self._sorted_ids, value)
-            if index < len(self._sorted_ids) and self._sorted_ids[index] == value:
-                del self._sorted_ids[index]
+        self.state.remove(int(node_id))
 
     def add(self, node: OverlayNode) -> None:
         """Incrementally add a node that joined or recovered."""
-        value = int(node.node_id)
-        if value not in self._id_to_node:
-            self._id_to_node[value] = node
-            bisect.insort(self._sorted_ids, value)
+        self.state.add(node)
 
     # -- queries ---------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._sorted_ids)
+        return len(self.state)
 
     @property
     def live_count(self) -> int:
         """Number of live nodes currently indexed."""
-        return len(self._sorted_ids)
+        return len(self.state)
+
+    @property
+    def _sorted_ids(self) -> List[int]:
+        """The indexed node ids, ascending (kept for introspection/tests)."""
+        return self.state.ids_int
 
     def lookup(self, key: NodeId) -> OverlayNode:
-        """The live node numerically closest to ``key`` (the DHT root for the key)."""
-        if not self._sorted_ids:
+        """The live node numerically closest to ``key`` (the DHT root for the key).
+
+        This is the seed scalar path, preserved verbatim so that
+        ``vectorized=False`` pipelines measure the original per-lookup cost;
+        the batched kernels below produce identical results.
+        """
+        sorted_ids = self.state.ids_int
+        if not sorted_ids:
             raise LookupError("no live nodes in the DHT")
         self.lookup_count += 1
         value = int(key) % ID_SPACE
-        index = bisect.bisect_left(self._sorted_ids, value)
+        index = bisect.bisect_left(sorted_ids, value)
         candidates = {
-            self._sorted_ids[index % len(self._sorted_ids)],
-            self._sorted_ids[(index - 1) % len(self._sorted_ids)],
+            sorted_ids[index % len(sorted_ids)],
+            sorted_ids[(index - 1) % len(sorted_ids)],
         }
         best = min(candidates, key=lambda nid: (distance(nid, value), nid))
-        return self._id_to_node[best]
+        return self.state.nodes[self.state.position(best)]
 
     def lookup_many(self, keys: Iterable[NodeId]) -> List[OverlayNode]:
-        """Vectorised convenience wrapper over :meth:`lookup`."""
-        return [self.lookup(key) for key in keys]
+        """Vectorised batch lookup: one ``searchsorted`` for the whole batch.
+
+        Counts every key in :attr:`lookup_count`, exactly like issuing the
+        lookups one by one.
+        """
+        key_list = [int(key) % ID_SPACE for key in keys]
+        if not key_list:
+            return []
+        if not len(self.state):
+            raise LookupError("no live nodes in the DHT")
+        self.lookup_count += len(key_list)
+        digests = b"".join(value.to_bytes(20, "big") for value in key_list)
+        indices = self.state.lookup_digests(digests)
+        nodes = self.state.nodes
+        return [nodes[index] for index in indices]
+
+    def locate_name(self, name: str, vectorized: bool = True) -> OverlayNode:
+        """Resolve an object name to its responsible node, counting one lookup.
+
+        The single place that owns the "scalar seed path vs boundary kernel"
+        switch for by-name lookups: ``vectorized=True`` resolves through the
+        array engine (counting the lookup only once it succeeded, matching
+        :meth:`lookup`'s raise-before-count behaviour on an empty view);
+        ``vectorized=False`` is exactly the seed :meth:`lookup` call.
+        """
+        if vectorized:
+            node = self.state.lookup_node(int(key_for(name)))
+            self.lookup_count += 1
+            return node
+        return self.lookup(key_for(name))
+
+    def resolve_digests(self, digests, count: bool = True) -> np.ndarray:
+        """Resolve raw 20-byte key digests to node indices (batch kernel).
+
+        ``count=False`` skips the :attr:`lookup_count` accounting -- used by
+        pipelines that resolve speculatively and charge lookups themselves to
+        keep parity with the scalar retry accounting.
+        """
+        indices = self.state.lookup_digests(digests)
+        if count:
+            self.lookup_count += len(indices)
+        return indices
 
     def successors(self, key: NodeId, count: int) -> List[OverlayNode]:
         """The ``count`` live nodes that follow ``key`` clockwise (CFS-style replica set)."""
-        if count < 0:
-            raise ValueError("count must be non-negative")
-        if not self._sorted_ids:
-            raise LookupError("no live nodes in the DHT")
-        value = int(key) % ID_SPACE
-        start = bisect.bisect_left(self._sorted_ids, value)
-        result: List[OverlayNode] = []
-        size = len(self._sorted_ids)
-        for offset in range(min(count, size)):
-            node_id = self._sorted_ids[(start + offset) % size]
-            result.append(self._id_to_node[node_id])
-        return result
+        nodes = self.state.nodes
+        return [nodes[index] for index in self.state.successor_indices(int(key), count)]
 
     def neighbors(self, node_id: NodeId, count: int) -> List[OverlayNode]:
         """The ``count`` live nodes numerically closest to ``node_id`` (excluding it).
@@ -106,26 +147,8 @@ class DHTView:
         Used to pick replica targets "k-1 of its neighbors in the identifier
         space" (Section 4.4.1) and CAT replica holders.
         """
-        if count <= 0:
-            return []
-        if not self._sorted_ids:
-            raise LookupError("no live nodes in the DHT")
-        value = int(node_id) % ID_SPACE
-        index = bisect.bisect_left(self._sorted_ids, value)
-        size = len(self._sorted_ids)
-        seen: set[int] = {value}
-        candidates: List[int] = []
-        # Walk outwards alternately on both sides; enough to cover `count`.
-        for step in range(1, min(size, count * 2 + 2) + 1):
-            for candidate in (
-                self._sorted_ids[(index + step - 1) % size],
-                self._sorted_ids[(index - step) % size],
-            ):
-                if candidate not in seen:
-                    seen.add(candidate)
-                    candidates.append(candidate)
-        candidates.sort(key=lambda nid: (distance(nid, value), nid))
-        return [self._id_to_node[nid] for nid in candidates[:count]]
+        nodes = self.state.nodes
+        return [nodes[index] for index in self.state.neighbor_indices(int(node_id), count)]
 
     def immediate_neighbors(self, node_id: NodeId) -> List[OverlayNode]:
         """The immediate clockwise and counter-clockwise live neighbours of a node."""
@@ -133,22 +156,21 @@ class DHTView:
 
     def live_node_objects(self) -> List[OverlayNode]:
         """All live nodes in id order."""
-        return [self._id_to_node[nid] for nid in self._sorted_ids]
+        return list(self.state.nodes)
 
     # -- statistics --------------------------------------------------------------
     def total_capacity(self) -> int:
-        """Total contributed capacity across indexed live nodes (bytes)."""
-        return sum(node.capacity for node in self._id_to_node.values())
+        """Total contributed capacity across indexed live nodes (bytes), O(1)."""
+        return self.state.capacity_total
 
     def total_used(self) -> int:
-        """Total consumed space across indexed live nodes (bytes)."""
-        return sum(node.used for node in self._id_to_node.values())
+        """Total consumed space across indexed live nodes (bytes), O(1)."""
+        return self.state.used_total
 
     def utilization(self) -> float:
-        """Used / capacity over the indexed live nodes."""
-        capacity = self.total_capacity()
-        return (self.total_used() / capacity) if capacity else 0.0
+        """Used / capacity over the indexed live nodes, O(1)."""
+        return self.state.utilization()
 
     def free_space_array(self) -> np.ndarray:
         """Free bytes per live node (in id order), for vectorised analyses."""
-        return np.asarray([node.free for node in self.live_node_objects()], dtype=np.int64)
+        return self.state.free_space_array()

@@ -57,11 +57,21 @@ class OverlayNetwork:
         rng: np.random.Generator,
         capacities: Optional[Sequence[int]] = None,
         leaf_set_half_size: int = 8,
+        routing_state: bool = True,
     ) -> "OverlayNetwork":
         """Create an overlay of ``count`` nodes with random ids and coordinates.
 
         ``capacities`` optionally assigns contributed storage per node (bytes);
         it must have length ``count`` when given.
+
+        ``routing_state=False`` skips the O(N^2) construction of per-node leaf
+        sets and routing tables.  The resulting overlay draws *exactly* the
+        same random ids, coordinates and capacities (the RNG consumption is
+        identical), so DHT-view-based experiments -- which never route hop by
+        hop -- get an identical population at a fraction of the cost; this is
+        what makes the paper's 10 000-node configurations practical.  Hop-by-
+        hop :meth:`route` calls on such an overlay fall back to jumping
+        straight to the responsible node.
         """
         if count < 1:
             raise ValueError("overlay needs at least one node")
@@ -78,7 +88,10 @@ class OverlayNetwork:
                 capacity=int(capacities[index]) if capacities is not None else 0,
             )
             node.leaf_set = type(node.leaf_set)(node_id, leaf_set_half_size)
-            network._insert(node)
+            if routing_state:
+                network._insert(node)
+            else:
+                network._nodes[node.node_id] = node
         return network
 
     def _insert(self, node: OverlayNode) -> None:

@@ -16,7 +16,7 @@ the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import ClassVar, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.overlay.ids import NodeId, clockwise_distance, distance
 from repro.overlay.routing import RoutingTable
@@ -130,7 +130,9 @@ class OverlayNode:
     coordinates: tuple[float, float] = (0.0, 0.0)
     #: Total storage contributed by this participant, in bytes.
     capacity: int = 0
-    #: Bytes currently consumed by stored blocks.
+    #: Bytes currently consumed by stored blocks.  Exposed as a property (see
+    #: below the class) so that attached :class:`~repro.overlay.node_state.`
+    #: ``NodeArrayState`` indexes can maintain O(1) usage aggregates.
     used: int = 0
     #: Whether the node is currently alive.
     alive: bool = True
@@ -144,6 +146,15 @@ class OverlayNode:
     stored_blocks: Dict[str, int] = field(default_factory=dict)
     #: Ledger of blocks stored on leaf-set neighbours (Section 4.4).
     neighbor_blocks: Dict[NodeId, Dict[str, NeighborBlockRecord]] = field(default_factory=dict)
+
+    #: Placement-engine indexes currently tracking this node's usage.  A class
+    #: attribute so that the ``used`` property setter works during ``__init__``
+    #: before any state has attached; attaching replaces it per instance.
+    _usage_listeners: ClassVar[Tuple[object, ...]] = ()
+
+    #: Backing storage for the ``used`` property; the class-level default lets
+    #: the setter read the previous value without a ``getattr`` fallback.
+    _used_value: ClassVar[int] = 0
 
     def __post_init__(self) -> None:
         self.leaf_set = LeafSet(self.node_id)
@@ -166,12 +177,16 @@ class OverlayNode:
         """Accept a block if there is room.  Returns False when full/dead/duplicate."""
         if not self.alive or size < 0:
             return False
-        if block_name in self.stored_blocks:
+        blocks = self.stored_blocks
+        if block_name in blocks:
             return False
-        if size > self.free:
+        used = self._used_value
+        free = self.capacity - used
+        if size > (free if free > 0 else 0):
             return False
-        self.stored_blocks[block_name] = int(size)
-        self.used += int(size)
+        size = int(size)
+        blocks[block_name] = size
+        self.used = used + size
         return True
 
     def remove_block(self, block_name: str) -> bool:
@@ -221,3 +236,28 @@ class OverlayNode:
             f"OverlayNode({self.node_id!r}, {state}, used={self.used}/{self.capacity}, "
             f"blocks={len(self.stored_blocks)})"
         )
+
+
+def _used_get(self: OverlayNode) -> int:
+    return self._used_value
+
+
+def _used_set(self: OverlayNode, value: int) -> None:
+    # Every mutation of ``used`` -- store_block, remove_block, recover, and
+    # direct assignment (tests fill nodes with ``node.used = node.capacity``) --
+    # flows through here, so attached placement indexes can keep exact O(1)
+    # usage totals without ever rescanning the population.
+    value = int(value)
+    listeners = self._usage_listeners
+    if listeners:
+        previous = self._used_value
+        self._used_value = value
+        for listener in listeners:
+            listener._note_used_delta(value - previous)
+    else:
+        self._used_value = value
+
+
+#: Installed after the dataclass machinery runs so the generated ``__init__``
+#: (``self.used = used``) routes the initial value through the setter too.
+OverlayNode.used = property(_used_get, _used_set)  # type: ignore[assignment]

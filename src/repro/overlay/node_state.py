@@ -1,0 +1,267 @@
+"""Array-backed placement engine state: the hot-path index over live nodes.
+
+The paper's large-scale experiments resolve tens of millions of DHT lookups
+(one per encoded block, capacity probe and CAT placement).  The seed
+implementation paid, per lookup, a SHA-1 -> ``NodeId`` -> ``bisect`` ->
+big-int ring-distance pipeline; :class:`NodeArrayState` replaces it with a
+*boundary array*: for every pair of adjacent live nodes the exact identifier
+at which responsibility switches from one to the other is precomputed (plain
+Python integers, so the 160-bit ring arithmetic is exact), and stored both as
+a sorted ``bytes20`` NumPy array and as a Python list.  A batched lookup is
+then a single ``np.searchsorted`` over the raw SHA-1 digests -- no per-key
+distance computation at all -- and a scalar lookup is one ``bisect``.
+
+Correctness of the boundary construction relies on a property of the ring
+metric: for a key on the arc between adjacent live nodes ``a`` (counter-
+clockwise) and ``b`` (clockwise) at clockwise offset ``t`` from ``a`` with gap
+``g``, node ``a`` is the closer of the two iff ``t < g - t`` (ties broken
+towards the smaller id), *regardless* of whether the shorter way around the
+ring flips direction.  The case analysis is spelled out in
+``tests/test_overlay_node_state.py``, which checks the kernel against the
+brute-force oracle on adversarial rings (gaps larger than half the ring,
+exact midpoints, single-node populations).
+
+The state also maintains O(1) aggregates (total contributed capacity, total
+used bytes) via the ``OverlayNode.used`` property listeners, which makes the
+utilization sampling of the insertion experiments independent of the
+population size.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.ids import ID_SPACE, NodeId
+from repro.overlay.node import OverlayNode
+
+_ID_BYTES = 20
+
+
+def digest_array(digests: bytes) -> np.ndarray:
+    """View a concatenation of 20-byte digests as a ``(n,)`` byte-string array."""
+    if len(digests) % _ID_BYTES:
+        raise ValueError("digest buffer length must be a multiple of 20")
+    return np.frombuffer(digests, dtype=f"S{_ID_BYTES}")
+
+
+def _id_bytes(value: int) -> bytes:
+    return value.to_bytes(_ID_BYTES, "big")
+
+
+class NodeArrayState:
+    """Sorted-array index over a set of live overlay nodes.
+
+    Maintains, in node-id order:
+
+    * ``ids_int`` -- node ids as Python ints (used by the scalar fast path and
+      by the exact boundary construction);
+    * ``nodes`` -- the :class:`OverlayNode` views, aligned with the ids;
+
+    plus the lazily rebuilt lookup boundary arrays and the O(1) capacity/usage
+    aggregates.
+    """
+
+    def __init__(self, nodes: Iterable[OverlayNode] = ()) -> None:
+        self.nodes: List[OverlayNode] = []
+        self.ids_int: List[int] = []
+        self._pos: Dict[int, int] = {}
+        self.capacity_total = 0
+        self.used_total = 0
+        self._bounds_dirty = True
+        self._bounds_int: List[int] = []
+        self._owners_list: List[int] = []
+        self._bounds_bytes: np.ndarray = np.empty(0, dtype=f"S{_ID_BYTES}")
+        self._owners_arr: np.ndarray = np.empty(0, dtype=np.int64)
+        self.rebuild(nodes)
+
+    # -- membership -----------------------------------------------------------
+    def rebuild(self, nodes: Iterable[OverlayNode]) -> None:
+        """Re-index from scratch (detaching from any previously tracked nodes)."""
+        for node in self.nodes:
+            self._detach(node)
+        ordered = sorted(nodes, key=lambda node: int(node.node_id))
+        self.nodes = ordered
+        self.ids_int = [int(node.node_id) for node in ordered]
+        self._pos = {value: index for index, value in enumerate(self.ids_int)}
+        self.capacity_total = sum(node.capacity for node in ordered)
+        self.used_total = sum(node.used for node in ordered)
+        for node in ordered:
+            self._attach(node)
+        self._bounds_dirty = True
+
+    def add(self, node: OverlayNode) -> bool:
+        """Insert a node (no-op when already indexed).  Returns True if added."""
+        value = int(node.node_id)
+        if value in self._pos:
+            return False
+        index = bisect.bisect_left(self.ids_int, value)
+        self.ids_int.insert(index, value)
+        self.nodes.insert(index, node)
+        for shifted in range(index, len(self.ids_int)):
+            self._pos[self.ids_int[shifted]] = shifted
+        self.capacity_total += node.capacity
+        self.used_total += node.used
+        self._attach(node)
+        self._bounds_dirty = True
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        """Drop a node by id (no-op when absent).  Returns True if removed."""
+        value = int(node_id)
+        index = self._pos.pop(value, None)
+        if index is None:
+            return False
+        node = self.nodes.pop(index)
+        del self.ids_int[index]
+        for shifted in range(index, len(self.ids_int)):
+            self._pos[self.ids_int[shifted]] = shifted
+        self.capacity_total -= node.capacity
+        self.used_total -= node.used
+        self._detach(node)
+        self._bounds_dirty = True
+        return True
+
+    def __len__(self) -> int:
+        return len(self.ids_int)
+
+    def __contains__(self, node_id: int) -> bool:
+        return int(node_id) in self._pos
+
+    def position(self, node_id: int) -> Optional[int]:
+        """Index of a node id in the sorted order, or None."""
+        return self._pos.get(int(node_id))
+
+    # -- aggregate maintenance -------------------------------------------------
+    def _attach(self, node: OverlayNode) -> None:
+        node._usage_listeners = node._usage_listeners + (self,)
+
+    def _detach(self, node: OverlayNode) -> None:
+        node._usage_listeners = tuple(
+            listener for listener in node._usage_listeners if listener is not self
+        )
+
+    def _note_used_delta(self, delta: int) -> None:
+        self.used_total += delta
+
+    def utilization(self) -> float:
+        """Used / contributed capacity over the indexed nodes, in O(1)."""
+        return (self.used_total / self.capacity_total) if self.capacity_total else 0.0
+
+    # -- lookup boundaries -----------------------------------------------------
+    def _rebuild_bounds(self) -> None:
+        """Precompute the responsibility boundaries between adjacent nodes.
+
+        ``bounds[j]`` is the (inclusive) largest key owned by ``owners[j]``;
+        a key strictly greater than every boundary belongs to ``owners[-1]``.
+        The wrap-around arc between the numerically largest node ``L`` and the
+        smallest node ``F`` needs care: its switching point can itself wrap
+        past zero, in which case it becomes the *first* boundary.
+        """
+        ids = self.ids_int
+        n = len(ids)
+        if n <= 1:
+            self._bounds_int = []
+            self._owners_list = [0]
+            self._bounds_bytes = np.empty(0, dtype=f"S{_ID_BYTES}")
+            self._owners_arr = np.zeros(1, dtype=np.int64)
+            self._bounds_dirty = False
+            return
+        inner = [ids[i] + (ids[i + 1] - ids[i]) // 2 for i in range(n - 1)]
+        # Wrap arc: L owns clockwise offsets t with 2t < g (tie -> smaller id,
+        # which is F, so L keeps strictly less than half).
+        gap = ID_SPACE - ids[-1] + ids[0]
+        wrap_raw = ids[-1] + (gap - 1) // 2
+        if wrap_raw < ID_SPACE:
+            bounds = inner + [wrap_raw]
+            owners = list(range(n)) + [0]
+        else:
+            bounds = [wrap_raw - ID_SPACE] + inner
+            owners = [n - 1] + list(range(n - 1)) + [n - 1]
+        self._bounds_int = bounds
+        self._owners_list = owners
+        self._bounds_bytes = np.array([_id_bytes(v) for v in bounds], dtype=f"S{_ID_BYTES}")
+        self._owners_arr = np.asarray(owners, dtype=np.int64)
+        self._bounds_dirty = False
+
+    # -- lookups ---------------------------------------------------------------
+    def lookup_index(self, key: int) -> int:
+        """Index of the node numerically closest to ``key`` (scalar fast path)."""
+        if not self.ids_int:
+            raise LookupError("no live nodes in the placement index")
+        if self._bounds_dirty:
+            self._rebuild_bounds()
+        return self._owners_list[bisect.bisect_left(self._bounds_int, key % ID_SPACE)]
+
+    def lookup_digests(self, digests) -> np.ndarray:
+        """Vectorised lookup: raw 20-byte digests -> node indices.
+
+        ``digests`` may be a ``bytes`` concatenation of 20-byte SHA-1 digests
+        or an ``S20`` NumPy array.  Returns an ``int64`` array of positions
+        into :attr:`nodes`.
+        """
+        if not self.ids_int:
+            raise LookupError("no live nodes in the placement index")
+        if self._bounds_dirty:
+            self._rebuild_bounds()
+        keys = digest_array(digests) if isinstance(digests, (bytes, bytearray)) else digests
+        slots = np.searchsorted(self._bounds_bytes, keys, side="left")
+        return self._owners_arr[slots]
+
+    def lookup_node(self, key: int) -> OverlayNode:
+        """The node numerically closest to ``key``."""
+        return self.nodes[self.lookup_index(key)]
+
+    # -- neighbourhood queries -------------------------------------------------
+    def successor_indices(self, key: int, count: int) -> List[int]:
+        """Indices of the ``count`` nodes following ``key`` clockwise."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not self.ids_int:
+            raise LookupError("no live nodes in the placement index")
+        start = bisect.bisect_left(self.ids_int, key % ID_SPACE)
+        size = len(self.ids_int)
+        return [(start + offset) % size for offset in range(min(count, size))]
+
+    def neighbor_indices(self, node_id: int, count: int) -> List[int]:
+        """Indices of the ``count`` nodes closest to ``node_id``, excluding it.
+
+        Exactly reproduces the seed ``DHTView.neighbors`` semantics: collect a
+        window of candidates twice as wide as needed on both sides, then pick
+        the nearest by ``(ring distance, id)``.
+        """
+        if count <= 0:
+            return []
+        ids = self.ids_int
+        if not ids:
+            raise LookupError("no live nodes in the placement index")
+        value = int(node_id) % ID_SPACE
+        index = bisect.bisect_left(ids, value)
+        size = len(ids)
+        seen = {value}
+        candidates: List[int] = []
+        half = ID_SPACE // 2
+        for step in range(1, min(size, count * 2 + 2) + 1):
+            for candidate in (ids[(index + step - 1) % size], ids[(index - step) % size]):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    candidates.append(candidate)
+
+        def ring_key(candidate: int):
+            delta = (candidate - value) % ID_SPACE
+            return (delta if delta <= half else ID_SPACE - delta, candidate)
+
+        candidates.sort(key=ring_key)
+        return [self._pos[candidate] for candidate in candidates[:count]]
+
+    # -- bulk accounting -------------------------------------------------------
+    def free_space_array(self) -> np.ndarray:
+        """Free bytes per indexed node, in id order."""
+        return np.asarray([node.free for node in self.nodes], dtype=np.int64)
+
+    def resync_totals(self) -> None:
+        """Recompute the aggregates from scratch (defensive; O(N))."""
+        self.capacity_total = sum(node.capacity for node in self.nodes)
+        self.used_total = sum(node.used for node in self.nodes)

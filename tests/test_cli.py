@@ -26,6 +26,23 @@ def test_parser_knows_all_experiments():
         assert callable(args.func)
 
 
+def test_parser_knows_bench_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--select", "insertion", "--summary-only"])
+    assert args.experiment == "bench"
+    assert args.select == "insertion"
+    assert args.summary_only
+    assert callable(args.func)
+
+
+def test_bench_summary_only_prints_trajectory(capsys):
+    # --summary-only must not launch pytest; it renders whatever BENCH_*.json
+    # records exist (or says how to create them).
+    assert main(["bench", "--summary-only"]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH" in out or "throughput" in out
+
+
 def test_coding_command_runs(capsys):
     assert main(["coding", "--chunk-mb", "0.25", "--blocks", "64"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""Wall-clock smoke guards for the placement engine (tier-1, generous budgets).
+
+The real throughput numbers live in ``benchmarks/test_bench_insertion_throughput``
+(run with ``-m bench``, written to ``BENCH_insertion.json``); these assertions
+only catch order-of-magnitude regressions -- e.g. an accidental return to the
+O(N^2) population build or to per-key scalar lookups in the batched kernels --
+without making tier-1 timing-sensitive.  Budgets are ~10x the observed wall
+time on the development machine, so only a >5x insertion-throughput
+regression (the guarded threshold) can trip them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import naming
+from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+
+
+def test_vectorized_insertion_within_budget():
+    # ~0.6 s on the development machine (400 files across three schemes,
+    # including three 500-node fast population builds).
+    config = InsertionConfig(node_count=500, file_count=400, seed=3, vectorized=True)
+    start = time.perf_counter()
+    outcome = InsertionExperiment(config).run_once(0)
+    elapsed = time.perf_counter() - start
+    assert outcome.files_inserted == 400
+    assert elapsed < 10.0, f"vectorized insertion took {elapsed:.2f}s for 400 files / 500 nodes"
+
+
+def test_batched_lookup_kernel_within_budget():
+    # 2000-node index, 50 batches x 200 keys: ~60 ms on the development
+    # machine.  A fallback to per-key scalar lookups costs >10x.
+    network = OverlayNetwork.build(
+        2000, np.random.default_rng(5), capacities=[10 ** 9] * 2000, routing_state=False
+    )
+    view = DHTView(network)
+    names = [f"smoke-file/block{i}" for i in range(200)]
+    digests = naming.name_digests(names)
+    view.resolve_digests(digests)  # warm the boundary arrays
+    start = time.perf_counter()
+    for _ in range(50):
+        view.resolve_digests(digests)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0, f"50x200-key batched lookups took {elapsed:.3f}s"
+
+
+def test_fast_population_build_within_budget():
+    # A 4000-node build without routing state: ~0.4 s on the development
+    # machine; the seed O(N^2) build takes minutes at this size.
+    start = time.perf_counter()
+    network = OverlayNetwork.build(
+        4000, np.random.default_rng(6), capacities=[10 ** 9] * 4000, routing_state=False
+    )
+    view = DHTView(network)
+    elapsed = time.perf_counter() - start
+    assert len(view) == 4000
+    assert elapsed < 8.0, f"fast 4000-node build took {elapsed:.2f}s"

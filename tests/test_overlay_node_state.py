@@ -1,0 +1,168 @@
+"""Unit tests for the array-backed placement engine (NodeArrayState).
+
+The boundary-array lookup kernel must agree with the brute-force ring-metric
+oracle on every key -- including adversarial rings (gaps wider than half the
+identifier space, exact even/odd midpoints, single-node populations) where
+naive "compare the clockwise offsets" reasoning breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.dht import DHTView
+from repro.overlay.ids import ID_SPACE, NodeId, key_for, random_node_id
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+from repro.overlay.node_state import NodeArrayState
+
+
+def _state_for(ids: list[int], capacities: int = 100) -> NodeArrayState:
+    nodes = [OverlayNode(node_id=NodeId(v), capacity=capacities) for v in ids]
+    return NodeArrayState(nodes)
+
+
+def _oracle(ids: list[int], key: int) -> int:
+    """Brute force: the id minimizing (ring distance, id)."""
+    def ring(a: int, b: int) -> int:
+        delta = (a - b) % ID_SPACE
+        return min(delta, ID_SPACE - delta)
+
+    return min(ids, key=lambda v: (ring(v, key), v))
+
+
+def _interesting_keys(ids: list[int]) -> list[int]:
+    keys = {0, 1, ID_SPACE - 1, ID_SPACE // 2}
+    for value in ids:
+        for delta in (-2, -1, 0, 1, 2):
+            keys.add((value + delta) % ID_SPACE)
+    ordered = sorted(ids)
+    for a, b in zip(ordered, ordered[1:] + [ordered[0] + ID_SPACE]):
+        mid = (a + (b - a) // 2) % ID_SPACE
+        for delta in (-1, 0, 1):
+            keys.add((mid + delta) % ID_SPACE)
+    return sorted(keys)
+
+
+ADVERSARIAL_RINGS = [
+    [7],
+    [0, ID_SPACE - 1],
+    [0, 2 ** 159 + 5],          # gap wider than half the ring
+    [5, ID_SPACE - 3],
+    [10, 14],                   # even gap: exact midpoint tie
+    [10, 15],                   # odd gap
+    [0, 1, 2, 3, 4],
+    [2 ** 159 - 1, 2 ** 159, 2 ** 159 + 1],
+    [1, 2 ** 80, 2 ** 120, ID_SPACE - 2 ** 90],
+]
+
+
+@pytest.mark.parametrize("ids", ADVERSARIAL_RINGS, ids=lambda ids: f"n{len(ids)}")
+def test_lookup_kernels_match_oracle_on_adversarial_rings(ids):
+    state = _state_for(ids)
+    keys = _interesting_keys(ids)
+    digests = b"".join(k.to_bytes(20, "big") for k in keys)
+    batch = state.lookup_digests(digests)
+    for position, key in enumerate(keys):
+        expected = _oracle(ids, key)
+        assert state.ids_int[state.lookup_index(key)] == expected, hex(key)
+        assert state.ids_int[batch[position]] == expected, hex(key)
+
+
+def test_lookup_kernels_match_seed_lookup_on_random_ring():
+    network = OverlayNetwork.build(64, np.random.default_rng(17), capacities=[100] * 64)
+    view = DHTView(network)
+    rng = np.random.default_rng(18)
+    keys = [random_node_id(rng) for _ in range(500)]
+    expected = [int(view.lookup(key).node_id) for key in keys]
+    state = view.state
+    scalar = [state.ids_int[state.lookup_index(int(key))] for key in keys]
+    digests = b"".join(int(key).to_bytes(20, "big") for key in keys)
+    batched = [state.ids_int[index] for index in state.lookup_digests(digests)]
+    assert scalar == expected
+    assert batched == expected
+
+
+def test_lookup_many_matches_scalar_and_counts():
+    network = OverlayNetwork.build(40, np.random.default_rng(3), capacities=[100] * 40)
+    view = DHTView(network)
+    rng = np.random.default_rng(4)
+    keys = [random_node_id(rng) for _ in range(97)]
+    expected = [view.lookup(key) for key in keys]
+    before = view.lookup_count
+    batched = view.lookup_many(keys)
+    assert view.lookup_count == before + len(keys)
+    assert [node.node_id for node in batched] == [node.node_id for node in expected]
+    assert view.lookup_many([]) == []
+
+
+def test_membership_updates_keep_index_and_bounds_consistent():
+    ids = [10, 200, 3000, 2 ** 100, ID_SPACE - 77]
+    state = _state_for(ids)
+    newcomer = OverlayNode(node_id=NodeId(2 ** 130), capacity=50)
+    assert state.add(newcomer)
+    assert not state.add(newcomer)
+    current = sorted(ids + [2 ** 130])
+    assert state.ids_int == current
+    for key in _interesting_keys(current):
+        assert state.ids_int[state.lookup_index(key)] == _oracle(current, key)
+
+    assert state.remove(3000)
+    assert not state.remove(3000)
+    current = sorted(v for v in current if v != 3000)
+    assert state.ids_int == current
+    assert [int(node.node_id) for node in state.nodes] == current
+    assert state.position(2 ** 100) == current.index(2 ** 100)
+    for key in _interesting_keys(current):
+        assert state.ids_int[state.lookup_index(key)] == _oracle(current, key)
+
+
+def test_aggregates_track_used_mutations_incrementally():
+    state = _state_for([1, 2, 3, 4], capacities=1000)
+    assert state.capacity_total == 4000
+    assert state.used_total == 0
+    first, second = state.nodes[0], state.nodes[1]
+    assert first.store_block("a", 100)
+    second.used = 400  # direct assignment, as tests and experiments do
+    assert state.used_total == 500
+    assert first.remove_block("a")
+    assert state.used_total == 400
+    # Membership changes fold the node's current usage in and out.
+    state.remove(int(second.node_id))
+    assert state.used_total == 0 and state.capacity_total == 3000
+    state.add(second)
+    assert state.used_total == 400 and state.capacity_total == 4000
+    second.recover(wipe=True)
+    assert state.used_total == 0
+    state.resync_totals()
+    assert state.used_total == 0 and state.capacity_total == 4000
+
+
+def test_detached_nodes_stop_updating_totals():
+    state = _state_for([5, 6], capacities=100)
+    node = state.nodes[0]
+    state.remove(5)
+    node.used = 50
+    assert state.used_total == 0
+
+
+def test_dht_view_aggregates_are_o1_and_match_scan():
+    network = OverlayNetwork.build(30, np.random.default_rng(9), capacities=[100] * 30)
+    view = DHTView(network)
+    node = view.lookup(key_for("x"))
+    node.store_block("x", 60)
+    assert view.total_used() == sum(n.used for n in network.live_nodes())
+    assert view.total_capacity() == 3000
+    assert view.utilization() == pytest.approx(60 / 3000)
+
+
+def test_successors_and_neighbors_delegate_to_state():
+    network = OverlayNetwork.build(25, np.random.default_rng(11), capacities=[100] * 25)
+    view = DHTView(network)
+    target = network.live_ids()[3]
+    neighbors = view.neighbors(target, 6)
+    assert len(neighbors) == 6
+    assert all(node.node_id != target for node in neighbors)
+    succ = view.successors(key_for("s"), 4)
+    assert len({int(n.node_id) for n in succ}) == 4

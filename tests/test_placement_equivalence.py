@@ -1,0 +1,188 @@
+"""Equivalence oracle: the vectorized placement engine vs the scalar seed path.
+
+The array-backed engine must be a pure optimization: for identical seeds the
+batched pipelines (PAST, CFS, Our System) have to produce *identical*
+StoreResults, placements, node usage and experiment curves as the preserved
+scalar implementations -- including on runs pushed past capacity so that the
+retry / zero-chunk / rollback paths are exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines.cfs import CfsStore
+from repro.baselines.past import PastStore
+from repro.core.policies import StoragePolicy
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.null_code import NullCode
+from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.workloads.filetrace import MB, FileTraceConfig, generate_file_trace
+
+#: Three population sizes; capacities are chosen so the traces overshoot the
+#: contributed space and every scheme hits its failure handling.
+POPULATIONS = [(24, 60), (60, 140), (120, 260)]
+
+
+def _fresh_view(node_count: int, seed: int) -> DHTView:
+    capacities = [int(c) for c in
+                  np.random.default_rng(seed).normal(60 * MB, 20 * MB, size=node_count)]
+    capacities = [max(c, 8 * MB) for c in capacities]
+    network = OverlayNetwork.build(
+        node_count, np.random.default_rng(seed + 1), capacities=capacities,
+        routing_state=False,
+    )
+    return DHTView(network)
+
+
+def _trace(file_count: int, seed: int):
+    config = FileTraceConfig(
+        file_count=file_count, mean_size=12 * MB, std_size=6 * MB, min_size=1 * MB
+    )
+    return generate_file_trace(config, rng=np.random.default_rng(seed + 2))
+
+
+def _past_snapshot(store: PastStore):
+    return {
+        name: (stored, [int(node.node_id) for node in holders])
+        for name, (stored, holders) in store.files.items()
+    }
+
+
+def _cfs_snapshot(store: CfsStore):
+    return {
+        name: [
+            (block, int(primary.node_id), size, [int(r.node_id) for r in replicas])
+            for block, primary, size, replicas in placements
+        ]
+        for name, placements in store.files.items()
+    }
+
+
+def _ours_snapshot(store: StorageSystem):
+    snapshot = {}
+    for name, stored in store.files.items():
+        snapshot[name] = (
+            stored.size,
+            [
+                (
+                    chunk.chunk_no,
+                    chunk.start,
+                    chunk.size,
+                    [
+                        (p.block_name, int(p.node_id), p.size, tuple(map(int, p.replica_nodes)))
+                        for p in chunk.placements
+                    ],
+                )
+                for chunk in stored.chunks
+            ],
+            [
+                (p.block_name, int(p.node_id), p.size, tuple(map(int, p.replica_nodes)))
+                for p in stored.cat_placements
+            ],
+        )
+    return snapshot
+
+
+def _usage_snapshot(view: DHTView):
+    return [(int(n.node_id), n.used, dict(n.stored_blocks)) for n in view.live_node_objects()]
+
+
+@pytest.mark.parametrize("node_count,file_count", POPULATIONS)
+def test_store_pipelines_are_draw_for_draw_equivalent(node_count: int, file_count: int):
+    seed = 1000 + node_count
+    trace = _trace(file_count, seed)
+
+    results = {}
+    for vectorized in (False, True):
+        views = {scheme: _fresh_view(node_count, seed) for scheme in ("past", "cfs", "ours")}
+        past = PastStore(views["past"], replication=2, retries=2, vectorized=vectorized)
+        cfs = CfsStore(views["cfs"], block_size=2 * MB, replication=1,
+                       retries_per_block=2, vectorized=vectorized)
+        ours = StorageSystem(
+            views["ours"],
+            codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
+            policy=StoragePolicy(max_consecutive_zero_chunks=3),
+            vectorized=vectorized,
+        )
+        store_results = []
+        for record in trace:
+            store_results.append(past.store_file(record.name, record.size))
+            store_results.append(cfs.store_file(record.name, record.size))
+            store_results.append(ours.store_file(record.name, record.size))
+        results[vectorized] = {
+            "store_results": store_results,
+            "past": _past_snapshot(past),
+            "cfs": _cfs_snapshot(cfs),
+            "ours": _ours_snapshot(ours),
+            "usage": {scheme: _usage_snapshot(view) for scheme, view in views.items()},
+            "lookup_counts": {s: views[s].lookup_count for s in views},
+            "total_lookups": (past.total_lookups, cfs.total_lookups, ours.total_lookups),
+            "utilization": {s: views[s].utilization() for s in views},
+        }
+
+    scalar, vectorized = results[False], results[True]
+    assert scalar["store_results"] == vectorized["store_results"]
+    assert scalar["past"] == vectorized["past"]
+    assert scalar["cfs"] == vectorized["cfs"]
+    assert scalar["ours"] == vectorized["ours"]
+    assert scalar["usage"] == vectorized["usage"]
+    assert scalar["lookup_counts"] == vectorized["lookup_counts"]
+    assert scalar["total_lookups"] == vectorized["total_lookups"]
+    assert scalar["utilization"] == vectorized["utilization"]
+
+
+def test_empty_view_and_zero_size_edge_paths_match_scalar():
+    """Error-path parity: empty views raise without counting; 0-byte files store."""
+    for vectorized in (False, True):
+        view = _fresh_view(8, seed=77)
+        cfs = CfsStore(view, block_size=2 * MB, vectorized=vectorized)
+        assert cfs.store_file("empty", 0).success  # no lookups, no placements
+        past = PastStore(view, vectorized=vectorized)
+        for node_id in list(view.state.ids_int):
+            view.remove(node_id)
+        with pytest.raises(LookupError):
+            past.store_file("orphan", 1 * MB)
+        with pytest.raises(LookupError):
+            cfs.store_file("orphan", 1 * MB)
+        assert cfs.store_file("empty-too", 0).success  # still no lookup needed
+        assert view.lookup_count == 0, "failed lookups must not be counted"
+
+
+@pytest.mark.parametrize("node_count,file_count", [(40, 120), (80, 240)])
+def test_insertion_experiment_curves_identical_across_engines(node_count, file_count):
+    """Same seeds -> same failure-fraction, utilization and chunk-stat curves."""
+    base = InsertionConfig(
+        node_count=node_count,
+        file_count=file_count,
+        capacity_mean=400 * MB,
+        capacity_std=120 * MB,
+        mean_file_size=24 * MB,
+        std_file_size=8 * MB,
+        min_file_size=4 * MB,
+        cfs_block_size=2 * MB,
+        sample_points=8,
+        seed=5,
+        vectorized=False,
+    )
+    scalar = InsertionExperiment(base).run_once(0)
+    vector = InsertionExperiment(replace(base, vectorized=True)).run_once(0)
+
+    for scheme in ("PAST", "CFS", "Our System"):
+        s_curve, v_curve = scalar.curves[scheme], vector.curves[scheme]
+        assert s_curve.failed_stores_pct.y == v_curve.failed_stores_pct.y
+        assert s_curve.failed_data_pct.y == v_curve.failed_data_pct.y
+        assert s_curve.utilization_pct.y == v_curve.utilization_pct.y
+        assert s_curve.chunk_stats == v_curve.chunk_stats
+        assert s_curve.stats.attempts == v_curve.stats.attempts
+        assert s_curve.stats.failures == v_curve.stats.failures
+        assert s_curve.stats.failed_bytes == v_curve.stats.failed_bytes
+        assert s_curve.stats.lookups == v_curve.stats.lookups
+        assert s_curve.stats.chunk_counts == v_curve.stats.chunk_counts
+        assert s_curve.stats.chunk_sizes == v_curve.stats.chunk_sizes

@@ -81,3 +81,56 @@ def test_churn_model_rejects_nonpositive_parameters():
     model = ChurnModel(1.0, 1.0, np.random.default_rng(0))
     with pytest.raises(ValueError):
         model.sample_sessions(1, horizon=0.0)
+    with pytest.raises(ValueError):
+        ChurnModel(1.0, 1.0, np.random.default_rng(0), stream_version=3)
+
+
+def _scalar_reference_sessions(mean_up, mean_down, rng, horizon):
+    """The seed one-pair-at-a-time sampler, inlined as the oracle."""
+    ups, downs, elapsed = [], [], 0.0
+    while elapsed < horizon:
+        up = float(rng.exponential(mean_up))
+        down = float(rng.exponential(mean_down))
+        ups.append(up)
+        downs.append(down)
+        elapsed += up + down
+    return np.asarray(ups), np.asarray(downs)
+
+
+def test_stream_version_1_matches_seed_draws_exactly():
+    model = ChurnModel(5.0, 2.0, np.random.default_rng(21), stream_version=1)
+    expected = _scalar_reference_sessions(5.0, 2.0, np.random.default_rng(21), 80.0)
+    sample = model.sample_sessions(node_id=1, horizon=80.0)
+    assert np.array_equal(sample.up_times, expected[0])
+    assert np.array_equal(sample.down_times, expected[1])
+
+
+def test_stream_version_2_draws_same_values_with_batched_sampling():
+    # Version 2 consumes the generator in blocks, but each session length it
+    # *keeps* must equal the scalar stream value-for-value (the batch draws
+    # are the same stream, just over-drawn past the horizon).
+    for seed, horizon in ((3, 40.0), (9, 250.0), (12, 7.5)):
+        model = ChurnModel(5.0, 2.0, np.random.default_rng(seed))
+        assert model.stream_version == 2
+        expected_ups, expected_downs = _scalar_reference_sessions(
+            5.0, 2.0, np.random.default_rng(seed), horizon
+        )
+        sample = model.sample_sessions(node_id=4, horizon=horizon)
+        assert np.array_equal(sample.up_times, expected_ups)
+        assert np.array_equal(sample.down_times, expected_downs)
+
+
+def test_failure_times_match_seed_scalar_loop():
+    mean_up, horizon = 10.0, 20.0
+    rng = np.random.default_rng(31)
+    events = []
+    for node_id in range(200):
+        first_up = float(rng.exponential(mean_up))
+        if first_up < horizon:
+            events.append((node_id, first_up))
+    events.sort(key=lambda pair: pair[1])
+
+    model = ChurnModel(mean_up, 1.0, np.random.default_rng(31))
+    batched = model.failure_times(range(200), horizon=horizon)
+    assert [(e.node_id, e.time) for e in batched] == events
+    assert [e.order for e in batched] == list(range(len(events)))
