@@ -33,6 +33,12 @@ BENCH_INSERTION_PATH = Path(__file__).resolve().parent.parent / "BENCH_insertion
 #: Rows accumulated by ``test_bench_insertion_throughput.py`` during the session.
 _INSERTION_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the churn-engine benchmark writes its trajectory record.
+BENCH_CHURN_PATH = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
+
+#: Rows accumulated by ``test_bench_churn_failures.py`` during the session.
+_CHURN_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -60,6 +66,12 @@ def insertion_bench_results() -> dict:
     return _INSERTION_RESULTS
 
 
+@pytest.fixture(scope="session")
+def churn_bench_results() -> dict:
+    """Session accumulator for churn-engine rows (written at exit)."""
+    return _CHURN_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -75,6 +87,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_CODING_PATH.write_text(json.dumps(_CODING_RESULTS, indent=2) + "\n")
     if _INSERTION_RESULTS["results"] and _INSERTION_RESULTS["speedups"]:
         BENCH_INSERTION_PATH.write_text(json.dumps(_INSERTION_RESULTS, indent=2) + "\n")
+    if _CHURN_RESULTS["results"] and _CHURN_RESULTS["speedups"]:
+        BENCH_CHURN_PATH.write_text(json.dumps(_CHURN_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

@@ -1,0 +1,155 @@
+"""Churn-engine throughput: seed dict walks vs the columnar block ledger.
+
+Three measurements feed ``BENCH_churn.json`` (the cross-PR perf trajectory
+printed by ``python -m repro.cli bench``):
+
+* the Figure 10 availability experiment, seed path vs ledger path at a
+  seed-feasible scale -- same seeds, identical curves, so the ratio isolates
+  the churn engine (failure processing + availability sampling);
+* the Table 3 regeneration experiment, seed vs ledger at the same scale;
+* the paper-scale flagships: Figure 10 at 10 000 nodes / 1 000 sequential
+  failures and Table 3 at 10 000 nodes (10 % and 20 % failed), ledger only --
+  the seed path's per-sample walk over every placement of every file makes
+  those configurations impractical (the recorded seed sweep throughput at the
+  comparison scale is the honest baseline for the ratio).
+
+``failures_per_s`` charges the failure-processing phase only (the sweep /
+recovery loop, excluding trace distribution), which is the metric the ledger
+accelerates; ``seconds`` is the end-to-end experiment time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
+
+#: Scale where the seed path is still comfortable, for the seed-vs-ledger ratio.
+COMPARE_FIG10 = AvailabilityConfig(node_count=300, file_count=1000, sample_points=20, seed=2)
+COMPARE_TABLE3 = ChurnConfig(node_count=300, file_count=1000, seed=4)
+
+
+def _fig10_row(config: AvailabilityConfig, scenario: str, pipeline: str, results: dict) -> dict:
+    experiment = AvailabilityExperiment(config)
+    start = time.perf_counter()
+    series = experiment.run()
+    seconds = time.perf_counter() - start
+    sweep_s = sum(timing["sweep_s"] for timing in experiment.timings.values())
+    failures = int(sum(timing["failures"] for timing in experiment.timings.values()))
+    row = {
+        "scenario": scenario,
+        "node_count": config.node_count,
+        "file_count": config.file_count,
+        "pipeline": pipeline,
+        "seconds": seconds,
+        "failures": failures,
+        "sweep_seconds": sweep_s,
+        "failures_per_s": failures / sweep_s if sweep_s > 0 else 0.0,
+        "finals": {label: curve.final() for label, curve in series.items()},
+    }
+    results["results"].append(row)
+    return row
+
+
+def _table3_row(config: ChurnConfig, scenario: str, pipeline: str, results: dict) -> dict:
+    experiment = ChurnExperiment(config)
+    start = time.perf_counter()
+    table = experiment.run()
+    seconds = time.perf_counter() - start
+    recover_s = sum(timing["recover_s"] for timing in experiment.timings.values())
+    failures = int(sum(timing["failures"] for timing in experiment.timings.values()))
+    row = {
+        "scenario": scenario,
+        "node_count": config.node_count,
+        "file_count": config.file_count,
+        "pipeline": pipeline,
+        "seconds": seconds,
+        "failures": failures,
+        "recover_seconds": recover_s,
+        "failures_per_s": failures / recover_s if recover_s > 0 else 0.0,
+        "data_lost_gb": [row["data_lost_gb"] for row in table.rows],
+        "data_regenerated_gb": [row["data_regenerated_gb"] for row in table.rows],
+    }
+    results["results"].append(row)
+    return row
+
+
+def test_bench_fig10_seed_vs_ledger(churn_bench_results):
+    """Seed vs ledger at a shared scale: identical curves, sweep-phase ratio."""
+    ledger = _fig10_row(COMPARE_FIG10, "fig10", "ledger", churn_bench_results)
+    scalar = _fig10_row(
+        replace(COMPARE_FIG10, vectorized=False),
+        "fig10",
+        "scalar-seed",
+        churn_bench_results,
+    )
+    assert scalar["finals"] == ledger["finals"], "paths must produce identical Figure 10 curves"
+    sweep_ratio = scalar["sweep_seconds"] / max(ledger["sweep_seconds"], 1e-9)
+    churn_bench_results["speedups"]["fig10_sweep"] = sweep_ratio
+    churn_bench_results["speedups"]["fig10_end_to_end"] = (
+        scalar["seconds"] / max(ledger["seconds"], 1e-9)
+    )
+    print(f"\nfig10 sweep: scalar {scalar['sweep_seconds']:.3f}s vs "
+          f"ledger {ledger['sweep_seconds']:.3f}s ({sweep_ratio:,.1f}x)")
+    assert sweep_ratio > 2.0, "ledger sweep should be well ahead of the dict walk"
+
+
+def test_bench_table3_seed_vs_ledger(churn_bench_results):
+    """Seed vs ledger recovery at a shared scale: identical rows, phase ratio."""
+    ledger = _table3_row(COMPARE_TABLE3, "table3", "ledger", churn_bench_results)
+    scalar = _table3_row(
+        replace(COMPARE_TABLE3, vectorized=False),
+        "table3",
+        "scalar-seed",
+        churn_bench_results,
+    )
+    assert scalar["data_lost_gb"] == ledger["data_lost_gb"]
+    assert scalar["data_regenerated_gb"] == ledger["data_regenerated_gb"]
+    ratio = scalar["recover_seconds"] / max(ledger["recover_seconds"], 1e-9)
+    churn_bench_results["speedups"]["table3_recover"] = ratio
+    print(f"\ntable3 recover: scalar {scalar['recover_seconds']:.3f}s vs "
+          f"ledger {ledger['recover_seconds']:.3f}s ({ratio:,.1f}x)")
+
+
+def test_bench_fig10_paper_scale_flagship(churn_bench_results):
+    """Figure 10 at the paper's 10 000 nodes / 1 000 failures, ledger path."""
+    row = _fig10_row(PAPER_FIG10, "fig10-paper-scale", "ledger", churn_bench_results)
+    print(f"\nFigure 10 @ 10 000 nodes / 1 000 failures: {row['seconds']:.1f}s end-to-end, "
+          f"{row['failures_per_s']:,.0f} failures/s in the sweep")
+    finals = row["finals"]
+    assert finals["No error code"] > finals["XOR code"] > finals["Online code"]
+    assert finals["Online code"] < 3.0  # the paper reports 1.48 %
+    assert row["seconds"] < 600.0, "paper-scale Figure 10 must complete in minutes"
+
+
+def test_bench_table3_paper_scale_flagship(churn_bench_results):
+    """Table 3 at the paper's 10 000 nodes, 10 % and 20 % failures, ledger path."""
+    config = PAPER_TABLE3
+    experiment = ChurnExperiment(config)
+    start = time.perf_counter()
+    table = experiment.run()
+    seconds = time.perf_counter() - start
+    recover_s = sum(timing["recover_s"] for timing in experiment.timings.values())
+    failures = int(sum(timing["failures"] for timing in experiment.timings.values()))
+    churn_bench_results["results"].append({
+        "scenario": "table3-paper-scale",
+        "node_count": config.node_count,
+        "file_count": config.file_count,
+        "pipeline": "ledger",
+        "seconds": seconds,
+        "failures": failures,
+        "recover_seconds": recover_s,
+        "failures_per_s": failures / recover_s if recover_s > 0 else 0.0,
+    })
+    print("\n" + table.format())
+    print(f"Table 3 @ 10 000 nodes: {seconds:.1f}s end-to-end, "
+          f"{failures / max(recover_s, 1e-9):,.0f} failures/s in recovery")
+    ten, twenty = table.rows
+    # The paper's structural claims: (almost) no loss at 10 %, loss well below
+    # the regenerated volume at 20 %, small per-failure regeneration share.
+    assert ten["data_lost_gb"] <= 0.05 * ten["data_regenerated_gb"] + 1e-9
+    assert twenty["data_regenerated_gb"] > ten["data_regenerated_gb"]
+    assert twenty["data_lost_gb"] < 0.25 * twenty["data_regenerated_gb"]
+    assert seconds < 600.0, "paper-scale Table 3 must complete in minutes"

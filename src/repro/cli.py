@@ -24,8 +24,8 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments.availability import AvailabilityConfig, AvailabilityExperiment
-from repro.experiments.churn import ChurnConfig, ChurnExperiment
+from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
@@ -62,6 +62,57 @@ def _run_availability(args: argparse.Namespace) -> int:
     series = AvailabilityExperiment(config).run()
     print("Figure 10 — unavailable files (%) vs failed nodes")
     print(format_series_table(list(series.values()), x_label="failed_nodes"))
+    return 0
+
+
+def _run_fig10(args: argparse.Namespace) -> int:
+    """Figure 10 at the paper's scale (10 000 nodes, 1 000 failures) by default."""
+    import time
+    from dataclasses import replace
+
+    config = replace(
+        PAPER_FIG10,
+        node_count=max(2, int(round(args.nodes * args.scale))),
+        file_count=max(1, int(round(args.files * args.scale))),
+        fail_fraction=args.fail_pct / 100.0,
+        seed=args.seed,
+        vectorized=not args.scalar,
+    )
+    experiment = AvailabilityExperiment(config)
+    start = time.perf_counter()
+    series = experiment.run()
+    elapsed = time.perf_counter() - start
+    print(
+        f"Figure 10 — unavailable files (%) vs failed nodes "
+        f"({config.node_count} nodes, {config.file_count} files, "
+        f"{config.fail_fraction:.0%} failed, "
+        f"{'seed scalar path' if args.scalar else 'columnar ledger'})"
+    )
+    print(format_series_table(list(series.values()), x_label="failed_nodes"))
+    print(f"wall time: {elapsed:.1f}s")
+    return 0
+
+
+def _run_table3(args: argparse.Namespace) -> int:
+    """Table 3 at the paper's scale (10 000 nodes, 10 % and 20 % failed) by default."""
+    import time
+    from dataclasses import replace
+
+    fractions = tuple(float(pct) / 100.0 for pct in args.fractions.split(","))
+    config = replace(
+        PAPER_TABLE3,
+        node_count=max(2, int(round(args.nodes * args.scale))),
+        file_count=max(1, int(round(args.files * args.scale))),
+        fail_fractions=fractions,
+        seed=args.seed,
+        vectorized=not args.scalar,
+    )
+    start = time.perf_counter()
+    table = ChurnExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    print(table.format())
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
+          f"{'seed scalar path' if args.scalar else 'columnar ledger'})")
     return 0
 
 
@@ -148,6 +199,34 @@ def build_parser() -> argparse.ArgumentParser:
     availability.add_argument("--seed", type=int, default=2)
     availability.set_defaults(func=_run_availability)
 
+    fig10 = subparsers.add_parser(
+        "fig10", help="Figure 10 at paper scale (10 000 nodes / 1 000 failures)"
+    )
+    fig10.add_argument("--nodes", type=int, default=PAPER_FIG10.node_count)
+    fig10.add_argument("--files", type=int, default=PAPER_FIG10.file_count)
+    fig10.add_argument("--fail-pct", type=float, default=10.0,
+                       help="percent of the population failed one by one")
+    fig10.add_argument("--scale", type=float, default=1.0,
+                       help="multiply nodes and files by this factor (e.g. 0.1)")
+    fig10.add_argument("--scalar", action="store_true",
+                       help="run the preserved seed scalar path instead of the ledger")
+    fig10.add_argument("--seed", type=int, default=PAPER_FIG10.seed)
+    fig10.set_defaults(func=_run_fig10)
+
+    table3 = subparsers.add_parser(
+        "table3", help="Table 3 at paper scale (10 000 nodes, 10 % and 20 % failed)"
+    )
+    table3.add_argument("--nodes", type=int, default=PAPER_TABLE3.node_count)
+    table3.add_argument("--files", type=int, default=PAPER_TABLE3.file_count)
+    table3.add_argument("--fractions", type=str, default="10,20",
+                        help="comma-separated failure percentages")
+    table3.add_argument("--scale", type=float, default=1.0,
+                        help="multiply nodes and files by this factor (e.g. 0.1)")
+    table3.add_argument("--scalar", action="store_true",
+                        help="run the preserved seed scalar path instead of the ledger")
+    table3.add_argument("--seed", type=int, default=PAPER_TABLE3.seed)
+    table3.set_defaults(func=_run_table3)
+
     coding = subparsers.add_parser("coding", help="Table 2")
     coding.add_argument("--chunk-mb", type=float, default=1.0)
     coding.add_argument("--blocks", type=int, default=512)
@@ -187,8 +266,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
         print(
-            "Available experiments: insertion, availability, coding, churn, "
-            "multicast, condor, bench"
+            "Available experiments: insertion, availability, fig10, coding, churn, "
+            "table3, multicast, condor, bench"
         )
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func

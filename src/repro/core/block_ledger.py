@@ -1,0 +1,508 @@
+"""Columnar system-wide block ledger: the churn engine's source of truth.
+
+The paper's dynamics experiments -- Figure 10 (file availability while
+failing 1 000 of 10 000 nodes) and Table 3 (regeneration under 10-20 %
+failures) -- hammer one question millions of times: *which blocks died with
+this node, and which chunks/files can still be decoded?*  The seed answers it
+by walking per-node ``stored_blocks`` dicts and, per availability sample, by
+re-walking every placement of every chunk of every file.  At 10 000 nodes
+that walk is what caps the experiments at toy scale.
+
+:class:`BlockLedger` replaces the walks with system-wide parallel NumPy
+columns, one row per stored *copy* of a block (primary or replica):
+
+* ``digest`` (``S20``, lazily batch-hashed), ``owner`` (dense node slot),
+  ``size``, ``file``/``chunk``/``placement`` indices, ``alive`` and
+  ``released`` flags;
+* per-chunk registries: decode threshold (``required``), count of placements
+  with at least one live copy (``alive``), owning file;
+* per-file registries: count of currently-undecodable chunks (``bad``), an
+  active flag, and the O(1) system counters (``live_bytes``,
+  ``stored_data_bytes``, ``unavailable_files``).
+
+"Blocks on a failed node" becomes one boolean mask over the owner column;
+chunk survivability is maintained incrementally through ``np.unique`` /
+fancy-indexing transitions, so a failure is processed in microseconds and an
+availability sample is a single counter read.
+
+The ledger stays exact no matter which code path kills a node because it
+registers itself as a state listener on every :class:`OverlayNode` that holds
+one of its rows: ``node.fail()`` / ``node.recover()`` / ``network.leave()``
+notify it directly (the same pattern the array-backed placement engine uses
+for O(1) usage aggregates).  A row can therefore die (node failure) and come
+back (``recover(wipe=False)``); rows that stop being *referenced* -- file
+deleted, node wiped or departed, or a placement re-pointed at a regenerated
+copy -- are ``released`` and never resurrect, mirroring exactly which copies
+the seed's placement-walking accounting would still see.
+
+The ledger exists only on the ``vectorized=True`` path of
+:class:`~repro.core.storage.StorageSystem`; the preserved seed path keeps the
+per-node dict walks, and ``tests/test_churn_equivalence.py`` asserts the two
+produce identical Figure 10 curves and Table 3 rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import naming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports us)
+    from repro.core.storage import StoredChunk, StoredFile
+    from repro.overlay.network import OverlayNetwork
+    from repro.overlay.node import OverlayNode
+
+_S20 = "S20"
+_INITIAL = 1024
+
+
+def _grown(array: np.ndarray, needed: int) -> np.ndarray:
+    """Amortized-doubling growth for one column."""
+    if needed <= len(array):
+        return array
+    new = np.zeros(max(needed, 2 * len(array)), dtype=array.dtype)
+    new[: len(array)] = array
+    return new
+
+
+class BlockLedger:
+    """System-wide columnar record of every stored block copy."""
+
+    def __init__(self, network: "OverlayNetwork") -> None:
+        self.network = network
+        # -- row columns (one row per stored copy) ---------------------------
+        self.row_count = 0
+        self.names: List[str] = []
+        self._digest = np.zeros(_INITIAL, dtype=_S20)
+        self._digest_known = np.zeros(_INITIAL, dtype=bool)
+        self._owner = np.full(_INITIAL, -1, dtype=np.int64)
+        self._size = np.zeros(_INITIAL, dtype=np.int64)
+        self._file = np.full(_INITIAL, -1, dtype=np.int64)
+        self._chunk = np.full(_INITIAL, -1, dtype=np.int64)
+        self._placement = np.full(_INITIAL, -1, dtype=np.int64)
+        self._alive = np.zeros(_INITIAL, dtype=bool)
+        self._released = np.zeros(_INITIAL, dtype=bool)
+        # -- placement registry (one entry per block of a chunk) -------------
+        self.placement_count = 0
+        self._placement_chunk = np.full(_INITIAL, -1, dtype=np.int64)
+        self._placement_pos = np.zeros(_INITIAL, dtype=np.int64)
+        self._placement_copies = np.zeros(_INITIAL, dtype=np.int64)
+        self._placement_rows: List[List[int]] = []
+        # -- chunk registry ---------------------------------------------------
+        self.chunk_count = 0
+        self._chunk_required = np.zeros(_INITIAL, dtype=np.int64)
+        self._chunk_alive = np.zeros(_INITIAL, dtype=np.int64)
+        self._chunk_file = np.full(_INITIAL, -1, dtype=np.int64)
+        self._chunk_placements: List[List[int]] = []
+        self._chunk_objs: List["StoredChunk"] = []
+        # -- file registry ----------------------------------------------------
+        self._file_index: Dict[str, int] = {}
+        self._file_names: List[str] = []
+        self._file_rows: List[List[int]] = []
+        self._file_size = np.zeros(_INITIAL, dtype=np.int64)
+        self._file_bad = np.zeros(_INITIAL, dtype=np.int64)
+        self._file_active = np.zeros(_INITIAL, dtype=bool)
+        self.file_count = 0
+        # -- node slots -------------------------------------------------------
+        self._slots: Dict[int, int] = {}
+        # -- O(1) aggregates --------------------------------------------------
+        self.live_bytes = 0
+        self.live_rows = 0
+        self.stored_data_bytes = 0
+        self.active_files = 0
+        self.unavailable_files = 0
+
+    # ------------------------------------------------------------- registration --
+    def _slot_for(self, node: "OverlayNode") -> int:
+        value = int(node.node_id)
+        slot = self._slots.get(value)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[value] = slot
+            node._usage_listeners = node._usage_listeners + (self,)
+        return slot
+
+    def _grow_rows(self, needed: int) -> None:
+        self._digest = _grown(self._digest, needed)
+        self._digest_known = _grown(self._digest_known, needed)
+        self._owner = _grown(self._owner, needed)
+        self._size = _grown(self._size, needed)
+        self._file = _grown(self._file, needed)
+        self._chunk = _grown(self._chunk, needed)
+        self._placement = _grown(self._placement, needed)
+        self._alive = _grown(self._alive, needed)
+        self._released = _grown(self._released, needed)
+
+    def _append_row(
+        self,
+        node: "OverlayNode",
+        name: str,
+        size: int,
+        file_idx: int,
+        chunk_idx: int,
+        placement_idx: int,
+        digest: Optional[bytes] = None,
+    ) -> int:
+        row = self.row_count
+        if row >= len(self._owner):
+            self._grow_rows(row + 1)
+        self.names.append(name)
+        self._owner[row] = self._slot_for(node)
+        self._size[row] = size
+        self._file[row] = file_idx
+        self._chunk[row] = chunk_idx
+        self._placement[row] = placement_idx
+        self._alive[row] = True
+        if digest is not None:
+            self._digest[row] = digest
+            self._digest_known[row] = True
+        self.row_count = row + 1
+        self.live_bytes += size
+        self.live_rows += 1
+        if file_idx >= 0:
+            self._file_rows[file_idx].append(row)
+        return row
+
+    def register_file(self, stored: "StoredFile", required_blocks: int) -> None:
+        """Record every copy of a freshly (successfully) stored file.
+
+        Called once per successful store, after the chunk and CAT placements
+        are final, so the per-node row order matches the chronological
+        ``stored_blocks`` dict order the seed recovery path iterates.
+        """
+        if stored.name in self._file_index:
+            raise ValueError(f"file already registered: {stored.name!r}")
+        f = self.file_count
+        self.file_count = f + 1
+        self._file_size = _grown(self._file_size, f + 1)
+        self._file_bad = _grown(self._file_bad, f + 1)
+        self._file_active = _grown(self._file_active, f + 1)
+        self._file_index[stored.name] = f
+        self._file_names.append(stored.name)
+        self._file_rows.append([])
+        self._file_size[f] = stored.size
+        self._file_active[f] = True
+        self.active_files += 1
+        self.stored_data_bytes += stored.size
+        stored.ledger_index = f
+
+        network_node = self.network.node
+        for chunk in stored.chunks:
+            if chunk.is_empty or not chunk.placements:
+                continue
+            c = self.chunk_count
+            self.chunk_count = c + 1
+            self._chunk_required = _grown(self._chunk_required, c + 1)
+            self._chunk_alive = _grown(self._chunk_alive, c + 1)
+            self._chunk_file = _grown(self._chunk_file, c + 1)
+            self._chunk_required[c] = required_blocks
+            self._chunk_file[c] = f
+            self._chunk_placements.append([])
+            self._chunk_objs.append(chunk)
+            chunk.ledger_index = c
+            for pos, placement in enumerate(chunk.placements):
+                p = self.placement_count
+                self.placement_count = p + 1
+                self._placement_chunk = _grown(self._placement_chunk, p + 1)
+                self._placement_pos = _grown(self._placement_pos, p + 1)
+                self._placement_copies = _grown(self._placement_copies, p + 1)
+                self._placement_chunk[p] = c
+                self._placement_pos[p] = pos
+                rows = [
+                    self._append_row(
+                        network_node(node_id), placement.block_name, placement.size, f, c, p
+                    )
+                    for node_id in (placement.node_id, *placement.replica_nodes)
+                ]
+                self._placement_rows.append(rows)
+                self._placement_copies[p] = len(rows)
+                self._chunk_placements[c].append(p)
+            # A fresh chunk has every placement alive; it can still start
+            # below threshold if a policy ever under-places, so count it.
+            self._chunk_alive[c] = len(chunk.placements)
+            if self._chunk_alive[c] < required_blocks:
+                self._file_bad[f] += 1
+        for placement in stored.cat_placements:
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                self._append_row(
+                    network_node(node_id), placement.block_name, placement.size, f, -1, -1
+                )
+        if self._file_bad[f] > 0:
+            self.unavailable_files += 1
+
+    def remove_file(self, name: str) -> bool:
+        """Release every row of a deleted file and drop it from the accounting."""
+        f = self._file_index.pop(name, None)
+        if f is None:
+            return False
+        if self._file_active[f]:
+            self._file_active[f] = False
+            self.active_files -= 1
+            self.stored_data_bytes -= int(self._file_size[f])
+            if self._file_bad[f] > 0:
+                self.unavailable_files -= 1
+        rows = np.asarray(self._file_rows[f], dtype=np.int64)
+        if rows.size:
+            self._kill_rows(rows[self._alive[rows]])
+            self._released[rows] = True
+        self._file_rows[f] = []
+        return True
+
+    # ------------------------------------------------------ liveness transitions --
+    def _kill_rows(self, rows: np.ndarray) -> None:
+        """Mark currently-live rows dead and propagate the count transitions."""
+        if rows.size == 0:
+            return
+        self._alive[rows] = False
+        self.live_bytes -= int(self._size[rows].sum())
+        self.live_rows -= int(rows.size)
+        placements = self._placement[rows]
+        placements = placements[placements >= 0]
+        if placements.size == 0:
+            return
+        uniq, counts = np.unique(placements, return_counts=True)
+        before = self._placement_copies[uniq]
+        after = before - counts
+        self._placement_copies[uniq] = after
+        newly_dead = uniq[(after == 0) & (before > 0)]
+        if newly_dead.size == 0:
+            return
+        chunks, dec = np.unique(self._placement_chunk[newly_dead], return_counts=True)
+        before_c = self._chunk_alive[chunks]
+        after_c = before_c - dec
+        self._chunk_alive[chunks] = after_c
+        required = self._chunk_required[chunks]
+        crossed = chunks[(after_c < required) & (before_c >= required)]
+        if crossed.size == 0:
+            return
+        files = self._chunk_file[crossed]
+        files = files[files >= 0]
+        if files.size == 0:
+            return
+        uf, inc = np.unique(files, return_counts=True)
+        before_f = self._file_bad[uf]
+        self._file_bad[uf] = before_f + inc
+        self.unavailable_files += int(((before_f == 0) & self._file_active[uf]).sum())
+
+    def _revive_rows(self, rows: np.ndarray) -> None:
+        """Bring dead (but unreleased) rows back; the inverse of :meth:`_kill_rows`."""
+        if rows.size == 0:
+            return
+        self._alive[rows] = True
+        self.live_bytes += int(self._size[rows].sum())
+        self.live_rows += int(rows.size)
+        placements = self._placement[rows]
+        placements = placements[placements >= 0]
+        if placements.size == 0:
+            return
+        uniq, counts = np.unique(placements, return_counts=True)
+        before = self._placement_copies[uniq]
+        self._placement_copies[uniq] = before + counts
+        newly_live = uniq[before == 0]
+        if newly_live.size == 0:
+            return
+        chunks, inc = np.unique(self._placement_chunk[newly_live], return_counts=True)
+        before_c = self._chunk_alive[chunks]
+        after_c = before_c + inc
+        self._chunk_alive[chunks] = after_c
+        required = self._chunk_required[chunks]
+        crossed = chunks[(after_c >= required) & (before_c < required)]
+        if crossed.size == 0:
+            return
+        files = self._chunk_file[crossed]
+        files = files[files >= 0]
+        if files.size == 0:
+            return
+        uf, dec = np.unique(files, return_counts=True)
+        before_f = self._file_bad[uf]
+        after_f = before_f - dec
+        self._file_bad[uf] = after_f
+        self.unavailable_files -= int(((after_f == 0) & (before_f > 0) & self._file_active[uf]).sum())
+
+    def _unreleased_rows(self, slot: int) -> np.ndarray:
+        n = self.row_count
+        return np.flatnonzero((self._owner[:n] == slot) & ~self._released[:n])
+
+    # -- node state listener hooks (wired through OverlayNode/OverlayNetwork) ----
+    def _note_used_delta(self, delta: int) -> None:
+        """Usage-listener interface compatibility; the ledger tracks its own bytes."""
+
+    def _note_failed(self, node: "OverlayNode") -> None:
+        slot = self._slots.get(int(node.node_id))
+        if slot is None:
+            return
+        rows = self._unreleased_rows(slot)
+        self._kill_rows(rows[self._alive[rows]])
+
+    def _note_recovered(self, node: "OverlayNode", wipe: bool, revived: bool) -> None:
+        slot = self._slots.get(int(node.node_id))
+        if slot is None:
+            return
+        rows = self._unreleased_rows(slot)
+        if wipe:
+            # The disk came back empty: every copy it held is gone for good.
+            self._kill_rows(rows[self._alive[rows]])
+            self._released[rows] = True
+        elif revived:
+            self._revive_rows(rows[~self._alive[rows]])
+
+    def _note_departed(self, node: "OverlayNode") -> None:
+        """A graceful leave takes the copies out of the system permanently."""
+        slot = self._slots.get(int(node.node_id))
+        if slot is None:
+            return
+        rows = self._unreleased_rows(slot)
+        self._kill_rows(rows[self._alive[rows]])
+        self._released[rows] = True
+
+    # --------------------------------------------------------------- repair API --
+    def recovery_rows(self, node: "OverlayNode") -> List[int]:
+        """Rows mirroring the node's ``stored_blocks`` dict, in insertion order.
+
+        One mask over the owner column; released rows (deleted files,
+        superseded primaries) are excluded, exactly matching the names the
+        seed's dict walk would still find.
+        """
+        slot = self._slots.get(int(node.node_id))
+        if slot is None:
+            return []
+        return self._unreleased_rows(slot).tolist()
+
+    def ensure_digests(self, rows: Sequence[int]) -> None:
+        """Batch-hash the names of ``rows`` into the digest column (idempotent)."""
+        missing = [row for row in rows if not self._digest_known[row]]
+        if missing:
+            names = self.names
+            self._digest[missing] = naming.name_digests([names[row] for row in missing])
+            self._digest_known[missing] = True
+
+    def row_name(self, row: int) -> str:
+        return self.names[row]
+
+    def row_key(self, row: int) -> int:
+        """The 160-bit DHT key of the row's block name (requires ensure_digests)."""
+        return int.from_bytes(bytes(self._digest[row]).ljust(20, b"\x00"), "big")
+
+    def row_digest(self, row: int) -> bytes:
+        return bytes(self._digest[row]).ljust(20, b"\x00")
+
+    def row_fields(self, row: int) -> tuple:
+        """(file_idx, chunk_idx, placement_idx, size) of one row."""
+        return (
+            int(self._file[row]),
+            int(self._chunk[row]),
+            int(self._placement[row]),
+            int(self._size[row]),
+        )
+
+    def chunk_object(self, chunk_idx: int) -> "StoredChunk":
+        return self._chunk_objs[chunk_idx]
+
+    def chunk_recoverable(self, chunk_idx: int) -> bool:
+        """Whether the chunk still has enough live blocks to decode, in O(1)."""
+        return bool(self._chunk_alive[chunk_idx] >= self._chunk_required[chunk_idx])
+
+    def placement_position(self, placement_idx: int) -> int:
+        """The placement's index within its chunk's ``placements`` list."""
+        return int(self._placement_pos[placement_idx])
+
+    def placement_for(self, chunk_idx: int, position: int) -> int:
+        """The ledger placement index for position ``position`` of a chunk."""
+        return self._chunk_placements[chunk_idx][position]
+
+    def file_name(self, file_idx: int) -> str:
+        return self._file_names[file_idx]
+
+    def replace_primary(
+        self,
+        placement_idx: int,
+        old_node_id: int,
+        new_node: "OverlayNode",
+        name: str,
+        size: int,
+        digest: Optional[bytes] = None,
+    ) -> int:
+        """Re-point a placement's primary copy at a regenerated block.
+
+        Mirrors the seed's repair semantics exactly: the old primary's copy
+        leaves the placement's reference set (released -- even if the old
+        holder is alive and still has the bytes, the placement no longer
+        points at it), and the fresh copy on ``new_node`` joins it.
+        """
+        old_slot = self._slots.get(int(old_node_id))
+        rows = self._placement_rows[placement_idx]
+        if old_slot is not None:
+            for row in rows:
+                if self._owner[row] == old_slot and not self._released[row]:
+                    if self._alive[row]:
+                        self._kill_rows(np.asarray([row], dtype=np.int64))
+                    self._released[row] = True
+                    rows.remove(row)
+                    break
+        return self._register_copy_row(placement_idx, new_node, name, size, digest)
+
+    def add_replica_copy(
+        self,
+        chunk_idx: int,
+        position: int,
+        node: "OverlayNode",
+        name: str,
+        size: int,
+        digest: Optional[bytes] = None,
+    ) -> int:
+        """Record an extra replica copy joining an existing placement.
+
+        Used by out-of-pipeline replica creation (the multicast replicator of
+        Section 4.4.1), which appends holders to ``placement.replica_nodes``
+        after the file was registered.
+        """
+        placement_idx = self._chunk_placements[chunk_idx][position]
+        return self._register_copy_row(placement_idx, node, name, size, digest)
+
+    def _register_copy_row(
+        self,
+        placement_idx: int,
+        node: "OverlayNode",
+        name: str,
+        size: int,
+        digest: Optional[bytes],
+    ) -> int:
+        """Append a live copy to a placement, propagating threshold crossings."""
+        chunk_idx = int(self._placement_chunk[placement_idx])
+        file_idx = int(self._chunk_file[chunk_idx])
+        row = self._append_row(node, name, size, file_idx, chunk_idx, placement_idx, digest)
+        self._placement_rows[placement_idx].append(row)
+        copies = self._placement_copies
+        copies[placement_idx] += 1
+        if copies[placement_idx] == 1:
+            alive = self._chunk_alive
+            alive[chunk_idx] += 1
+            if alive[chunk_idx] == self._chunk_required[chunk_idx] and file_idx >= 0:
+                bad = self._file_bad
+                bad[file_idx] -= 1
+                if bad[file_idx] == 0 and self._file_active[file_idx]:
+                    self.unavailable_files -= 1
+        return row
+
+    def restore_meta_copy(
+        self, node: "OverlayNode", name: str, size: int, digest: Optional[bytes] = None
+    ) -> int:
+        """Record a re-created CAT/metadata copy.
+
+        Registered untracked-by-file (``file_idx = -1``) because the seed does
+        not add restored copies to ``cat_placements`` either -- deleting the
+        file later leaves them behind in both representations.
+        """
+        return self._append_row(node, name, size, -1, -1, -1, digest)
+
+    # --------------------------------------------------------------- aggregates --
+    @property
+    def unavailable_count(self) -> int:
+        """Active files with at least one undecodable chunk (Figure 10), O(1)."""
+        return self.unavailable_files
+
+    def file_available(self, file_idx: int) -> bool:
+        """Whether every chunk of an active file is still decodable, O(1)."""
+        return bool(self._file_active[file_idx]) and int(self._file_bad[file_idx]) == 0

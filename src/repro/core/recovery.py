@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import naming
+from repro.core.block_ledger import BlockLedger
 from repro.core.cat import ChunkAllocationTable
 from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk, StoredFile
 from repro.overlay.ids import NodeId
@@ -74,7 +75,21 @@ class RecoveryManager:
         decodable are re-created on the node now responsible for their name
         (or elsewhere if that node is full); chunks that are no longer
         decodable are counted as lost data.
+
+        When the storage system runs on the columnar block ledger (the
+        ``vectorized=True`` default), the lost blocks come from one mask over
+        the ledger's owner column and every decodability check is an O(1)
+        counter read; the seed path walks the per-node dict and the chunk
+        placements.  Both produce identical impacts, placements and Table 3
+        rows (``tests/test_churn_equivalence.py``).
         """
+        ledger = self.storage.ledger
+        if ledger is not None:
+            return self._handle_failure_ledger(node_id, ledger)
+        return self._handle_failure_scalar(node_id)
+
+    def _handle_failure_scalar(self, node_id: NodeId) -> FailureImpact:
+        """The preserved seed failure path: per-node dict walk end to end."""
         node = self.dht.network.node(node_id)
         lost_blocks = dict(node.stored_blocks)
         impact = FailureImpact(failed_node=node_id)
@@ -91,6 +106,73 @@ class RecoveryManager:
         impact.files_damaged = len(damaged_files)
         self.impacts.append(impact)
         return impact
+
+    def _handle_failure_ledger(self, node_id: NodeId, ledger: BlockLedger) -> FailureImpact:
+        """Ledger-driven failure: columnar block selection, O(1) decodability."""
+        node = self.dht.network.node(node_id)
+        lost_blocks = dict(node.stored_blocks)
+        impact = FailureImpact(failed_node=node_id)
+        impact.blocks_lost = len(lost_blocks)
+        impact.bytes_on_failed_node = sum(lost_blocks.values())
+
+        rows = ledger.recovery_rows(node)
+        if node.alive:
+            self.dht.network.fail(node_id)  # the ledger is notified via its listener
+        self.dht.remove(node_id)  # incremental boundary patch, not an O(N) rebuild
+        ledger.ensure_digests(rows)
+
+        damaged_files: set[str] = set()
+        ledger_names = set()
+        for row in rows:
+            name = ledger.row_name(row)
+            ledger_names.add(name)
+            self._recover_row(row, name, ledger, node_id, impact, damaged_files)
+        # Blocks present in the node's dict but not in the ledger (out-of-band
+        # stores, copies a repair re-pointed away from) fall back to the seed
+        # per-block logic so both paths examine exactly the same names.
+        missing = lost_blocks.keys() - ledger_names
+        if missing:
+            for name, size in lost_blocks.items():
+                if name in missing:
+                    self._recover_block(name, size, node_id, impact, damaged_files)
+        impact.files_damaged = len(damaged_files)
+        self.impacts.append(impact)
+        return impact
+
+    def _recover_row(
+        self,
+        row: int,
+        name: str,
+        ledger: BlockLedger,
+        failed_node: NodeId,
+        impact: FailureImpact,
+        damaged_files: set,
+    ) -> None:
+        """Ledger-path counterpart of :meth:`_recover_block` for one lost copy."""
+        file_idx, chunk_idx, placement_idx, size = ledger.row_fields(row)
+        key = ledger.row_key(row)
+        if placement_idx < 0:
+            # CAT/metadata copy: restore one on the node now responsible.
+            self._restore_object_copy(name, size, impact, key=key, digest=ledger.row_digest(row))
+            return
+        chunk = ledger.chunk_object(chunk_idx)
+        if not ledger.chunk_recoverable(chunk_idx):
+            damaged_files.add(ledger.file_name(file_idx))
+            if not getattr(chunk, "_counted_lost", False):
+                impact.data_bytes_lost += chunk.size
+                impact.chunks_lost += 1
+                setattr(chunk, "_counted_lost", True)
+            return
+        self._apply_regeneration(
+            chunk,
+            ledger.placement_position(placement_idx),
+            name,
+            size,
+            failed_node,
+            impact,
+            key=key,
+            digest=ledger.row_digest(row),
+        )
 
     def _recover_block(
         self,
@@ -125,10 +207,27 @@ class RecoveryManager:
                 impact.chunks_lost += 1
                 setattr(chunk, "_counted_lost", True)
             return
+        self._apply_regeneration(chunk, placement_index, block_name, size, failed_node, impact)
 
-        # Regenerating the block requires reading the surviving blocks of the
-        # chunk (cost charged by the Table 3 experiment as "data regenerated").
-        new_holder = self._place_regenerated_block(block_name, size, exclude=failed_node)
+    def _apply_regeneration(
+        self,
+        chunk: StoredChunk,
+        placement_index: int,
+        block_name: str,
+        size: int,
+        failed_node: NodeId,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+    ) -> None:
+        """Re-create one lost block and re-point its placement (both paths).
+
+        Regenerating the block requires reading the surviving blocks of the
+        chunk (cost charged by the Table 3 experiment as "data regenerated").
+        When the chunk is ledger-registered the placement re-point is mirrored
+        into the columnar bookkeeping.
+        """
+        new_holder = self._place_regenerated_block(block_name, size, exclude=failed_node, key=key)
         if new_holder is None:
             impact.bytes_dropped += size
             return
@@ -140,6 +239,18 @@ class RecoveryManager:
             replica_nodes=old_placement.replica_nodes,
         )
         impact.bytes_regenerated += size
+        ledger = self.storage.ledger
+        if ledger is not None and chunk.ledger_index is not None:
+            if digest is None:
+                digest = naming.key_digest(block_name)
+            ledger.replace_primary(
+                ledger.placement_for(chunk.ledger_index, placement_index),
+                int(old_placement.node_id),
+                new_holder,
+                block_name,
+                size,
+                digest,
+            )
         if self.storage.payload_mode and chunk.encoded is not None:
             index = placement_index
             if index < len(chunk.encoded.blocks):
@@ -185,10 +296,15 @@ class RecoveryManager:
         return block
 
     def _place_regenerated_block(
-        self, block_name: str, size: int, exclude: NodeId
+        self, block_name: str, size: int, exclude: NodeId, key: Optional[int] = None
     ) -> Optional[OverlayNode]:
-        """Find a live node to hold the regenerated block."""
-        target = self.dht.lookup(naming.key_for_name(block_name))
+        """Find a live node to hold the regenerated block.
+
+        ``key`` lets the ledger path reuse the stored digest instead of
+        re-hashing the name; the lookup itself (and its accounting) is the
+        same scalar call on both paths.
+        """
+        target = self.dht.lookup(key if key is not None else naming.key_for_name(block_name))
         if target.node_id != exclude and target.store_block(block_name, size):
             return target
         if not self.relocate_when_full:
@@ -201,14 +317,23 @@ class RecoveryManager:
                 return candidate
         return None
 
-    def _restore_object_copy(self, name: str, size: int, impact: FailureImpact) -> None:
-        target = self.dht.lookup(naming.key_for_name(name))
+    def _restore_object_copy(
+        self,
+        name: str,
+        size: int,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+    ) -> None:
+        target = self.dht.lookup(key if key is not None else naming.key_for_name(name))
         if target.has_block(name):
             # The responsible node already has a replica; nothing to do.
             return
         if target.store_block(name, size):
             impact.cat_copies_restored += 1
             impact.bytes_regenerated += size
+            if digest is not None and self.storage.ledger is not None:
+                self.storage.ledger.restore_meta_copy(target, name, size, digest)
 
     @staticmethod
     def _find_chunk(stored: StoredFile, chunk_no: int) -> Optional[StoredChunk]:

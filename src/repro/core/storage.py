@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core import naming
+from repro.core.block_ledger import BlockLedger
 from repro.core.capacity import CapacityProbe, ProbeResult
 from repro.core.cat import CatEntry, ChunkAllocationTable
 from repro.core.chunker import Chunker
@@ -67,6 +68,8 @@ class StoredChunk:
     placements: List[BlockPlacement] = field(default_factory=list)
     #: Present only in payload mode: the encoder output (needed to decode).
     encoded: Optional[EncodedChunk] = None
+    #: Index of this chunk in the columnar block ledger (vectorized path only).
+    ledger_index: Optional[int] = None
 
     @property
     def is_empty(self) -> bool:
@@ -83,6 +86,8 @@ class StoredFile:
     cat: ChunkAllocationTable
     chunks: List[StoredChunk]
     cat_placements: List[BlockPlacement] = field(default_factory=list)
+    #: Index of this file in the columnar block ledger (vectorized path only).
+    ledger_index: Optional[int] = None
 
     def data_chunks(self) -> List[StoredChunk]:
         """Chunks that actually hold data (non zero-sized)."""
@@ -141,6 +146,12 @@ class StorageSystem:
         #: produce byte-identical placements, results and lookup counts -- the
         #: equivalence is asserted by ``tests/test_placement_equivalence.py``.
         self.vectorized = vectorized
+        #: Columnar system-wide block bookkeeping (vectorized path only): one
+        #: ledger row per stored copy, incrementally-maintained chunk
+        #: decodability and O(1) usage/availability aggregates.  The seed path
+        #: keeps the per-node dict walks; ``tests/test_churn_equivalence.py``
+        #: asserts both produce identical availability curves and churn rows.
+        self.ledger: Optional[BlockLedger] = BlockLedger(dht.network) if vectorized else None
         self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
         self._probe_chunk = self.probe.probe_chunk_fast if vectorized else self.probe.probe_chunk
         self.chunker = Chunker(self.probe, self.codec, self.policy)
@@ -227,6 +238,8 @@ class StorageSystem:
                     cat_placements=cat_placements,
                 )
                 self.files[filename] = stored
+                if self.ledger is not None:
+                    self.ledger.register_file(stored, self.codec.spec().required_blocks())
                 return StoreResult(
                     filename=filename,
                     requested_size=size,
@@ -381,6 +394,8 @@ class StorageSystem:
             self._release_chunk(chunk)
         for placement in stored.cat_placements:
             self._release_placement(placement)
+        if self.ledger is not None:
+            self.ledger.remove_file(filename)
         return True
 
     def _release_chunk(self, chunk: StoredChunk) -> None:
@@ -416,19 +431,38 @@ class StorageSystem:
         return count
 
     def chunk_is_recoverable(self, chunk: StoredChunk) -> bool:
-        """Whether enough encoded blocks of ``chunk`` survive to decode it."""
+        """Whether enough encoded blocks of ``chunk`` survive to decode it.
+
+        On the vectorized path this is one O(1) counter comparison against
+        the ledger's incrementally-maintained per-chunk live-block counts;
+        the seed path walks the placements and per-node dicts.
+        """
         if chunk.is_empty:
             return True
+        if self.ledger is not None and chunk.ledger_index is not None:
+            return self.ledger.chunk_recoverable(chunk.ledger_index)
         surviving = sum(1 for placement in chunk.placements if self._live_copies(placement) > 0)
         required = self.codec.spec().required_blocks()
         return surviving >= required
 
     def is_file_available(self, filename: str) -> bool:
-        """Whether every chunk of the file can still be recovered."""
+        """Whether every chunk of the file can still be recovered (O(1) vectorized)."""
         stored = self.files.get(filename)
         if stored is None:
             return False
+        if self.ledger is not None and stored.ledger_index is not None:
+            return self.ledger.file_available(stored.ledger_index)
         return all(self.chunk_is_recoverable(chunk) for chunk in stored.chunks)
+
+    def unavailable_file_count(self) -> int:
+        """Stored files that currently have at least one undecodable chunk.
+
+        O(1) on the vectorized path (the Figure 10 sweep samples this once
+        per failure batch); falls back to the full walk on the seed path.
+        """
+        if self.ledger is not None:
+            return self.ledger.unavailable_count
+        return sum(1 for name in self.files if not self.is_file_available(name))
 
     def retrieve_file(self, filename: str) -> RetrieveResult:
         """Retrieve the entire file."""
@@ -574,8 +608,46 @@ class StorageSystem:
         return self.dht.utilization()
 
     def stored_bytes(self) -> int:
-        """Total bytes of user data currently stored (excluding coding overhead)."""
+        """Total bytes of user data currently stored (excluding coding overhead).
+
+        O(1) from the ledger aggregate on the vectorized path; the seed path
+        sums the per-file sizes.
+        """
+        if self.ledger is not None:
+            return self.ledger.stored_data_bytes
         return sum(stored.size for stored in self.files.values())
+
+    def usage_summary(self) -> Dict[str, float]:
+        """System-wide usage aggregates.
+
+        On the vectorized path every value is an O(1) ledger counter; the
+        seed fallback recomputes them by summing the per-file bookkeeping and
+        the per-node ``stored_blocks`` dicts (the walk the ledger replaced).
+        ``live_block_bytes`` counts the copies the placement bookkeeping still
+        references on live nodes (blocks, replicas and CAT copies including
+        coding overhead); ``tests/test_placement_equivalence.py`` asserts
+        parity between the two paths.
+        """
+        if self.ledger is not None:
+            return {
+                "file_count": float(self.ledger.active_files),
+                "stored_file_bytes": float(self.ledger.stored_data_bytes),
+                "live_block_bytes": float(self.ledger.live_bytes),
+                "live_block_count": float(self.ledger.live_rows),
+                "utilization": self.dht.utilization(),
+            }
+        live_bytes = 0
+        live_count = 0
+        for node in self.dht.network.live_nodes():
+            live_bytes += sum(node.stored_blocks.values())
+            live_count += len(node.stored_blocks)
+        return {
+            "file_count": float(len(self.files)),
+            "stored_file_bytes": float(sum(stored.size for stored in self.files.values())),
+            "live_block_bytes": float(live_bytes),
+            "live_block_count": float(live_count),
+            "utilization": self.dht.utilization(),
+        }
 
     @property
     def file_count(self) -> int:

@@ -5,10 +5,31 @@ The paper distributes the trace across the overlay, then fails 1000 of the
 unavailable, comparing no error coding, a (2,3) XOR code, and an online code
 that tolerates two simultaneous failures per chunk.  A file counts as
 available only if *every* chunk can still be retrieved.
+
+Running at the paper's scale
+----------------------------
+With ``vectorized=True`` (the default) the whole experiment runs on the
+array-backed placement engine plus the columnar block ledger: populations are
+built without the O(N^2) per-node Pastry state, every store goes through the
+batched lookup kernels, each failure is one mask over the ledger's owner
+column, and an availability sample is a single O(1) counter read instead of a
+walk over every placement of every file.  That is what makes the paper's
+10 000-node / 1 000-failure configuration (:data:`PAPER_FIG10`) practical on
+one core::
+
+    python -m repro.cli fig10                 # paper scale (minutes)
+    python -m repro.cli fig10 --scale 0.1     # 1 000 nodes, quick look
+    python -m repro.cli availability          # legacy scaled-down defaults
+
+``vectorized=False`` preserves the seed scalar path end to end (per-node dict
+walks per sample); ``tests/test_churn_equivalence.py`` asserts both paths
+produce identical curves, and ``benchmarks/test_bench_churn_failures.py``
+records the throughput of each in ``BENCH_churn.json``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -63,6 +84,24 @@ class AvailabilityConfig:
     #: Blocks per chunk used by the coded configurations.
     blocks_per_chunk: int = 2
     seed: int = 2
+    #: Run stores, failure processing and availability sampling on the
+    #: array-backed engine + columnar block ledger; ``False`` preserves the
+    #: seed scalar path end to end.  Identical curves either way.
+    vectorized: bool = True
+    #: Override the population-build mode independently of the pipeline mode
+    #: (None = follow ``vectorized``); identical RNG draws in both modes.
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
+
+
+#: The paper's Figure 10 configuration: 10 000 nodes, fail 10 % one by one.
+#: The file count keeps the distribution phase to a couple of minutes on one
+#: core while preserving the figure's qualitative comparison; raise it towards
+#: the paper's full trace for longer runs (`python -m repro.cli fig10 --files N`).
+PAPER_FIG10 = AvailabilityConfig(node_count=10_000, file_count=20_000)
 
 
 class AvailabilityExperiment:
@@ -70,6 +109,10 @@ class AvailabilityExperiment:
 
     def __init__(self, config: Optional[AvailabilityConfig] = None) -> None:
         self.config = config or AvailabilityConfig()
+        #: Per-coding wall-clock phase timings of the last :meth:`run`
+        #: ({label: {"distribute_s": ..., "sweep_s": ...}}), recorded for the
+        #: churn benchmarks.
+        self.timings: Dict[str, Dict[str, float]] = {}
 
     def _codecs(self) -> Dict[str, ChunkCodec]:
         blocks = self.config.blocks_per_chunk
@@ -110,19 +153,28 @@ class AvailabilityExperiment:
             std_size=config.std_file_size,
             min_size=config.min_file_size,
         )
+        fast_build = config.resolved_fast_build()
 
         results: Dict[str, Series] = {}
+        self.timings = {}
         for label, codec in self._codecs().items():
+            phase_start = time.perf_counter()
             network = OverlayNetwork.build(
-                config.node_count, rng=streams.fresh("overlay"), capacities=list(capacities)
+                config.node_count,
+                rng=streams.fresh("overlay"),
+                capacities=list(capacities),
+                routing_state=not fast_build,
             )
             dht = DHTView(network)
-            storage = StorageSystem(dht, codec=codec, policy=StoragePolicy())
+            storage = StorageSystem(
+                dht, codec=codec, policy=StoragePolicy(), vectorized=config.vectorized
+            )
             trace = generate_file_trace(trace_config, rng=streams.fresh("trace"))
             stored_files: List[str] = []
             for record in trace:
                 if storage.store_file(record.name, record.size).success:
                     stored_files.append(record.name)
+            distribute_s = time.perf_counter() - phase_start
 
             schedule = FailureSchedule(
                 network.live_ids(), config.fail_fraction, rng=streams.fresh("failures", label)
@@ -132,17 +184,30 @@ class AvailabilityExperiment:
             sample_every = max(1, len(schedule) // max(1, config.sample_points))
             failed_so_far = 0
             series.append(0, 0.0)
+            sweep_start = time.perf_counter()
+            ledger = storage.ledger
             for event in schedule:
                 node = network.node(event.node_id)
                 if node.alive:
+                    # The ledger (when present) is notified through the node's
+                    # state listeners; with a fast-built population there is no
+                    # per-node routing state to repair, so a failure is O(k).
                     network.fail(event.node_id)
                 # Note: the DHT view is deliberately NOT updated -- the paper's
                 # experiment measures raw availability without any repair.
                 failed_so_far += 1
                 if failed_so_far % sample_every == 0 or failed_so_far == len(schedule):
-                    unavailable = sum(
-                        1 for name in stored_files if not storage.is_file_available(name)
-                    )
+                    if ledger is not None:
+                        unavailable = ledger.unavailable_count
+                    else:
+                        unavailable = sum(
+                            1 for name in stored_files if not storage.is_file_available(name)
+                        )
                     series.append(failed_so_far, 100.0 * unavailable / total if total else 0.0)
             results[label] = series
+            self.timings[label] = {
+                "distribute_s": distribute_s,
+                "sweep_s": time.perf_counter() - sweep_start,
+                "failures": float(len(schedule)),
+            }
         return results

@@ -6,10 +6,30 @@ neighbours regenerate the blocks now mapped to them, and a delay proportional
 to the amount of data being recovered is inserted so consecutive failures can
 overlap in-flight recoveries.  Reported: total data lost, total data
 regenerated, and the mean/standard deviation of data regenerated per failure.
+
+Running at the paper's scale
+----------------------------
+With ``vectorized=True`` (the default) distribution runs on the array-backed
+placement engine and every failure is processed through the columnar block
+ledger: the failed node's blocks come from one mask over the owner column,
+each decodability check is an O(1) counter read, and removing the node from
+the DHT view patches the lookup boundaries incrementally instead of paying an
+O(N) rebuild.  That makes the paper's 10 000-node configuration
+(:data:`PAPER_TABLE3`) run in minutes on one core::
+
+    python -m repro.cli table3                # paper scale (10 % and 20 %)
+    python -m repro.cli table3 --scale 0.1    # 1 000 nodes, quick look
+    python -m repro.cli churn                 # legacy scaled-down defaults
+
+``vectorized=False`` preserves the seed scalar path (per-node dict walks and
+placement scans); ``tests/test_churn_equivalence.py`` asserts both paths
+produce identical Table 3 rows, and ``benchmarks/test_bench_churn_failures.py``
+records both throughputs in ``BENCH_churn.json``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -50,6 +70,22 @@ class ChurnConfig:
     #: Bytes per simulated second a recovering neighbour can regenerate.
     recovery_rate: float = 50 * MB
     seed: int = 4
+    #: Run distribution and failure handling on the array engine + columnar
+    #: block ledger; ``False`` preserves the seed scalar path end to end.
+    vectorized: bool = True
+    #: Override the population-build mode independently of the pipeline mode
+    #: (None = follow ``vectorized``); identical RNG draws in both modes.
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
+
+
+#: The paper's Table 3 configuration: 10 000 nodes, fail 10 % then 20 %.  As
+#: with Figure 10, the file count keeps the run to minutes on one core while
+#: preserving the table's structural claims (`--files N` raises it).
+PAPER_TABLE3 = ChurnConfig(node_count=10_000, file_count=20_000)
 
 
 @dataclass
@@ -77,6 +113,10 @@ class ChurnExperiment:
 
     def __init__(self, config: Optional[ChurnConfig] = None) -> None:
         self.config = config or ChurnConfig()
+        #: Per-fraction wall-clock phase timings of the last :meth:`run`
+        #: ({fraction: {"distribute_s": ..., "recover_s": ...}}), recorded for
+        #: the churn benchmarks.
+        self.timings: Dict[float, Dict[str, float]] = {}
 
     def _distribute(self, streams: RandomStreams) -> StorageSystem:
         config = self.config
@@ -90,13 +130,17 @@ class ChurnExperiment:
             rng=streams.fresh("capacities"),
         )
         network = OverlayNetwork.build(
-            config.node_count, rng=streams.fresh("overlay"), capacities=list(capacities)
+            config.node_count,
+            rng=streams.fresh("overlay"),
+            capacities=list(capacities),
+            routing_state=not config.resolved_fast_build(),
         )
         dht = DHTView(network)
         storage = StorageSystem(
             dht,
             codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=config.blocks_per_chunk),
             policy=StoragePolicy(),
+            vectorized=config.vectorized,
         )
         trace = generate_file_trace(
             FileTraceConfig(
@@ -114,7 +158,9 @@ class ChurnExperiment:
     def _run_fraction(self, fraction: float) -> ChurnRow:
         config = self.config
         streams = RandomStreams(config.seed)
+        phase_start = time.perf_counter()
         storage = self._distribute(streams)
+        distribute_s = time.perf_counter() - phase_start
         recovery = RecoveryManager(storage)
         network = storage.dht.network
         total_data = float(storage.stored_bytes())
@@ -138,9 +184,15 @@ class ChurnExperiment:
             delay = impact.bytes_regenerated / config.recovery_rate if config.recovery_rate else 0.0
             sim.schedule(delay, lambda: pending.append(impact))
 
+        recover_start = time.perf_counter()
         for event in schedule:
             sim.schedule(event.time, lambda event=event: fail_at(event))
         sim.run()
+        self.timings[fraction] = {
+            "distribute_s": distribute_s,
+            "recover_s": time.perf_counter() - recover_start,
+            "failures": float(len(schedule)),
+        }
 
         totals = recovery.totals()
         return ChurnRow(

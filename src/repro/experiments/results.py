@@ -6,7 +6,10 @@ performance trajectory recorded by the benchmark session hooks:
 * ``BENCH_insertion.json`` -- files/s and lookups/s of the array-backed
   placement engine (and of the preserved scalar seed path it is measured
   against) for the large-scale insertion experiment;
-* ``BENCH_coding.json`` -- MB/s of the vectorized erasure-coding kernel.
+* ``BENCH_coding.json`` -- MB/s of the vectorized erasure-coding kernel;
+* ``BENCH_churn.json`` -- failures/s of the columnar block ledger churn
+  engine (seed vs ledger) and the end-to-end Figure 10 / Table 3 times,
+  including the paper-scale 10 000-node flagship runs.
 
 ``python -m repro.cli bench --summary-only`` prints both via
 :func:`benchmark_summary`; the benchmarks themselves are run with
@@ -147,6 +150,25 @@ def coding_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def churn_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_churn.json rows as a failure-throughput table."""
+    table = TableResult(
+        title="Churn throughput (columnar block ledger)",
+        columns=["scenario", "nodes", "files", "pipeline", "seconds", "failures", "failures_per_s"],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            scenario=row.get("scenario", "?"),
+            nodes=row.get("node_count", 0),
+            files=row.get("file_count", 0),
+            pipeline=row.get("pipeline", "?"),
+            seconds=float(row.get("seconds", 0.0)),
+            failures=row.get("failures", 0),
+            failures_per_s=float(row.get("failures_per_s", 0.0)),
+        )
+    return table
+
+
 def benchmark_summary(root: Path) -> str:
     """The combined perf-trajectory summary for a repository checkout.
 
@@ -172,6 +194,19 @@ def benchmark_summary(root: Path) -> str:
         sections.append(coding_benchmark_table(coding).format(float_format="{:,.1f}"))
     else:
         sections.append("BENCH_coding.json not found - run `python -m repro.cli bench`")
+    churn = load_benchmark_record(Path(root) / "BENCH_churn.json")
+    if churn is not None:
+        sections.append(churn_benchmark_table(churn).format(float_format="{:,.1f}"))
+        speedups = churn.get("speedups", {})
+        if speedups:
+            rendered = [
+                f"{key}={value:,.1f}x"
+                for key, value in sorted(speedups.items())
+                if isinstance(value, (int, float))
+            ]
+            sections.append("churn speedup vs scalar seed path: " + ", ".join(rendered))
+    else:
+        sections.append("BENCH_churn.json not found - run `python -m repro.cli bench`")
     return "\n\n".join(sections)
 
 

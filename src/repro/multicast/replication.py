@@ -95,12 +95,23 @@ class MulticastReplicator:
         report = ReplicationReport(
             filename=filename, chunk_no=chunk_no, replicas_requested=replicas
         )
+        ledger = self.storage.ledger
+        network = self.dht.network
         all_targets: List[NodeId] = []
         new_placements: List[BlockPlacement] = []
-        for placement in chunk.placements:
+        for position, placement in enumerate(chunk.placements):
             targets = self._replica_targets(
                 placement.node_id, placement.block_name, placement.size, replicas
             )
+            if ledger is not None and chunk.ledger_index is not None:
+                for target in targets:
+                    ledger.add_replica_copy(
+                        chunk.ledger_index,
+                        position,
+                        network.node(target),
+                        placement.block_name,
+                        placement.size,
+                    )
             report.holders[placement.block_name] = targets
             report.replicas_created += len(targets)
             report.replicas_skipped_no_space += replicas - len(targets)

@@ -48,6 +48,11 @@ class OverlayNetwork:
         self._nodes: Dict[NodeId, OverlayNode] = {}
         self.total_route_hops = 0
         self.total_routes = 0
+        #: Whether per-node leaf sets / routing tables are being maintained.
+        #: ``build(..., routing_state=False)`` clears it, which also lets
+        #: departures skip the O(N) leaf-set repair sweep (there is no state
+        #: to repair) -- what keeps a churn sweep at 10 000 nodes incremental.
+        self.maintains_routing_state = True
 
     # -- population management ----------------------------------------------
     @classmethod
@@ -78,6 +83,7 @@ class OverlayNetwork:
         if capacities is not None and len(capacities) != count:
             raise ValueError("capacities length must match node count")
         network = cls(leaf_set_half_size=leaf_set_half_size)
+        network.maintains_routing_state = routing_state
         for index in range(count):
             node_id = random_node_id(rng)
             while node_id in network._nodes:  # pragma: no cover - negligible probability
@@ -122,14 +128,20 @@ class OverlayNetwork:
         """Graceful departure: remove the node and repair neighbours' state."""
         if node_id not in self._nodes:
             raise OverlayError(f"unknown node: {node_id!r}")
-        del self._nodes[node_id]
-        self._repair_after_departure(node_id)
+        node = self._nodes.pop(node_id)
+        for listener in node._usage_listeners:
+            note = getattr(listener, "_note_departed", None)
+            if note is not None:
+                note(node)
+        if self.maintains_routing_state:
+            self._repair_after_departure(node_id)
 
     def fail(self, node_id: NodeId) -> OverlayNode:
         """Abrupt failure: node stays in the table but is marked dead; repair state."""
         node = self.node(node_id)
         node.fail()
-        self._repair_after_departure(node_id)
+        if self.maintains_routing_state:
+            self._repair_after_departure(node_id)
         return node
 
     def _repair_after_departure(self, node_id: NodeId) -> None:

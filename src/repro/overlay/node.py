@@ -220,15 +220,31 @@ class OverlayNode:
 
     # -- failure ------------------------------------------------------------
     def fail(self) -> None:
-        """Mark the node failed; its stored blocks become unreachable."""
+        """Mark the node failed; its stored blocks become unreachable.
+
+        Attached state listeners (the columnar block ledger of
+        :mod:`repro.core.block_ledger`) are notified so system-wide liveness
+        accounting stays exact no matter which code path fails the node.
+        """
+        if not self.alive:
+            return
         self.alive = False
+        for listener in self._usage_listeners:
+            note = getattr(listener, "_note_failed", None)
+            if note is not None:
+                note(self)
 
     def recover(self, wipe: bool = True) -> None:
         """Bring the node back.  By default it returns empty (disk wiped)."""
+        revived = not self.alive
         self.alive = True
         if wipe:
             self.stored_blocks.clear()
             self.used = 0
+        for listener in self._usage_listeners:
+            note = getattr(listener, "_note_recovered", None)
+            if note is not None:
+                note(self, wipe, revived)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"

@@ -25,12 +25,20 @@ The state also maintains O(1) aggregates (total contributed capacity, total
 used bytes) via the ``OverlayNode.used`` property listeners, which makes the
 utilization sampling of the insertion experiments independent of the
 population size.
+
+Membership changes are asymmetric: joins mark the boundaries dirty (bulk
+changes coalesce into one full rebuild at the next lookup), while a removal
+on *clean* boundaries patches them in place -- only the two arcs adjacent to
+the removed node change, so the per-failure cost of a churn sweep is
+O(affected region) Python work plus C-level array splices instead of the
+O(N) rebuild the dirty-flag path pays.  ``tests/test_overlay_node_state.py``
+asserts patch == rebuild on adversarial rings, removal by removal.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -67,10 +75,10 @@ class NodeArrayState:
     def __init__(self, nodes: Iterable[OverlayNode] = ()) -> None:
         self.nodes: List[OverlayNode] = []
         self.ids_int: List[int] = []
-        self._pos: Dict[int, int] = {}
         self.capacity_total = 0
         self.used_total = 0
         self._bounds_dirty = True
+        self._wrap_first = False
         self._bounds_int: List[int] = []
         self._owners_list: List[int] = []
         self._bounds_bytes: np.ndarray = np.empty(0, dtype=f"S{_ID_BYTES}")
@@ -85,7 +93,6 @@ class NodeArrayState:
         ordered = sorted(nodes, key=lambda node: int(node.node_id))
         self.nodes = ordered
         self.ids_int = [int(node.node_id) for node in ordered]
-        self._pos = {value: index for index, value in enumerate(self.ids_int)}
         self.capacity_total = sum(node.capacity for node in ordered)
         self.used_total = sum(node.used for node in ordered)
         for node in ordered:
@@ -93,15 +100,18 @@ class NodeArrayState:
         self._bounds_dirty = True
 
     def add(self, node: OverlayNode) -> bool:
-        """Insert a node (no-op when already indexed).  Returns True if added."""
+        """Insert a node (no-op when already indexed).  Returns True if added.
+
+        Joins mark the boundaries dirty: bulk membership changes (population
+        builds, rejoining waves) coalesce into a single full rebuild at the
+        next lookup instead of paying one patch per change.
+        """
         value = int(node.node_id)
-        if value in self._pos:
-            return False
         index = bisect.bisect_left(self.ids_int, value)
+        if index < len(self.ids_int) and self.ids_int[index] == value:
+            return False
         self.ids_int.insert(index, value)
         self.nodes.insert(index, node)
-        for shifted in range(index, len(self.ids_int)):
-            self._pos[self.ids_int[shifted]] = shifted
         self.capacity_total += node.capacity
         self.used_total += node.used
         self._attach(node)
@@ -109,30 +119,42 @@ class NodeArrayState:
         return True
 
     def remove(self, node_id: int) -> bool:
-        """Drop a node by id (no-op when absent).  Returns True if removed."""
+        """Drop a node by id (no-op when absent).  Returns True if removed.
+
+        When the lookup boundaries are clean, they are *patched* in place --
+        only the two arcs adjacent to the removed node change, so the update
+        is O(affected region) Python work plus C-level array splices -- which
+        is what keeps single-node-failure churn at 10 000+ nodes from paying
+        an O(N) rebuild per failure.  When the boundaries are already dirty
+        (bulk membership change in progress), the removal simply coalesces
+        into the pending full rebuild.
+        """
         value = int(node_id)
-        index = self._pos.pop(value, None)
-        if index is None:
+        index = bisect.bisect_left(self.ids_int, value)
+        if index >= len(self.ids_int) or self.ids_int[index] != value:
             return False
         node = self.nodes.pop(index)
         del self.ids_int[index]
-        for shifted in range(index, len(self.ids_int)):
-            self._pos[self.ids_int[shifted]] = shifted
         self.capacity_total -= node.capacity
         self.used_total -= node.used
         self._detach(node)
-        self._bounds_dirty = True
+        if not self._bounds_dirty:
+            self._patch_bounds_after_removal(index)
         return True
 
     def __len__(self) -> int:
         return len(self.ids_int)
 
     def __contains__(self, node_id: int) -> bool:
-        return int(node_id) in self._pos
+        return self.position(node_id) is not None
 
     def position(self, node_id: int) -> Optional[int]:
         """Index of a node id in the sorted order, or None."""
-        return self._pos.get(int(node_id))
+        value = int(node_id)
+        index = bisect.bisect_left(self.ids_int, value)
+        if index < len(self.ids_int) and self.ids_int[index] == value:
+            return index
+        return None
 
     # -- aggregate maintenance -------------------------------------------------
     def _attach(self, node: OverlayNode) -> None:
@@ -167,6 +189,7 @@ class NodeArrayState:
             self._owners_list = [0]
             self._bounds_bytes = np.empty(0, dtype=f"S{_ID_BYTES}")
             self._owners_arr = np.zeros(1, dtype=np.int64)
+            self._wrap_first = False
             self._bounds_dirty = False
             return
         inner = [ids[i] + (ids[i + 1] - ids[i]) // 2 for i in range(n - 1)]
@@ -177,14 +200,95 @@ class NodeArrayState:
         if wrap_raw < ID_SPACE:
             bounds = inner + [wrap_raw]
             owners = list(range(n)) + [0]
+            self._wrap_first = False
         else:
             bounds = [wrap_raw - ID_SPACE] + inner
             owners = [n - 1] + list(range(n - 1)) + [n - 1]
+            self._wrap_first = True
         self._bounds_int = bounds
         self._owners_list = owners
         self._bounds_bytes = np.array([_id_bytes(v) for v in bounds], dtype=f"S{_ID_BYTES}")
         self._owners_arr = np.asarray(owners, dtype=np.int64)
         self._bounds_dirty = False
+
+    def _canonical_owners(self, n: int, wrap_first: bool) -> None:
+        """Reset the owner arrays to the canonical per-layout pattern (C-speed)."""
+        if wrap_first:
+            self._owners_list = [n - 1] + list(range(n - 1)) + [n - 1]
+            self._owners_arr = np.concatenate(
+                ([n - 1], np.arange(n - 1, dtype=np.int64), [n - 1])
+            ).astype(np.int64, copy=False)
+        else:
+            self._owners_list = list(range(n)) + [0]
+            self._owners_arr = np.concatenate(
+                (np.arange(n, dtype=np.int64), [0])
+            ).astype(np.int64, copy=False)
+        self._wrap_first = wrap_first
+
+    def _patch_bounds_after_removal(self, index: int) -> None:
+        """Patch clean lookup boundaries after deleting the node at ``index``.
+
+        ``index`` is the position the node occupied *before* removal (the
+        arrays are already updated).  Only the two arcs adjacent to the
+        removed node change: an interior removal merges them around a single
+        recomputed midpoint; removing the smallest or largest id additionally
+        recomputes the wrap-around boundary, which may flip the layout between
+        the "wrap boundary last" and "wrap boundary first" forms.  Owner
+        arrays are regenerated from the canonical per-layout pattern, so no
+        per-element Python renumbering is ever required.  Equality with a full
+        rebuild is asserted, ring by ring, in ``tests/test_overlay_node_state``.
+        """
+        ids = self.ids_int
+        n = len(ids)
+        if n <= 1:
+            self._rebuild_bounds()
+            return
+        bounds = self._bounds_int
+        arr = self._bounds_bytes
+        wrap_first = self._wrap_first
+        if 0 < index < n:
+            # Interior removal: the wrap arc is untouched, the layout stays.
+            mid = ids[index - 1] + (ids[index] - ids[index - 1]) // 2
+            slot = index if wrap_first else index - 1
+            bounds[slot] = mid
+            del bounds[slot + 1]
+            arr = np.delete(arr, slot + 1)
+            arr[slot] = _id_bytes(mid)
+            self._bounds_bytes = arr
+            self._canonical_owners(n, wrap_first)
+            return
+        # End removal (smallest id when index == 0, largest when index == n):
+        # the inner boundary that touched the removed node disappears and the
+        # wrap-around boundary is recomputed from the new first/last ids.
+        gap = ID_SPACE - ids[-1] + ids[0]
+        wrap_raw = ids[-1] + (gap - 1) // 2
+        new_wrap_first = wrap_raw >= ID_SPACE
+        if index == 0:
+            inner_slot = 1 if wrap_first else 0
+        else:
+            inner_slot = len(bounds) - 1 if wrap_first else len(bounds) - 2
+        del bounds[inner_slot]
+        arr = np.delete(arr, inner_slot)
+        if wrap_first:
+            if new_wrap_first:
+                bounds[0] = wrap_raw - ID_SPACE
+                arr[0] = _id_bytes(wrap_raw - ID_SPACE)
+            else:
+                del bounds[0]
+                bounds.append(wrap_raw)
+                arr = np.delete(arr, 0)
+                arr = np.append(arr, np.array([_id_bytes(wrap_raw)], dtype=arr.dtype))
+        else:
+            if new_wrap_first:
+                del bounds[-1]
+                bounds.insert(0, wrap_raw - ID_SPACE)
+                arr = np.delete(arr, len(arr) - 1)
+                arr = np.insert(arr, 0, _id_bytes(wrap_raw - ID_SPACE))
+            else:
+                bounds[-1] = wrap_raw
+                arr[-1] = _id_bytes(wrap_raw)
+        self._bounds_bytes = arr
+        self._canonical_owners(n, new_wrap_first)
 
     # -- lookups ---------------------------------------------------------------
     def lookup_index(self, key: int) -> int:
@@ -254,7 +358,8 @@ class NodeArrayState:
             return (delta if delta <= half else ID_SPACE - delta, candidate)
 
         candidates.sort(key=ring_key)
-        return [self._pos[candidate] for candidate in candidates[:count]]
+        id_index = bisect.bisect_left
+        return [id_index(ids, candidate) for candidate in candidates[:count]]
 
     # -- bulk accounting -------------------------------------------------------
     def free_space_array(self) -> np.ndarray:

@@ -1,0 +1,200 @@
+"""Equivalence oracle: the columnar block ledger vs the seed churn path.
+
+The ledger must be a pure optimization.  For identical seeds the vectorized
+dynamics pipelines (failure selection, decodability accounting, regeneration,
+availability sampling) have to produce *identical* Figure 10 curves, Table 3
+rows and per-failure impacts as the preserved scalar implementations -- and
+the ledger's liveness accounting must track out-of-band node failures,
+recoveries and deletions exactly like the seed's placement walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.experiments.availability import AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.churn import ChurnConfig, ChurnExperiment
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.workloads.filetrace import MB, FileTraceConfig, generate_file_trace
+
+#: Two small population sizes exercising both experiments end to end.
+AVAILABILITY_CASES = [(48, 120), (90, 200)]
+CHURN_CASES = [(40, 100), (80, 180)]
+
+
+@pytest.mark.parametrize("node_count,file_count", AVAILABILITY_CASES)
+def test_figure10_curves_identical_across_engines(node_count, file_count):
+    """Seed walk and ledger counter produce the same availability curves."""
+    base = AvailabilityConfig(
+        node_count=node_count,
+        file_count=file_count,
+        capacity_mean=400 * MB,
+        capacity_std=100 * MB,
+        mean_file_size=24 * MB,
+        std_file_size=8 * MB,
+        min_file_size=4 * MB,
+        sample_points=10,
+        seed=11,
+        vectorized=False,
+    )
+    scalar = AvailabilityExperiment(base).run()
+    vector = AvailabilityExperiment(replace(base, vectorized=True)).run()
+    assert scalar.keys() == vector.keys()
+    for label in scalar:
+        assert scalar[label].x == vector[label].x, label
+        assert scalar[label].y == vector[label].y, label
+
+
+@pytest.mark.parametrize("node_count,file_count", CHURN_CASES)
+def test_table3_rows_identical_across_engines(node_count, file_count):
+    """Seed and ledger recovery produce byte-identical Table 3 rows."""
+    base = ChurnConfig(
+        node_count=node_count,
+        file_count=file_count,
+        capacity_mean=400 * MB,
+        capacity_std=100 * MB,
+        mean_file_size=24 * MB,
+        std_file_size=8 * MB,
+        min_file_size=4 * MB,
+        seed=13,
+        vectorized=False,
+    )
+    scalar = ChurnExperiment(base).run()
+    vector = ChurnExperiment(replace(base, vectorized=True)).run()
+    assert scalar.columns == vector.columns
+    assert scalar.rows == vector.rows
+
+
+def _twin_storages(node_count: int, seed: int):
+    """Two storages over identical populations, scalar and vectorized."""
+    storages = []
+    for vectorized in (False, True):
+        rng = np.random.default_rng(seed)
+        capacities = [int(c) for c in rng.normal(80 * MB, 20 * MB, size=node_count)]
+        capacities = [max(c, 16 * MB) for c in capacities]
+        network = OverlayNetwork.build(
+            node_count, np.random.default_rng(seed + 1), capacities=capacities,
+            routing_state=False,
+        )
+        storage = StorageSystem(
+            DHTView(network),
+            codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+            policy=StoragePolicy(),
+            vectorized=vectorized,
+        )
+        storages.append(storage)
+    return storages
+
+
+def _impact_tuple(impact):
+    return (
+        int(impact.failed_node),
+        impact.blocks_lost,
+        impact.bytes_on_failed_node,
+        impact.bytes_regenerated,
+        impact.bytes_dropped,
+        impact.data_bytes_lost,
+        impact.chunks_lost,
+        impact.files_damaged,
+        impact.cat_copies_restored,
+    )
+
+
+def _placements_snapshot(storage: StorageSystem):
+    return {
+        name: [
+            (chunk.chunk_no, [
+                (p.block_name, int(p.node_id), p.size, tuple(map(int, p.replica_nodes)))
+                for p in chunk.placements
+            ])
+            for chunk in stored.chunks
+        ]
+        for name, stored in storage.files.items()
+    }
+
+
+def test_recovery_impacts_and_placements_identical_across_engines():
+    """Every FailureImpact field and post-repair placement matches the seed."""
+    scalar, vector = _twin_storages(node_count=60, seed=21)
+    trace = generate_file_trace(
+        FileTraceConfig(file_count=120, mean_size=12 * MB, std_size=4 * MB, min_size=1 * MB),
+        rng=np.random.default_rng(23),
+    )
+    for record in trace:
+        r1 = scalar.store_file(record.name, record.size)
+        r2 = vector.store_file(record.name, record.size)
+        assert r1 == r2
+
+    managers = [RecoveryManager(scalar), RecoveryManager(vector)]
+    victims = list(scalar.dht.network.live_ids())
+    np.random.default_rng(29).shuffle(victims)
+    for victim in victims[:30]:
+        impacts = [manager.handle_failure(victim) for manager in managers]
+        assert _impact_tuple(impacts[0]) == _impact_tuple(impacts[1]), victim
+    assert _placements_snapshot(scalar) == _placements_snapshot(vector)
+    assert managers[0].totals() == managers[1].totals()
+    for name in scalar.files:
+        assert scalar.is_file_available(name) == vector.is_file_available(name), name
+    assert scalar.unavailable_file_count() == vector.unavailable_file_count()
+    usage_scalar = [(int(n.node_id), n.used) for n in scalar.dht.network.live_nodes()]
+    usage_vector = [(int(n.node_id), n.used) for n in vector.dht.network.live_nodes()]
+    assert usage_scalar == usage_vector
+
+
+def test_ledger_tracks_out_of_band_failures_and_recoveries():
+    """Direct node fail/recover/delete flows keep ledger == seed semantics."""
+    scalar, vector = _twin_storages(node_count=24, seed=31)
+    for index in range(12):
+        name = f"oob-{index}"
+        assert scalar.store_file(name, 6 * MB).success == vector.store_file(name, 6 * MB).success
+
+    def holders(storage, name):
+        return [
+            p.node_id
+            for chunk in storage.files[name].data_chunks()
+            for p in chunk.placements
+        ]
+
+    assert holders(scalar, "oob-3") == holders(vector, "oob-3")
+    victims = holders(vector, "oob-3")
+    for storage in (scalar, vector):
+        for victim in victims:
+            storage.dht.network.node(victim).fail()
+    for name in scalar.files:
+        assert scalar.is_file_available(name) == vector.is_file_available(name), name
+    assert not vector.is_file_available("oob-3")
+    assert scalar.unavailable_file_count() == vector.unavailable_file_count()
+
+    # A node coming back without wiping its disk restores its copies...
+    for storage in (scalar, vector):
+        for victim in victims:
+            storage.dht.network.node(victim).recover(wipe=False)
+    assert vector.is_file_available("oob-3")
+    for name in scalar.files:
+        assert scalar.is_file_available(name) == vector.is_file_available(name), name
+
+    # ...whereas recovering with a wiped disk loses them for good.
+    for storage in (scalar, vector):
+        for victim in victims:
+            storage.dht.network.node(victim).recover(wipe=True)
+    assert not vector.is_file_available("oob-3")
+    for name in scalar.files:
+        assert scalar.is_file_available(name) == vector.is_file_available(name), name
+    assert scalar.unavailable_file_count() == vector.unavailable_file_count()
+
+    # Deleting files keeps the aggregate accounting in lockstep.
+    for storage in (scalar, vector):
+        assert storage.delete_file("oob-3")
+        assert storage.delete_file("oob-5")
+    assert scalar.stored_bytes() == vector.stored_bytes()
+    assert scalar.unavailable_file_count() == vector.unavailable_file_count()
+    assert scalar.usage_summary() == vector.usage_summary()

@@ -1,12 +1,14 @@
-"""Wall-clock smoke guards for the placement engine (tier-1, generous budgets).
+"""Wall-clock smoke guards for the placement + churn engines (tier-1, generous budgets).
 
 The real throughput numbers live in ``benchmarks/test_bench_insertion_throughput``
-(run with ``-m bench``, written to ``BENCH_insertion.json``); these assertions
-only catch order-of-magnitude regressions -- e.g. an accidental return to the
-O(N^2) population build or to per-key scalar lookups in the batched kernels --
-without making tier-1 timing-sensitive.  Budgets are ~10x the observed wall
-time on the development machine, so only a >5x insertion-throughput
-regression (the guarded threshold) can trip them.
+and ``benchmarks/test_bench_churn_failures`` (run with ``-m bench``, written to
+``BENCH_insertion.json`` / ``BENCH_churn.json``); these assertions only catch
+order-of-magnitude regressions -- e.g. an accidental return to the O(N^2)
+population build, to per-key scalar lookups in the batched kernels, or to
+per-sample placement walks in the failure sweep -- without making tier-1
+timing-sensitive.  Budgets are ~10x the observed wall time on the development
+machine, so only a >5x throughput regression (the guarded threshold) can trip
+them.
 """
 
 from __future__ import annotations
@@ -16,6 +18,8 @@ import time
 import numpy as np
 
 from repro.core import naming
+from repro.experiments.availability import AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.churn import ChurnConfig, ChurnExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
 from repro.overlay.dht import DHTView
 from repro.overlay.network import OverlayNetwork
@@ -47,6 +51,31 @@ def test_batched_lookup_kernel_within_budget():
         view.resolve_digests(digests)
     elapsed = time.perf_counter() - start
     assert elapsed < 2.0, f"50x200-key batched lookups took {elapsed:.3f}s"
+
+
+def test_churn_failure_sweep_within_budget():
+    # The full Figure 10 pipeline (3 codings, 250 nodes, 400 files, 25
+    # failures each) on the ledger path: ~0.13 s on the development machine.
+    # A fall-back to per-sample placement walks or per-failure O(N) boundary
+    # rebuilds costs well over the guarded 5x.
+    config = AvailabilityConfig(node_count=250, file_count=400, sample_points=8, seed=7)
+    start = time.perf_counter()
+    series = AvailabilityExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    assert set(series) == {"No error code", "XOR code", "Online code"}
+    assert all(len(curve) >= 2 for curve in series.values())
+    assert elapsed < 5.0, f"ledger availability sweep took {elapsed:.2f}s at 250 nodes"
+
+
+def test_churn_recovery_within_budget():
+    # Table 3 end-to-end (200 nodes, 300 files, 10 % + 20 % sweeps with
+    # regeneration) on the ledger path: ~0.07 s on the development machine.
+    config = ChurnConfig(node_count=200, file_count=300, seed=7)
+    start = time.perf_counter()
+    table = ChurnExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    assert [row["nodes_failed_pct"] for row in table.rows] == [10.0, 20.0]
+    assert elapsed < 4.0, f"ledger churn recovery took {elapsed:.2f}s at 200 nodes"
 
 
 def test_fast_population_build_within_budget():

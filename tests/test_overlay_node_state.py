@@ -157,6 +157,108 @@ def test_dht_view_aggregates_are_o1_and_match_scan():
     assert view.utilization() == pytest.approx(60 / 3000)
 
 
+def _bounds_snapshot(state: NodeArrayState):
+    if state._bounds_dirty:
+        state._rebuild_bounds()
+    return (
+        list(state._bounds_int),
+        list(state._owners_list),
+        state._bounds_bytes.tolist(),
+        state._owners_arr.tolist(),
+        state._wrap_first,
+    )
+
+
+#: Rings whose removals exercise every patch case: wraparound ownership (the
+#: switching point past zero), zero-width gaps between adjacent ids, exact
+#: even/odd midpoints, and first/middle/last removals down to two survivors.
+PATCH_RINGS = [
+    [0, 2 ** 159 + 5, ID_SPACE - 1],
+    [5, ID_SPACE - 3, ID_SPACE - 2],
+    [10, 11, 12, 13],                       # duplicate-adjacent ids (gap 1)
+    [10, 14, 20],                           # even gaps: exact midpoint ties
+    [10, 15, 21],                           # odd gaps
+    [0, 1, 2 ** 80, 2 ** 120, ID_SPACE - 2 ** 90],
+    [2 ** 159 - 1, 2 ** 159, 2 ** 159 + 1],
+    [7, 2 ** 40],
+    [1, ID_SPACE - 1],
+]
+
+
+@pytest.mark.parametrize("ids", PATCH_RINGS, ids=lambda ids: f"n{len(ids)}")
+def test_single_removal_patch_equals_full_rebuild(ids):
+    """Patched boundaries are exactly what a from-scratch rebuild produces."""
+    for victim in ids:
+        state = _state_for(ids)
+        state.lookup_index(0)  # force a clean boundary build before removing
+        assert state.remove(victim)
+        assert not state._bounds_dirty, "a single removal must patch, not rebuild"
+        fresh = _state_for([v for v in ids if v != victim])
+        assert _bounds_snapshot(state) == _bounds_snapshot(fresh), hex(victim)
+        survivors = sorted(v for v in ids if v != victim)
+        for key in _interesting_keys(survivors):
+            assert state.ids_int[state.lookup_index(key)] == _oracle(survivors, key), hex(key)
+
+
+def test_sequential_removal_patches_stay_exact_on_random_ring():
+    """Failing a third of a random ring one by one, patch == rebuild each time."""
+    rng = np.random.default_rng(41)
+    ids = sorted({int(random_node_id(rng)) for _ in range(64)})
+    state = _state_for(ids)
+    state.lookup_index(0)
+    current = list(ids)
+    order = list(rng.permutation(len(ids)))[:20]
+    for pick in order:
+        victim = ids[int(pick)]
+        if victim not in current:
+            continue
+        assert state.remove(victim)
+        current.remove(victim)
+        assert not state._bounds_dirty
+        fresh = _state_for(current)
+        assert _bounds_snapshot(state) == _bounds_snapshot(fresh), hex(victim)
+    keys = [int(random_node_id(rng)) for _ in range(200)]
+    digests = b"".join(k.to_bytes(20, "big") for k in keys)
+    batched = state.lookup_digests(digests)
+    for position, key in enumerate(keys):
+        assert state.ids_int[batched[position]] == _oracle(current, key)
+
+
+def test_removal_down_to_one_node_falls_back_to_trivial_bounds():
+    state = _state_for([10, 2 ** 100])
+    state.lookup_index(0)
+    assert state.remove(10)
+    assert state.ids_int[state.lookup_index(5)] == 2 ** 100
+    assert state.ids_int[state.lookup_index(ID_SPACE - 1)] == 2 ** 100
+
+
+def test_bulk_membership_changes_coalesce_to_full_rebuild():
+    """Once the bounds are dirty (a join), removals coalesce instead of patching."""
+    ids = [10, 200, 3000, 2 ** 100, ID_SPACE - 77]
+    state = _state_for(ids)
+    state.lookup_index(0)
+    assert not state._bounds_dirty
+    newcomer = OverlayNode(node_id=NodeId(2 ** 130), capacity=1)
+    assert state.add(newcomer)
+    assert state._bounds_dirty, "joins mark the bounds dirty (bulk coalescing)"
+    assert state.remove(3000)
+    assert state._bounds_dirty, "a removal on dirty bounds must not patch"
+    current = sorted(v for v in ids + [2 ** 130] if v != 3000)
+    # The next lookup performs one full rebuild covering both changes.
+    for key in _interesting_keys(current):
+        assert state.ids_int[state.lookup_index(key)] == _oracle(current, key)
+    assert not state._bounds_dirty
+    assert _bounds_snapshot(state) == _bounds_snapshot(_state_for(current))
+
+
+def test_remove_before_any_lookup_stays_coalesced():
+    state = _state_for([1, 2, 3, 4])
+    assert state._bounds_dirty  # never looked up: nothing to patch
+    assert state.remove(2)
+    assert state._bounds_dirty
+    assert state.ids_int[state.lookup_index(2)] in (1, 3)
+
+
 def test_successors_and_neighbors_delegate_to_state():
     network = OverlayNetwork.build(25, np.random.default_rng(11), capacities=[100] * 25)
     view = DHTView(network)

@@ -138,6 +138,54 @@ def test_store_pipelines_are_draw_for_draw_equivalent(node_count: int, file_coun
     assert scalar["utilization"] == vectorized["utilization"]
 
 
+def test_ledger_usage_aggregates_match_dict_scan():
+    """O(1) ledger usage accounting equals summing the per-node dicts (PR 2 follow-up).
+
+    The vectorized ``StorageSystem`` reads stored bytes, live block bytes and
+    counts straight from the columnar ledger; the seed path recomputes them by
+    scanning ``stored_blocks``.  Through stores, failures and deletions the
+    two must agree -- and the ledger numbers must match an independent scan of
+    the node dicts.
+    """
+    seed = 4242
+    trace = _trace(140, seed)
+    twins = {}
+    for vectorized in (False, True):
+        view = _fresh_view(40, seed)
+        ours = StorageSystem(
+            view,
+            codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
+            policy=StoragePolicy(max_consecutive_zero_chunks=3),
+            vectorized=vectorized,
+        )
+        stored = [r.name for r in trace if ours.store_file(r.name, r.size).success]
+        for name in stored[::4]:
+            assert ours.delete_file(name)
+        twins[vectorized] = (view, ours, stored)
+
+    (s_view, s_ours, _), (v_view, v_ours, stored) = twins[False], twins[True]
+    assert s_ours.usage_summary() == v_ours.usage_summary()
+    assert s_ours.stored_bytes() == v_ours.stored_bytes()
+    ledger = v_ours.ledger
+    # Independent dict scan: every live tracked copy is in a node dict.
+    scan_bytes = sum(sum(n.stored_blocks.values()) for n in v_view.live_node_objects())
+    scan_count = sum(len(n.stored_blocks) for n in v_view.live_node_objects())
+    assert ledger.live_bytes == scan_bytes
+    assert ledger.live_rows == scan_count
+    assert ledger.stored_data_bytes == sum(f.size for f in v_ours.files.values())
+    assert ledger.active_files == len(v_ours.files)
+    # Failures flow through the node listeners into the same aggregates.
+    victim = v_view.live_node_objects()[0]
+    victim_bytes, victim_blocks = victim.used, len(victim.stored_blocks)
+    before_bytes, before_rows = ledger.live_bytes, ledger.live_rows
+    victim.fail()
+    assert ledger.live_bytes == before_bytes - victim_bytes
+    assert ledger.live_rows == before_rows - victim_blocks
+    victim.recover(wipe=False)
+    assert ledger.live_bytes == before_bytes
+    assert ledger.live_rows == before_rows
+
+
 def test_empty_view_and_zero_size_edge_paths_match_scalar():
     """Error-path parity: empty views raise without counting; 0-byte files store."""
     for vectorized in (False, True):
