@@ -39,6 +39,12 @@ BENCH_CHURN_PATH = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
 #: Rows accumulated by ``test_bench_churn_failures.py`` during the session.
 _CHURN_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the join/leave churn-soak benchmark writes its trajectory record.
+BENCH_SOAK_PATH = Path(__file__).resolve().parent.parent / "BENCH_soak.json"
+
+#: Rows accumulated by ``test_bench_soak.py`` during the session.
+_SOAK_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -72,6 +78,12 @@ def churn_bench_results() -> dict:
     return _CHURN_RESULTS
 
 
+@pytest.fixture(scope="session")
+def soak_bench_results() -> dict:
+    """Session accumulator for churn-soak rows (written at exit)."""
+    return _SOAK_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -89,6 +101,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_INSERTION_PATH.write_text(json.dumps(_INSERTION_RESULTS, indent=2) + "\n")
     if _CHURN_RESULTS["results"] and _CHURN_RESULTS["speedups"]:
         BENCH_CHURN_PATH.write_text(json.dumps(_CHURN_RESULTS, indent=2) + "\n")
+    if _SOAK_RESULTS["results"] and _SOAK_RESULTS["speedups"]:
+        BENCH_SOAK_PATH.write_text(json.dumps(_SOAK_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

@@ -15,7 +15,6 @@ calls out:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.erasure.chunk_codec import ChunkCodec
@@ -150,6 +149,5 @@ def test_bench_ablation_trace_tail_sensitivity(benchmark):
     print(f"  heavy tail:   {({k: round(v, 1) for k, v in heavy.items()})}")
     # The heavy tail hurts PAST (whole files) more than the proposed system.
     past_degradation = heavy["PAST"] - normal["PAST"]
-    ours_degradation = heavy["Our System"] - normal["Our System"]
     assert past_degradation > 0
     assert heavy["Our System"] < heavy["PAST"]

@@ -14,10 +14,11 @@ default here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.baselines.common import BaselineStoreResult
 from repro.core import naming
+from repro.core.block_ledger import BlockLedger
 from repro.overlay.dht import DHTView
 from repro.overlay.ids import key_for
 from repro.overlay.node import OverlayNode
@@ -34,9 +35,14 @@ class CfsStore:
     a batch and pushed through the ``searchsorted`` kernel of the array-backed
     placement engine -- and only blocks whose target turns out to be full fall
     back to per-attempt salted re-hashing, exactly mirroring the scalar retry
-    order.  Results, placements and lookup counts are identical to the
-    preserved seed path (``vectorized=False``); the equivalence is asserted by
-    ``tests/test_placement_equivalence.py``.
+    order.  Per-file bookkeeping lives in the shared columnar
+    :class:`~repro.core.block_ledger.BlockLedger` (one bulk column write per
+    stored file instead of one tuple per block; replica and salted rows are
+    first-class row kinds), which both trims the store loop's allocation bill
+    and makes :meth:`is_file_available` an O(1) counter read that stays exact
+    under out-of-band churn.  Results, placements and lookup counts are
+    identical to the preserved seed path (``vectorized=False``); the
+    equivalence is asserted by ``tests/test_placement_equivalence.py``.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class CfsStore:
         retries_per_block: int = 3,
         rollback_on_failure: bool = True,
         vectorized: bool = True,
+        ledger: Optional[BlockLedger] = None,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
@@ -60,8 +67,17 @@ class CfsStore:
         self.retries_per_block = retries_per_block
         self.rollback_on_failure = rollback_on_failure
         self.vectorized = vectorized
-        #: filename -> list of (block name, primary holder, size, replica holders)
-        self.files: Dict[str, List[tuple[str, OverlayNode, int, List[OverlayNode]]]] = {}
+        #: Columnar bookkeeping (vectorized path only; the seed path keeps the
+        #: per-block tuple lists).  Pass ``ledger`` to share one instance with
+        #: other stores on the same overlay.
+        self.ledger = (
+            (ledger if ledger is not None else BlockLedger(dht.network)) if vectorized else None
+        )
+        #: Scalar path: filename -> [(block name, primary, size, replicas)].
+        #: Ledger path: filename -> ledger file index.
+        self.files: Dict[
+            str, Union[int, List[tuple[str, OverlayNode, int, List[OverlayNode]]]]
+        ] = {}
         self.total_lookups = 0
 
     def block_count_for(self, size: int) -> int:
@@ -76,7 +92,12 @@ class CfsStore:
 
     def store_file(self, filename: str, size: int) -> BaselineStoreResult:
         """Insert one file; one p2p lookup per block placement attempt."""
-        if filename in self.files:
+        # A shared ledger is a shared file namespace: a name another store on
+        # the same ledger already registered must be rejected up front, before
+        # any block is placed (for a private ledger the check is redundant).
+        if filename in self.files or (
+            self.ledger is not None and self.ledger.file_index(filename) is not None
+        ):
             return BaselineStoreResult(
                 filename=filename,
                 requested_size=size,
@@ -123,13 +144,15 @@ class CfsStore:
         )
 
     def _store_file_batched(self, filename: str, size: int) -> BaselineStoreResult:
-        """Array-engine path: batch-resolve every attempt-0 target, then apply.
+        """Ledger path: batch-resolve every attempt-0 target, then apply.
 
         The attempt-0 resolutions are speculative (a file that fails at block
         ``i`` would never have looked up blocks beyond ``i`` in the scalar
         path), so lookups are charged to the view only as placement attempts
         are actually consumed -- keeping ``lookup_count`` parity with the
-        scalar pipeline even on failed stores.
+        scalar pipeline even on failed stores.  The loop carries no per-block
+        tuples: placed holders accumulate in one list and the whole file is
+        registered into the columnar ledger with a single bulk column write.
         """
         block_count = self.block_count_for(size)
         state = self.dht.state
@@ -141,9 +164,11 @@ class CfsStore:
         else:
             targets = []
         state_nodes = state.nodes
-        lookups = 0
-        placements: List[tuple[str, OverlayNode, int, List[OverlayNode]]] = []
-        append_placement = placements.append
+        holders: List[OverlayNode] = []
+        append_holder = holders.append
+        salted: List[int] = []
+        replicas: List[Tuple[int, OverlayNode]] = []
+        extra_lookups = 0
         remaining = size
         block_size = self.block_size
         retries = self.retries_per_block
@@ -152,30 +177,39 @@ class CfsStore:
             block_bytes = block_size if remaining >= block_size else remaining
             remaining -= block_bytes
             target = state_nodes[target_index]
-            lookups += 1
             if target.store_block(name, block_bytes):
-                replicas = self._replicate(name, block_bytes, target) if replicated else []
-                append_placement((name, target, block_bytes, replicas))
+                append_holder(target)
+                if replicated:
+                    for replica in self._replicate(name, block_bytes, target):
+                        replicas.append((index, replica))
                 continue
             # Salted retries: resolved lazily, in the scalar attempt order.
             # (No per-call lookup_count bump here: this path charges the
             # view's counter in bulk, for parity with failed-store accounting.)
             placed = False
             for attempt in range(1, retries + 1):
-                salted = self._block_name(filename, index, attempt)
-                target = state.lookup_node(naming.key_int_for_name(salted))
-                lookups += 1
-                if target.store_block(salted, block_bytes):
-                    replicas = self._replicate(salted, block_bytes, target) if replicated else []
-                    append_placement((salted, target, block_bytes, replicas))
+                salted_name = self._block_name(filename, index, attempt)
+                target = state.lookup_node(naming.key_int_for_name(salted_name))
+                extra_lookups += 1
+                if target.store_block(salted_name, block_bytes):
+                    names[index] = salted_name
+                    salted.append(index)
+                    append_holder(target)
+                    if replicated:
+                        for replica in self._replicate(salted_name, block_bytes, target):
+                            replicas.append((index, replica))
                     placed = True
                     break
             if not placed:
+                lookups = index + 1 + extra_lookups
                 self.dht.lookup_count += lookups
-                return self._fail(filename, size, placements, lookups, index)
+                return self._fail_batched(filename, size, names, holders, replicas, lookups, index)
+        lookups = block_count + extra_lookups
         self.dht.lookup_count += lookups
-        self.files[filename] = placements
         self.total_lookups += lookups
+        self.files[filename] = self.ledger.register_striped_file(
+            filename, size, names, holders, block_size, salted=salted, replicas=replicas
+        )
         return BaselineStoreResult(
             filename=filename,
             requested_size=size,
@@ -183,6 +217,42 @@ class CfsStore:
             stored_bytes=size,
             chunk_count=block_count,
             lookups=lookups,
+        )
+
+    def _fail_batched(
+        self,
+        filename: str,
+        size: int,
+        names: List[str],
+        holders: List[OverlayNode],
+        replicas: List[Tuple[int, OverlayNode]],
+        lookups: int,
+        index: int,
+    ) -> BaselineStoreResult:
+        """Failure accounting for the ledger path (nothing registered yet).
+
+        Every placed block so far is a full ``block_size`` block (only the
+        last block of a file is short, and a failure always happens at or
+        before it), which keeps the no-rollback accounting identical to the
+        scalar path's per-placement sum.
+        """
+        self.total_lookups += lookups
+        if self.rollback_on_failure:
+            for block_index, holder in enumerate(holders):
+                holder.remove_block(names[block_index])
+            for block_index, replica in replicas:
+                replica.remove_block(names[block_index])
+            stored_bytes = 0
+        else:
+            stored_bytes = len(holders) * self.block_size
+        return BaselineStoreResult(
+            filename=filename,
+            requested_size=size,
+            success=False,
+            stored_bytes=stored_bytes,
+            chunk_count=len(holders),
+            lookups=lookups,
+            failure_reason=f"block {index} could not be placed",
         )
 
     def _fail(
@@ -230,14 +300,39 @@ class CfsStore:
 
     def chunk_sizes(self, filename: str) -> List[int]:
         """Sizes of the blocks a stored file was split into (Table 1)."""
-        return [entry[2] for entry in self.files.get(filename, [])]
+        entry = self.files.get(filename)
+        if entry is None:
+            return []
+        if self.ledger is not None:
+            return self.ledger.baseline_block_sizes(entry)
+        return [placement[2] for placement in entry]
+
+    def block_entries(self, filename: str) -> List[tuple[str, OverlayNode, int, List[OverlayNode]]]:
+        """Per-block ``(stored name, primary, size, replicas)`` bookkeeping.
+
+        Materialised from the columnar ledger on the vectorized path and read
+        straight off the tuple lists on the seed path -- the representation-
+        independent accessor the equivalence oracles compare through.
+        """
+        entry = self.files.get(filename)
+        if entry is None:
+            return []
+        if self.ledger is not None:
+            return self.ledger.baseline_entries(entry)
+        return [(name, primary, size, list(replicas)) for name, primary, size, replicas in entry]
 
     def is_file_available(self, filename: str) -> bool:
-        """Whether every block of the file has at least one live copy."""
-        placements = self.files.get(filename)
-        if placements is None:
+        """Whether every block of the file has at least one live copy.
+
+        O(1) from the shared ledger's group counters on the vectorized path;
+        the seed path walks every placement.
+        """
+        entry = self.files.get(filename)
+        if entry is None:
             return False
-        for name, primary, _, replicas in placements:
+        if self.ledger is not None:
+            return self.ledger.file_available(entry)
+        for name, primary, _, replicas in entry:
             holders = [primary, *replicas]
             if not any(holder.alive and holder.has_block(name) for holder in holders):
                 return False
@@ -245,8 +340,14 @@ class CfsStore:
 
     def delete_file(self, filename: str) -> bool:
         """Remove the file's blocks and replicas."""
-        placements = self.files.pop(filename, None)
-        if placements is None:
+        entry = self.files.pop(filename, None)
+        if entry is None:
             return False
-        self._release(placements)
+        if self.ledger is not None:
+            ledger = self.ledger
+            for row in ledger.file_rows(entry):
+                ledger.row_owner(row).remove_block(ledger.row_name(row))
+            ledger.remove_file(filename)
+            return True
+        self._release(entry)
         return True

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.baselines.common import BaselineStoreResult
+from repro.core.block_ledger import BlockLedger
 from repro.overlay.dht import DHTView
 from repro.overlay.node import OverlayNode
 
@@ -27,10 +28,22 @@ class PastStore:
     the ``NodeId`` wrapping and ring-distance arithmetic of the preserved seed
     path (``vectorized=False``).  Both resolve every name to the same node and
     charge the same lookup counts.
+
+    On the vectorized path every stored file is also registered in the shared
+    columnar :class:`~repro.core.block_ledger.BlockLedger` (one replica group
+    per file; salted/replica copies are first-class row kinds), which makes
+    :meth:`is_file_available` an O(1) counter read that stays exact under
+    out-of-band ``fail()``/``recover()``/``leave()`` churn.  Pass ``ledger``
+    to share one ledger instance with other stores on the same overlay.
     """
 
     def __init__(
-        self, dht: DHTView, replication: int = 1, retries: int = 3, vectorized: bool = True
+        self,
+        dht: DHTView,
+        replication: int = 1,
+        retries: int = 3,
+        vectorized: bool = True,
+        ledger: Optional[BlockLedger] = None,
     ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
@@ -40,6 +53,12 @@ class PastStore:
         self.replication = replication
         self.retries = retries
         self.vectorized = vectorized
+        #: Columnar bookkeeping (vectorized path only; the seed path keeps the
+        #: holder-list walks).  Pass ``ledger`` to share one instance with
+        #: other stores on the same overlay.
+        self.ledger = (
+            (ledger if ledger is not None else BlockLedger(dht.network)) if vectorized else None
+        )
         #: filename -> (name actually stored under, holder nodes).
         self.files: dict[str, tuple[str, List[OverlayNode]]] = {}
         self.total_lookups = 0
@@ -52,7 +71,12 @@ class PastStore:
 
     def store_file(self, filename: str, size: int) -> BaselineStoreResult:
         """Insert one file; a single p2p lookup per attempt, as in PAST."""
-        if filename in self.files:
+        # A shared ledger is a shared file namespace: a name another store on
+        # the same ledger already registered must be rejected up front, before
+        # any block is placed (for a private ledger the check is redundant).
+        if filename in self.files or (
+            self.ledger is not None and self.ledger.file_index(filename) is not None
+        ):
             return BaselineStoreResult(
                 filename=filename,
                 requested_size=size,
@@ -70,6 +94,10 @@ class PastStore:
             holders = self._try_place(name, size, target)
             if holders is not None:
                 self.files[filename] = (name, holders)
+                if self.ledger is not None:
+                    self.ledger.register_whole_file(
+                        filename, size, name, holders, salted=attempt > 0
+                    )
                 self.total_lookups += lookups
                 return BaselineStoreResult(
                     filename=filename,
@@ -110,10 +138,18 @@ class PastStore:
         return holders
 
     def is_file_available(self, filename: str) -> bool:
-        """Whether at least one replica of the whole file survives."""
+        """Whether at least one replica of the whole file survives.
+
+        O(1) from the shared ledger's group counters on the vectorized path;
+        the seed path walks the holder list.
+        """
         entry = self.files.get(filename)
         if not entry:
             return False
+        if self.ledger is not None:
+            file_idx = self.ledger.file_index(filename)
+            if file_idx is not None:
+                return self.ledger.file_available(file_idx)
         stored_name, holders = entry
         return any(holder.alive and holder.has_block(stored_name) for holder in holders)
 
@@ -125,4 +161,6 @@ class PastStore:
         stored_name, holders = entry
         for holder in holders:
             holder.remove_block(stored_name)
+        if self.ledger is not None:
+            self.ledger.remove_file(filename)
         return True

@@ -22,7 +22,7 @@ import os
 import subprocess
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, AvailabilityExperiment
 from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
@@ -30,6 +30,7 @@ from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performan
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
+from repro.experiments.soak import PAPER_SOAK, SoakExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
 from repro.workloads.filetrace import GB, MB
 
@@ -113,6 +114,35 @@ def _run_table3(args: argparse.Namespace) -> int:
     print(table.format())
     print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
           f"{'seed scalar path' if args.scalar else 'columnar ledger'})")
+    return 0
+
+
+def _run_soak(args: argparse.Namespace) -> int:
+    """Join/leave churn soak at the paper's scale (10 000 nodes, one week) by default."""
+    import time
+    from dataclasses import replace
+
+    config = replace(
+        PAPER_SOAK,
+        node_count=max(2, int(round(args.nodes * args.scale))),
+        file_count=max(1, int(round(args.files * args.scale))),
+        horizon_hours=args.days * 24.0,
+        join_rate_per_hour=args.join_rate * args.scale,
+        leave_rate_per_hour=args.leave_rate * args.scale,
+        compaction=not args.no_compaction,
+        seed=args.seed,
+        vectorized=not args.scalar,
+    )
+    start = time.perf_counter()
+    result = SoakExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    print(result.series_table().format(float_format="{:,.2f}"))
+    print()
+    summary = result.summary()
+    print("soak summary: " + ", ".join(f"{key}={value:,.2f}" for key, value in summary.items()))
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
+          f"{config.horizon_hours / 24:.1f} simulated days, "
+          f"{'seed scalar path' if args.scalar else 'columnar ledger + compaction'})")
     return 0
 
 
@@ -227,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--seed", type=int, default=PAPER_TABLE3.seed)
     table3.set_defaults(func=_run_table3)
 
+    soak = subparsers.add_parser(
+        "soak", help="join/leave churn soak (paper scale: 10 000 nodes, one simulated week)"
+    )
+    soak.add_argument("--nodes", type=int, default=PAPER_SOAK.node_count)
+    soak.add_argument("--files", type=int, default=PAPER_SOAK.file_count)
+    soak.add_argument("--days", type=float, default=PAPER_SOAK.horizon_hours / 24.0,
+                      help="simulated soak length in days")
+    soak.add_argument("--join-rate", type=float, default=PAPER_SOAK.join_rate_per_hour,
+                      help="fresh-node joins per simulated hour (before --scale)")
+    soak.add_argument("--leave-rate", type=float, default=PAPER_SOAK.leave_rate_per_hour,
+                      help="graceful departures per simulated hour (before --scale)")
+    soak.add_argument("--scale", type=float, default=1.0,
+                      help="multiply nodes, files and churn rates by this factor (e.g. 0.1)")
+    soak.add_argument("--no-compaction", action="store_true",
+                      help="disable the periodic ledger compaction pass")
+    soak.add_argument("--scalar", action="store_true",
+                      help="run the preserved seed scalar path instead of the ledger")
+    soak.add_argument("--seed", type=int, default=PAPER_SOAK.seed)
+    soak.set_defaults(func=_run_soak)
+
     coding = subparsers.add_parser("coding", help="Table 2")
     coding.add_argument("--chunk-mb", type=float, default=1.0)
     coding.add_argument("--blocks", type=int, default=512)
@@ -267,7 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list or args.experiment is None:
         print(
             "Available experiments: insertion, availability, fig10, coding, churn, "
-            "table3, multicast, condor, bench"
+            "table3, soak, multicast, condor, bench"
         )
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func

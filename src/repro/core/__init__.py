@@ -19,6 +19,7 @@ Public entry points:
 """
 
 from repro.core.naming import block_name, cat_name, chunk_name, parse_block_name, parse_chunk_name
+from repro.core.block_ledger import BlockLedger
 from repro.core.cat import CatEntry, ChunkAllocationTable
 from repro.core.policies import StoragePolicy
 from repro.core.capacity import CapacityProbe, ProbeResult
@@ -35,6 +36,7 @@ from repro.core.recovery import FailureImpact, RecoveryManager
 
 __all__ = [
     "block_name",
+    "BlockLedger",
     "cat_name",
     "chunk_name",
     "parse_block_name",

@@ -35,15 +35,33 @@ deleted, node wiped or departed, or a placement re-pointed at a regenerated
 copy -- are ``released`` and never resurrect, mirroring exactly which copies
 the seed's placement-walking accounting would still see.
 
-The ledger exists only on the ``vectorized=True`` path of
-:class:`~repro.core.storage.StorageSystem`; the preserved seed path keeps the
-per-node dict walks, and ``tests/test_churn_equivalence.py`` asserts the two
-produce identical Figure 10 curves and Table 3 rows.
+The ledger is the *system-wide* block store: besides the erasure-coded
+placements of :class:`~repro.core.storage.StorageSystem` it carries the
+whole-file replica groups of the PAST baseline and the fixed-block stripes of
+the CFS baseline as first-class row kinds (:data:`KIND_PRIMARY`,
+:data:`KIND_REPLICA` for successor/leaf-set replicas, :data:`KIND_SALTED` for
+copies stored under a salted retry name, :data:`KIND_META` for CAT copies).
+Baseline rows use a flat *group* registry -- one group per whole file (PAST)
+or per fixed block (CFS), alive while at least one copy survives -- instead of
+the chunk/placement hierarchy, so registering a stored file is a handful of
+vectorised column writes and ``is_file_available`` is an O(1) counter read in
+every scheme.
+
+Long-horizon churn soaks release rows continuously (departures, disk wipes,
+repair re-points); :meth:`BlockLedger.compact` garbage-collects released rows
+with a stable row-id remapping of every column and every held row index
+(per-file, per-placement and per-owner lists), bounding ledger memory over
+simulated weeks.
+
+The ledger exists only on the ``vectorized=True`` path; the preserved seed
+paths keep the per-node dict walks, and ``tests/test_churn_equivalence.py`` /
+``tests/test_placement_equivalence.py`` assert the two produce identical
+Figure 7-10 curves, Table 3 rows and store results.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +74,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports us)
 
 _S20 = "S20"
 _INITIAL = 1024
+
+#: Row kinds: the role a stored copy plays in its file's redundancy layout.
+KIND_PRIMARY = 0   #: the copy a placement/group points at first
+KIND_REPLICA = 1   #: a neighbour/successor replica of a primary copy
+KIND_META = 2      #: CAT/metadata copy (not part of any chunk)
+KIND_SALTED = 3    #: a primary stored under a salted retry name
 
 
 def _grown(array: np.ndarray, needed: int) -> np.ndarray:
@@ -84,6 +108,12 @@ class BlockLedger:
         self._placement = np.full(_INITIAL, -1, dtype=np.int64)
         self._alive = np.zeros(_INITIAL, dtype=bool)
         self._released = np.zeros(_INITIAL, dtype=bool)
+        self._kind = np.zeros(_INITIAL, dtype=np.int8)
+        self._group = np.full(_INITIAL, -1, dtype=np.int64)
+        # -- flat group registry (baseline rows: one group per replica set) --
+        self.group_count = 0
+        self._group_copies = np.zeros(_INITIAL, dtype=np.int64)
+        self._group_file = np.full(_INITIAL, -1, dtype=np.int64)
         # -- placement registry (one entry per block of a chunk) -------------
         self.placement_count = 0
         self._placement_chunk = np.full(_INITIAL, -1, dtype=np.int64)
@@ -107,6 +137,11 @@ class BlockLedger:
         self.file_count = 0
         # -- node slots -------------------------------------------------------
         self._slots: Dict[int, int] = {}
+        self._slot_nodes: List["OverlayNode"] = []
+        #: Per-slot row ids in registration order.  Keeps "blocks on a failed
+        #: node" O(rows of that node) instead of one scan over every column;
+        #: released entries are pruned lazily and at compaction.
+        self._slot_rows: List[List[int]] = []
         # -- O(1) aggregates --------------------------------------------------
         self.live_bytes = 0
         self.live_rows = 0
@@ -121,7 +156,9 @@ class BlockLedger:
         if slot is None:
             slot = len(self._slots)
             self._slots[value] = slot
-            node._usage_listeners = node._usage_listeners + (self,)
+            self._slot_nodes.append(node)
+            self._slot_rows.append([])
+            node._state_listeners = node._state_listeners + (self,)
         return slot
 
     def _grow_rows(self, needed: int) -> None:
@@ -134,6 +171,8 @@ class BlockLedger:
         self._placement = _grown(self._placement, needed)
         self._alive = _grown(self._alive, needed)
         self._released = _grown(self._released, needed)
+        self._kind = _grown(self._kind, needed)
+        self._group = _grown(self._group, needed)
 
     def _append_row(
         self,
@@ -144,17 +183,23 @@ class BlockLedger:
         chunk_idx: int,
         placement_idx: int,
         digest: Optional[bytes] = None,
+        kind: int = KIND_PRIMARY,
+        group_idx: int = -1,
     ) -> int:
         row = self.row_count
         if row >= len(self._owner):
             self._grow_rows(row + 1)
         self.names.append(name)
-        self._owner[row] = self._slot_for(node)
+        slot = self._slot_for(node)
+        self._owner[row] = slot
+        self._slot_rows[slot].append(row)
         self._size[row] = size
         self._file[row] = file_idx
         self._chunk[row] = chunk_idx
         self._placement[row] = placement_idx
         self._alive[row] = True
+        self._kind[row] = kind
+        self._group[row] = group_idx
         if digest is not None:
             self._digest[row] = digest
             self._digest_known[row] = True
@@ -165,6 +210,25 @@ class BlockLedger:
             self._file_rows[file_idx].append(row)
         return row
 
+    def _new_file_entry(self, name: str, size: int) -> int:
+        """Create one file registry entry (shared by every registration path)."""
+        if name in self._file_index:
+            raise ValueError(f"file already registered: {name!r}")
+        f = self.file_count
+        self.file_count = f + 1
+        self._file_size = _grown(self._file_size, f + 1)
+        self._file_bad = _grown(self._file_bad, f + 1)
+        self._file_active = _grown(self._file_active, f + 1)
+        self._file_index[name] = f
+        self._file_names.append(name)
+        self._file_rows.append([])
+        self._file_size[f] = size
+        self._file_bad[f] = 0
+        self._file_active[f] = True
+        self.active_files += 1
+        self.stored_data_bytes += size
+        return f
+
     def register_file(self, stored: "StoredFile", required_blocks: int) -> None:
         """Record every copy of a freshly (successfully) stored file.
 
@@ -172,20 +236,7 @@ class BlockLedger:
         are final, so the per-node row order matches the chronological
         ``stored_blocks`` dict order the seed recovery path iterates.
         """
-        if stored.name in self._file_index:
-            raise ValueError(f"file already registered: {stored.name!r}")
-        f = self.file_count
-        self.file_count = f + 1
-        self._file_size = _grown(self._file_size, f + 1)
-        self._file_bad = _grown(self._file_bad, f + 1)
-        self._file_active = _grown(self._file_active, f + 1)
-        self._file_index[stored.name] = f
-        self._file_names.append(stored.name)
-        self._file_rows.append([])
-        self._file_size[f] = stored.size
-        self._file_active[f] = True
-        self.active_files += 1
-        self.stored_data_bytes += stored.size
+        f = self._new_file_entry(stored.name, stored.size)
         stored.ledger_index = f
 
         network_node = self.network.node
@@ -212,10 +263,16 @@ class BlockLedger:
                 self._placement_pos[p] = pos
                 rows = [
                     self._append_row(
-                        network_node(node_id), placement.block_name, placement.size, f, c, p
+                        network_node(placement.node_id), placement.block_name, placement.size, f, c, p
                     )
-                    for node_id in (placement.node_id, *placement.replica_nodes)
                 ]
+                rows.extend(
+                    self._append_row(
+                        network_node(node_id), placement.block_name, placement.size, f, c, p,
+                        kind=KIND_REPLICA,
+                    )
+                    for node_id in placement.replica_nodes
+                )
                 self._placement_rows.append(rows)
                 self._placement_copies[p] = len(rows)
                 self._chunk_placements[c].append(p)
@@ -227,10 +284,110 @@ class BlockLedger:
         for placement in stored.cat_placements:
             for node_id in (placement.node_id, *placement.replica_nodes):
                 self._append_row(
-                    network_node(node_id), placement.block_name, placement.size, f, -1, -1
+                    network_node(node_id), placement.block_name, placement.size, f, -1, -1,
+                    kind=KIND_META,
                 )
         if self._file_bad[f] > 0:
             self.unavailable_files += 1
+
+    # ------------------------------------------------- baseline registration --
+    def register_whole_file(
+        self,
+        filename: str,
+        size: int,
+        stored_name: str,
+        holders: Sequence["OverlayNode"],
+        salted: bool = False,
+    ) -> int:
+        """Record a PAST-style whole-file store: one replica group of copies.
+
+        ``holders[0]`` is the primary (:data:`KIND_SALTED` when the store only
+        succeeded under a salted retry name), the rest are leaf-set replica
+        rows.  The file stays available while any copy in the group survives.
+        Returns the ledger file index.
+        """
+        f = self._new_file_entry(filename, size)
+        g = self.group_count
+        self.group_count = g + 1
+        self._group_copies = _grown(self._group_copies, g + 1)
+        self._group_file = _grown(self._group_file, g + 1)
+        self._group_copies[g] = len(holders)
+        self._group_file[g] = f
+        for pos, node in enumerate(holders):
+            kind = KIND_REPLICA if pos else (KIND_SALTED if salted else KIND_PRIMARY)
+            self._append_row(node, stored_name, size, f, -1, -1, kind=kind, group_idx=g)
+        if not holders:
+            # Degenerate zero-copy store: the group is dead on arrival.
+            self._file_bad[f] = 1
+            self.unavailable_files += 1
+        return f
+
+    def register_striped_file(
+        self,
+        filename: str,
+        size: int,
+        names: Sequence[str],
+        holders: Sequence["OverlayNode"],
+        block_size: int,
+        salted: Optional[Sequence[int]] = None,
+        replicas: Optional[Sequence[Tuple[int, "OverlayNode"]]] = None,
+    ) -> int:
+        """Record a CFS-style striped store in bulk: one group per fixed block.
+
+        ``names``/``holders`` are the per-block stored names (already salted
+        where a retry was needed) and primary holders, in block order; every
+        block is ``block_size`` bytes except the last, which holds the
+        remainder.  ``salted`` lists the block indices stored under a retry
+        name; ``replicas`` lists extra ``(block_index, node)`` successor
+        copies.  The whole registration is a handful of vectorised column
+        writes, which is what keeps the ledger out of the store loop's way --
+        the columnar bookkeeping replaces the per-block tuple lists the seed
+        path carries.  Returns the ledger file index.
+        """
+        f = self._new_file_entry(filename, size)
+        b = len(names)
+        g0 = self.group_count
+        self.group_count = g0 + b
+        self._group_copies = _grown(self._group_copies, g0 + b)
+        self._group_file = _grown(self._group_file, g0 + b)
+        self._group_copies[g0 : g0 + b] = 1
+        self._group_file[g0 : g0 + b] = f
+        row0 = self.row_count
+        extra = len(replicas) if replicas else 0
+        self._grow_rows(row0 + b + extra)
+        row1 = row0 + b
+        self.names.extend(names)
+        slot_for = self._slot_for
+        slots = [slot_for(node) for node in holders]
+        self._owner[row0:row1] = slots
+        if b:
+            sizes = np.full(b, block_size, dtype=np.int64)
+            sizes[-1] = size - (b - 1) * block_size
+            self._size[row0:row1] = sizes
+            self.live_bytes += int(sizes.sum())
+        self._file[row0:row1] = f
+        self._chunk[row0:row1] = -1
+        self._placement[row0:row1] = -1
+        self._group[row0:row1] = np.arange(g0, g0 + b, dtype=np.int64)
+        self._alive[row0:row1] = True
+        self._kind[row0:row1] = KIND_PRIMARY
+        if salted:
+            self._kind[[row0 + index for index in salted]] = KIND_SALTED
+        slot_rows = self._slot_rows
+        for row, slot in zip(range(row0, row1), slots):
+            slot_rows[slot].append(row)
+        self.row_count = row1
+        self.live_rows += b
+        if replicas:
+            for index, node in replicas:
+                block_bytes = int(self._size[row0 + index])
+                self._append_row(
+                    node, names[index], block_bytes, f, -1, -1,
+                    kind=KIND_REPLICA, group_idx=g0 + index,
+                )
+                self._group_copies[g0 + index] += 1
+        self._file_rows[f] = range(row0, self.row_count)
+        return f
 
     def remove_file(self, name: str) -> bool:
         """Release every row of a deleted file and drop it from the accounting."""
@@ -251,6 +408,21 @@ class BlockLedger:
         return True
 
     # ------------------------------------------------------ liveness transitions --
+    def _mark_files_bad(self, files: np.ndarray) -> None:
+        """Bump the bad counter of ``files`` (with multiplicity, in one pass)."""
+        uf, inc = np.unique(files, return_counts=True)
+        before_f = self._file_bad[uf]
+        self._file_bad[uf] = before_f + inc
+        self.unavailable_files += int(((before_f == 0) & self._file_active[uf]).sum())
+
+    def _mark_files_good(self, files: np.ndarray) -> None:
+        """The inverse of :meth:`_mark_files_bad`."""
+        uf, dec = np.unique(files, return_counts=True)
+        before_f = self._file_bad[uf]
+        after_f = before_f - dec
+        self._file_bad[uf] = after_f
+        self.unavailable_files -= int(((after_f == 0) & (before_f > 0) & self._file_active[uf]).sum())
+
     def _kill_rows(self, rows: np.ndarray) -> None:
         """Mark currently-live rows dead and propagate the count transitions."""
         if rows.size == 0:
@@ -260,31 +432,35 @@ class BlockLedger:
         self.live_rows -= int(rows.size)
         placements = self._placement[rows]
         placements = placements[placements >= 0]
-        if placements.size == 0:
-            return
-        uniq, counts = np.unique(placements, return_counts=True)
-        before = self._placement_copies[uniq]
-        after = before - counts
-        self._placement_copies[uniq] = after
-        newly_dead = uniq[(after == 0) & (before > 0)]
-        if newly_dead.size == 0:
-            return
-        chunks, dec = np.unique(self._placement_chunk[newly_dead], return_counts=True)
-        before_c = self._chunk_alive[chunks]
-        after_c = before_c - dec
-        self._chunk_alive[chunks] = after_c
-        required = self._chunk_required[chunks]
-        crossed = chunks[(after_c < required) & (before_c >= required)]
-        if crossed.size == 0:
-            return
-        files = self._chunk_file[crossed]
-        files = files[files >= 0]
-        if files.size == 0:
-            return
-        uf, inc = np.unique(files, return_counts=True)
-        before_f = self._file_bad[uf]
-        self._file_bad[uf] = before_f + inc
-        self.unavailable_files += int(((before_f == 0) & self._file_active[uf]).sum())
+        if placements.size:
+            uniq, counts = np.unique(placements, return_counts=True)
+            before = self._placement_copies[uniq]
+            after = before - counts
+            self._placement_copies[uniq] = after
+            newly_dead = uniq[(after == 0) & (before > 0)]
+            if newly_dead.size:
+                chunks, dec = np.unique(self._placement_chunk[newly_dead], return_counts=True)
+                before_c = self._chunk_alive[chunks]
+                after_c = before_c - dec
+                self._chunk_alive[chunks] = after_c
+                required = self._chunk_required[chunks]
+                crossed = chunks[(after_c < required) & (before_c >= required)]
+                if crossed.size:
+                    files = self._chunk_file[crossed]
+                    files = files[files >= 0]
+                    if files.size:
+                        self._mark_files_bad(files)
+        # Baseline (flat-group) rows: a group dies with its last live copy.
+        groups = self._group[rows]
+        groups = groups[groups >= 0]
+        if groups.size:
+            uniq, counts = np.unique(groups, return_counts=True)
+            before = self._group_copies[uniq]
+            after = before - counts
+            self._group_copies[uniq] = after
+            newly_dead = uniq[(after == 0) & (before > 0)]
+            if newly_dead.size:
+                self._mark_files_bad(self._group_file[newly_dead])
 
     def _revive_rows(self, rows: np.ndarray) -> None:
         """Bring dead (but unreleased) rows back; the inverse of :meth:`_kill_rows`."""
@@ -295,40 +471,48 @@ class BlockLedger:
         self.live_rows += int(rows.size)
         placements = self._placement[rows]
         placements = placements[placements >= 0]
-        if placements.size == 0:
-            return
-        uniq, counts = np.unique(placements, return_counts=True)
-        before = self._placement_copies[uniq]
-        self._placement_copies[uniq] = before + counts
-        newly_live = uniq[before == 0]
-        if newly_live.size == 0:
-            return
-        chunks, inc = np.unique(self._placement_chunk[newly_live], return_counts=True)
-        before_c = self._chunk_alive[chunks]
-        after_c = before_c + inc
-        self._chunk_alive[chunks] = after_c
-        required = self._chunk_required[chunks]
-        crossed = chunks[(after_c >= required) & (before_c < required)]
-        if crossed.size == 0:
-            return
-        files = self._chunk_file[crossed]
-        files = files[files >= 0]
-        if files.size == 0:
-            return
-        uf, dec = np.unique(files, return_counts=True)
-        before_f = self._file_bad[uf]
-        after_f = before_f - dec
-        self._file_bad[uf] = after_f
-        self.unavailable_files -= int(((after_f == 0) & (before_f > 0) & self._file_active[uf]).sum())
+        if placements.size:
+            uniq, counts = np.unique(placements, return_counts=True)
+            before = self._placement_copies[uniq]
+            self._placement_copies[uniq] = before + counts
+            newly_live = uniq[before == 0]
+            if newly_live.size:
+                chunks, inc = np.unique(self._placement_chunk[newly_live], return_counts=True)
+                before_c = self._chunk_alive[chunks]
+                after_c = before_c + inc
+                self._chunk_alive[chunks] = after_c
+                required = self._chunk_required[chunks]
+                crossed = chunks[(after_c >= required) & (before_c < required)]
+                if crossed.size:
+                    files = self._chunk_file[crossed]
+                    files = files[files >= 0]
+                    if files.size:
+                        self._mark_files_good(files)
+        groups = self._group[rows]
+        groups = groups[groups >= 0]
+        if groups.size:
+            uniq, counts = np.unique(groups, return_counts=True)
+            before = self._group_copies[uniq]
+            self._group_copies[uniq] = before + counts
+            newly_live = uniq[before == 0]
+            if newly_live.size:
+                self._mark_files_good(self._group_file[newly_live])
 
     def _unreleased_rows(self, slot: int) -> np.ndarray:
-        n = self.row_count
-        return np.flatnonzero((self._owner[:n] == slot) & ~self._released[:n])
+        """Unreleased row ids of one owner slot, in registration order.
+
+        Reads the per-slot row index (O(rows of that node)) rather than
+        scanning the owner column; released entries encountered on the way
+        are pruned so long churn soaks do not accumulate stale ids.
+        """
+        rows = self._slot_rows[slot]
+        released = self._released
+        kept = [row for row in rows if not released[row]]
+        if len(kept) != len(rows):
+            self._slot_rows[slot] = kept
+        return np.asarray(kept, dtype=np.int64)
 
     # -- node state listener hooks (wired through OverlayNode/OverlayNetwork) ----
-    def _note_used_delta(self, delta: int) -> None:
-        """Usage-listener interface compatibility; the ledger tracks its own bytes."""
-
     def _note_failed(self, node: "OverlayNode") -> None:
         slot = self._slots.get(int(node.node_id))
         if slot is None:
@@ -361,7 +545,7 @@ class BlockLedger:
     def recovery_rows(self, node: "OverlayNode") -> List[int]:
         """Rows mirroring the node's ``stored_blocks`` dict, in insertion order.
 
-        One mask over the owner column; released rows (deleted files,
+        One read of the per-slot row index; released rows (deleted files,
         superseded primaries) are excluded, exactly matching the names the
         seed's dict walk would still find.
         """
@@ -496,6 +680,135 @@ class BlockLedger:
         file later leaves them behind in both representations.
         """
         return self._append_row(node, name, size, -1, -1, -1, digest)
+
+    # --------------------------------------------------------- baseline access --
+    def file_index(self, name: str) -> Optional[int]:
+        """The ledger file index of ``name``, or None when never registered."""
+        return self._file_index.get(name)
+
+    def file_rows(self, file_idx: int) -> Sequence[int]:
+        """Row ids referenced by a file, in registration order (incl. released)."""
+        return self._file_rows[file_idx]
+
+    def row_owner(self, row: int) -> "OverlayNode":
+        """The node a row's copy lives on."""
+        return self._slot_nodes[self._owner[row]]
+
+    def baseline_entries(
+        self, file_idx: int
+    ) -> List[Tuple[str, "OverlayNode", int, List["OverlayNode"]]]:
+        """Materialise a baseline file's ``(name, primary, size, replicas)`` rows.
+
+        Reconstructs, in block order, exactly the per-block bookkeeping the
+        seed dict path carries -- the equivalence oracles compare the two
+        representations through this accessor.
+        """
+        entries: Dict[int, Tuple[str, "OverlayNode", int, List["OverlayNode"]]] = {}
+        slot_nodes = self._slot_nodes
+        for row in self._file_rows[file_idx]:
+            group = int(self._group[row])
+            node = slot_nodes[self._owner[row]]
+            if int(self._kind[row]) == KIND_REPLICA and group in entries:
+                entries[group][3].append(node)
+            else:
+                entries[group] = (self.names[row], node, int(self._size[row]), [])
+        return [entries[group] for group in sorted(entries)]
+
+    def baseline_block_sizes(self, file_idx: int) -> List[int]:
+        """Sizes of a baseline file's primary blocks (replica rows excluded)."""
+        kind = self._kind
+        size = self._size
+        return [
+            int(size[row]) for row in self._file_rows[file_idx] if kind[row] != KIND_REPLICA
+        ]
+
+    # --------------------------------------------------------------- compaction --
+    def compact(self) -> Dict[str, int]:
+        """Garbage-collect released rows with a stable row-id remapping.
+
+        Rows released by deletions, wipes, departures and repair re-points are
+        dropped from every column; surviving rows keep their relative order
+        (the per-node recovery-row order the seed dict walk defines), and
+        every held row index -- the per-file lists, the per-placement copy
+        lists and the per-owner-slot indexes -- is remapped in the same pass.
+        Two classes of rows survive besides the live ones:
+
+        * dead-but-unreleased rows (an in-flight failure sweep that may yet
+          see ``recover(wipe=False)``), so compacting mid-sweep is always
+          safe;
+        * released *baseline* rows of still-active files: the seed tuple
+          bookkeeping they mirror (``chunk_sizes`` / ``block_entries``) never
+          forgets a placed block, so dropping them would make the GC
+          observable.  They are collected once their file is deleted.
+
+        Returns ``{rows_before, rows_released, rows_after}`` (``rows_released``
+        counts the rows actually dropped).
+        """
+        n = self.row_count
+        released = self._released[:n]
+        keep = ~released
+        group_col = self._group[:n]
+        file_col = self._file[:n]
+        baseline = released & (group_col >= 0)
+        if baseline.any():
+            keep |= baseline & self._file_active[np.where(file_col >= 0, file_col, 0)]
+        kept = np.flatnonzero(keep)
+        stats = {
+            "rows_before": n,
+            "rows_released": int(n - kept.size),
+            "rows_after": int(kept.size),
+        }
+        if kept.size == n:
+            return stats
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[kept] = np.arange(kept.size, dtype=np.int64)
+        capacity = max(_INITIAL, int(kept.size))
+        for attr in (
+            "_digest", "_digest_known", "_owner", "_size", "_file", "_chunk",
+            "_placement", "_alive", "_released", "_kind", "_group",
+        ):
+            old = getattr(self, attr)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: kept.size] = old[:n][kept]
+            setattr(self, attr, new)
+        names = self.names
+        self.names = [names[row] for row in kept]
+        self.row_count = int(kept.size)
+        # Rebuild the held row indexes from the compacted columns, in row
+        # order (which is the registration order the seed paths rely on).
+        file_rows: List[List[int]] = [[] for _ in range(self.file_count)]
+        slot_rows: List[List[int]] = [[] for _ in range(len(self._slot_nodes))]
+        file_list = self._file[: self.row_count].tolist()
+        owner_list = self._owner[: self.row_count].tolist()
+        for row, (f, slot) in enumerate(zip(file_list, owner_list)):
+            if f >= 0:
+                file_rows[f].append(row)
+            slot_rows[slot].append(row)
+        self._file_rows = file_rows
+        self._slot_rows = slot_rows
+        self._placement_rows = [
+            [int(remap[row]) for row in rows if remap[row] >= 0]
+            for rows in self._placement_rows
+        ]
+        return stats
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Ledger sizing counters (sampled by the churn-soak experiment)."""
+        columns = (
+            self._digest, self._digest_known, self._owner, self._size, self._file,
+            self._chunk, self._placement, self._alive, self._released, self._kind,
+            self._group, self._group_copies, self._group_file, self._placement_chunk,
+            self._placement_pos, self._placement_copies, self._chunk_required,
+            self._chunk_alive, self._chunk_file, self._file_size, self._file_bad,
+            self._file_active,
+        )
+        return {
+            "row_count": self.row_count,
+            "live_rows": self.live_rows,
+            "released_rows": int(np.count_nonzero(self._released[: self.row_count])),
+            "allocated_rows": int(len(self._owner)),
+            "column_bytes": int(sum(column.nbytes for column in columns)),
+        }
 
     # --------------------------------------------------------------- aggregates --
     @property

@@ -11,7 +11,7 @@ chunk exactly as the paper prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core import naming
 from repro.overlay.dht import DHTView

@@ -13,7 +13,7 @@ implements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 
 @dataclass(frozen=True)

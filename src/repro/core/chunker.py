@@ -10,7 +10,7 @@ exceeded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 from repro.core.capacity import CapacityProbe, ProbeResult
 from repro.core.policies import StoragePolicy

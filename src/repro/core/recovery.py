@@ -23,7 +23,7 @@ which is exactly what Table 3 of the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core import naming
 from repro.core.block_ledger import BlockLedger

@@ -11,6 +11,7 @@ seconds; every configuration accepts the paper's full-scale parameters.
 | :mod:`~repro.experiments.availability`      | Figure 10                      |
 | :mod:`~repro.experiments.coding_perf`       | Table 2                        |
 | :mod:`~repro.experiments.churn`             | Table 3                        |
+| :mod:`~repro.experiments.soak`              | join/leave churn soak (ext.)   |
 | :mod:`~repro.experiments.multicast_replicas`| Figures 11 and 12              |
 | :mod:`~repro.experiments.condor_case_study` | Table 4                        |
 """
@@ -25,6 +26,7 @@ from repro.experiments.storage_insertion import (
 from repro.experiments.availability import AvailabilityConfig, AvailabilityExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.churn import ChurnConfig, ChurnExperiment
+from repro.experiments.soak import SoakConfig, SoakExperiment, SoakResult
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
 
@@ -41,6 +43,9 @@ __all__ = [
     "run_coding_performance",
     "ChurnConfig",
     "ChurnExperiment",
+    "SoakConfig",
+    "SoakExperiment",
+    "SoakResult",
     "MulticastConfig",
     "MulticastExperiment",
     "CondorCaseStudyConfig",

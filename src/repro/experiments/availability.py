@@ -38,7 +38,6 @@ from repro.core.storage import StorageSystem
 from repro.erasure.base import CodeSpec
 from repro.erasure.chunk_codec import ChunkCodec
 from repro.erasure.null_code import NullCode
-from repro.erasure.online_code import OnlineCode, OnlineCodeParameters
 from repro.erasure.xor_code import XorParityCode
 from repro.experiments.results import Series
 from repro.overlay.dht import DHTView
@@ -116,7 +115,6 @@ class AvailabilityExperiment:
 
     def _codecs(self) -> Dict[str, ChunkCodec]:
         blocks = self.config.blocks_per_chunk
-        online = OnlineCode(OnlineCodeParameters(epsilon=0.01, q=3))
         online_spec = CodeSpec(
             name="online",
             input_blocks=blocks,

@@ -16,7 +16,7 @@ the retry limits are set high enough that chunked schemes always find space
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

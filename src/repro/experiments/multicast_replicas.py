@@ -11,7 +11,7 @@ maximum per-node packet counts, showing that the tree saturates evenly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -9,7 +9,9 @@ performance trajectory recorded by the benchmark session hooks:
 * ``BENCH_coding.json`` -- MB/s of the vectorized erasure-coding kernel;
 * ``BENCH_churn.json`` -- failures/s of the columnar block ledger churn
   engine (seed vs ledger) and the end-to-end Figure 10 / Table 3 times,
-  including the paper-scale 10 000-node flagship runs.
+  including the paper-scale 10 000-node flagship runs;
+* ``BENCH_soak.json`` -- events/s and the compaction memory bound of the
+  join/leave churn-soak engine (10 000 nodes over simulated weeks).
 
 ``python -m repro.cli bench --summary-only`` prints both via
 :func:`benchmark_summary`; the benchmarks themselves are run with
@@ -150,6 +152,31 @@ def coding_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def soak_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_soak.json rows as an events/s + memory-bound table."""
+    table = TableResult(
+        title="Churn soak (join/leave engine + ledger compaction)",
+        columns=[
+            "nodes", "files", "sim_days", "pipeline", "seconds", "events",
+            "events_per_s", "peak_rows", "peak_live_rows", "rows_reclaimed",
+        ],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            nodes=row.get("node_count", 0),
+            files=row.get("file_count", 0),
+            sim_days=float(row.get("sim_days", 0.0)),
+            pipeline=row.get("pipeline", "?"),
+            seconds=float(row.get("seconds", 0.0)),
+            events=row.get("events", 0),
+            events_per_s=float(row.get("events_per_s", 0.0)),
+            peak_rows=row.get("peak_rows", 0),
+            peak_live_rows=row.get("peak_live_rows", 0),
+            rows_reclaimed=row.get("rows_reclaimed", 0),
+        )
+    return table
+
+
 def churn_benchmark_table(record: dict) -> TableResult:
     """Render the BENCH_churn.json rows as a failure-throughput table."""
     table = TableResult(
@@ -169,44 +196,44 @@ def churn_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def _benchmark_section(root: Path, filename: str, table_fn, speedup_label: str) -> List[str]:
+    """One record's summary: its table plus a rendered speedups line.
+
+    Ratio entries get an ``x`` suffix; absolute-throughput entries (keys
+    ending in ``_per_s``) are printed plain.
+    """
+    record = load_benchmark_record(Path(root) / filename)
+    if record is None:
+        return [f"{filename} not found - run `python -m repro.cli bench`"]
+    sections = [table_fn(record).format(float_format="{:,.1f}")]
+    speedups = record.get("speedups", {})
+    rendered = [
+        f"{key}={value:,.1f}" + ("" if key.endswith("_per_s") else "x")
+        for key, value in sorted(speedups.items())
+        if isinstance(value, (int, float))
+    ]
+    if rendered:
+        sections.append(speedup_label + ": " + ", ".join(rendered))
+    return sections
+
+
 def benchmark_summary(root: Path) -> str:
     """The combined perf-trajectory summary for a repository checkout.
 
     Lists the insertion engine's files/s and lookups/s next to the coding
-    kernel's MB/s so one report tracks both hot layers across PRs.
+    kernel's MB/s, the churn engine's failures/s and the soak engine's
+    events/s + compaction bound, so one report tracks every hot layer
+    across PRs.
     """
     sections: List[str] = []
-    insertion = load_benchmark_record(Path(root) / "BENCH_insertion.json")
-    if insertion is not None:
-        sections.append(insertion_benchmark_table(insertion).format(float_format="{:,.1f}"))
-        speedups = insertion.get("speedups", {})
-        if speedups:
-            rendered = [
-                f"{key}={value:,.1f}" + ("" if key.endswith("_per_s") else "x")
-                for key, value in sorted(speedups.items())
-                if isinstance(value, (int, float))
-            ]
-            sections.append("speedup vs scalar seed path: " + ", ".join(rendered))
-    else:
-        sections.append("BENCH_insertion.json not found - run `python -m repro.cli bench`")
-    coding = load_benchmark_record(Path(root) / "BENCH_coding.json")
-    if coding is not None:
-        sections.append(coding_benchmark_table(coding).format(float_format="{:,.1f}"))
-    else:
-        sections.append("BENCH_coding.json not found - run `python -m repro.cli bench`")
-    churn = load_benchmark_record(Path(root) / "BENCH_churn.json")
-    if churn is not None:
-        sections.append(churn_benchmark_table(churn).format(float_format="{:,.1f}"))
-        speedups = churn.get("speedups", {})
-        if speedups:
-            rendered = [
-                f"{key}={value:,.1f}x"
-                for key, value in sorted(speedups.items())
-                if isinstance(value, (int, float))
-            ]
-            sections.append("churn speedup vs scalar seed path: " + ", ".join(rendered))
-    else:
-        sections.append("BENCH_churn.json not found - run `python -m repro.cli bench`")
+    sections += _benchmark_section(
+        root, "BENCH_insertion.json", insertion_benchmark_table, "speedup vs scalar seed path"
+    )
+    sections += _benchmark_section(root, "BENCH_coding.json", coding_benchmark_table, "coding kernel")
+    sections += _benchmark_section(
+        root, "BENCH_churn.json", churn_benchmark_table, "churn speedup vs scalar seed path"
+    )
+    sections += _benchmark_section(root, "BENCH_soak.json", soak_benchmark_table, "soak engine")
     return "\n\n".join(sections)
 
 

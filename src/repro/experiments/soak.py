@@ -1,0 +1,356 @@
+"""Join/leave churn soak: long-horizon dynamics with bounded ledger memory.
+
+The paper's dynamics experiments (Figure 10, Table 3) cover short failure
+bursts -- at most 20 % of the population fails once, with no joins and no
+returns.  This experiment opens the workload class those results gesture at:
+a population under *sustained* churn for simulated weeks, where
+
+* every node alternates exponential up/down sessions (the continuous session
+  model of :class:`repro.sim.churn.ChurnModel`); a failure triggers the
+  Section 4.4 regeneration pipeline, and the node later returns (by default
+  with a wiped disk) and re-enters the DHT through the incremental boundary
+  *insertion* patch;
+* fresh nodes join as a Poisson process (drawing a new id and capacity) --
+  with a routing-state-free population a join is O(1) overlay work plus one
+  boundary patch, never an O(N) rebuild;
+* nodes depart gracefully as a second Poisson process: their blocks are
+  regenerated elsewhere and their ledger rows are released;
+* the columnar block ledger is compacted periodically
+  (:meth:`repro.core.block_ledger.BlockLedger.compact`), garbage-collecting
+  the rows that repair re-points, wipes and departures release -- without the
+  compaction pass the ledger's columns grow without bound over a week-long
+  soak (every repair appends rows), which is exactly the leak the PR 3
+  follow-up called out.
+
+Availability, utilization, live population and ledger memory are sampled on a
+fixed wall-clock grid.  ``vectorized=False`` preserves the seed scalar path
+end to end (per-node dict walks, no ledger, no compaction);
+``tests/test_soak.py`` asserts both paths -- and compaction on vs off --
+produce identical sampled series.
+
+Run the paper-scale preset (10 000 nodes, one simulated week)::
+
+    python -m repro.cli soak                  # paper scale, minutes on a core
+    python -m repro.cli soak --scale 0.1      # quick look
+    python -m repro.cli soak --days 30        # longer horizon
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.experiments.results import TableResult
+from repro.overlay.dht import DHTView
+from repro.overlay.ids import random_node_id
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.capacity import CapacityConfig, generate_capacities
+from repro.workloads.filetrace import GB, MB, FileTraceConfig, generate_file_trace
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Scaled-down defaults for the join/leave churn soak (time unit: hours)."""
+
+    node_count: int = 300
+    capacity_mean: int = 45 * GB
+    capacity_std: int = 10 * GB
+    file_count: int = 2_000
+    mean_file_size: int = 243 * MB
+    std_file_size: int = 55 * MB
+    min_file_size: int = 50 * MB
+    #: Blocks per chunk for the (2,3) XOR protection used during distribution.
+    blocks_per_chunk: int = 2
+    #: Simulated soak length.
+    horizon_hours: float = 7 * HOURS_PER_DAY
+    #: Session model: exponential up/down times (availability ~ up/(up+down)).
+    mean_uptime_hours: float = 24.0
+    mean_downtime_hours: float = 2.0
+    #: Poisson rates for fresh-node joins and graceful departures.
+    join_rate_per_hour: float = 2.0
+    leave_rate_per_hour: float = 2.0
+    #: Availability/usage/memory sampling grid.
+    sample_every_hours: float = 6.0
+    #: Ledger compaction period (vectorized path only).
+    compact_every_hours: float = 24.0
+    #: Whether a returning node comes back with a wiped disk (the conservative
+    #: default: long outages lose the disk) or with its blocks intact.
+    wipe_on_return: bool = True
+    #: Gate for the periodic compaction pass (the soak oracle runs with and
+    #: without it to assert compaction never changes observable state).
+    compaction: bool = True
+    seed: int = 8
+    #: Run distribution, repair and sampling on the array engine + columnar
+    #: block ledger; ``False`` preserves the seed scalar path end to end.
+    vectorized: bool = True
+    #: Override the population-build mode independently of the pipeline mode
+    #: (None = follow ``vectorized``); identical RNG draws in both modes.
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
+
+
+#: The paper-scale soak: 10 000 nodes under one simulated week of session
+#: churn plus ~50 joins and ~50 departures per hour.  The file count matches
+#: the fig10/table3 presets so the three dynamics workloads share a baseline.
+PAPER_SOAK = SoakConfig(
+    node_count=10_000,
+    file_count=20_000,
+    join_rate_per_hour=50.0,
+    leave_rate_per_hour=50.0,
+)
+
+
+@dataclass
+class SoakResult:
+    """Sampled series plus event accounting for one soak run."""
+
+    config: SoakConfig
+    time_hours: List[float] = field(default_factory=list)
+    live_nodes: List[int] = field(default_factory=list)
+    unavailable_pct: List[float] = field(default_factory=list)
+    utilization_pct: List[float] = field(default_factory=list)
+    #: Ledger sizing per sample (vectorized path only; empty on the seed path).
+    ledger_rows: List[int] = field(default_factory=list)
+    ledger_live_rows: List[int] = field(default_factory=list)
+    ledger_allocated_rows: List[int] = field(default_factory=list)
+    ledger_column_bytes: List[int] = field(default_factory=list)
+    #: One entry per compaction pass: time plus the compact() stats.
+    compactions: List[Dict[str, float]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    recovery_totals: Dict[str, float] = field(default_factory=dict)
+    files_stored: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers: events, availability, and the memory bound."""
+        rows_reclaimed = sum(entry["rows_released"] for entry in self.compactions)
+        return {
+            "horizon_hours": self.config.horizon_hours,
+            "files_stored": float(self.files_stored),
+            "failures": float(self.counters.get("failures", 0)),
+            "returns": float(self.counters.get("returns", 0)),
+            "joins": float(self.counters.get("joins", 0)),
+            "leaves": float(self.counters.get("leaves", 0)),
+            "final_live_nodes": float(self.live_nodes[-1]) if self.live_nodes else 0.0,
+            "final_unavailable_pct": self.unavailable_pct[-1] if self.unavailable_pct else 0.0,
+            "max_unavailable_pct": max(self.unavailable_pct) if self.unavailable_pct else 0.0,
+            "data_regenerated_gb": self.recovery_totals.get("total_regenerated_bytes", 0.0) / GB,
+            "data_lost_gb": self.recovery_totals.get("total_data_lost_bytes", 0.0) / GB,
+            "compactions": float(len(self.compactions)),
+            "rows_reclaimed": float(rows_reclaimed),
+            "peak_ledger_rows": float(max(self.ledger_rows)) if self.ledger_rows else 0.0,
+            "peak_live_rows": float(max(self.ledger_live_rows)) if self.ledger_live_rows else 0.0,
+            "peak_column_mb": (max(self.ledger_column_bytes) / MB) if self.ledger_column_bytes else 0.0,
+        }
+
+    def series_table(self) -> TableResult:
+        """The sampled soak series as one aligned table (CLI output)."""
+        columns = ["t_hours", "live_nodes", "unavailable_pct", "utilization_pct"]
+        with_ledger = bool(self.ledger_rows)
+        if with_ledger:
+            columns += ["ledger_rows", "live_rows", "column_mb"]
+        table = TableResult(title="Join/leave churn soak", columns=columns)
+        for index, t in enumerate(self.time_hours):
+            row = {
+                "t_hours": t,
+                "live_nodes": self.live_nodes[index],
+                "unavailable_pct": self.unavailable_pct[index],
+                "utilization_pct": self.utilization_pct[index],
+            }
+            if with_ledger:
+                row["ledger_rows"] = self.ledger_rows[index]
+                row["live_rows"] = self.ledger_live_rows[index]
+                row["column_mb"] = self.ledger_column_bytes[index] / MB
+            table.add_row(**row)
+        return table
+
+
+class SoakExperiment:
+    """Runs the join/leave churn soak on the discrete-event kernel."""
+
+    def __init__(self, config: Optional[SoakConfig] = None) -> None:
+        self.config = config or SoakConfig()
+
+    def _distribute(self, streams: RandomStreams) -> StorageSystem:
+        config = self.config
+        capacities = generate_capacities(
+            CapacityConfig(
+                node_count=config.node_count,
+                distribution="normal",
+                mean=config.capacity_mean,
+                std=config.capacity_std,
+            ),
+            rng=streams.fresh("capacities"),
+        )
+        network = OverlayNetwork.build(
+            config.node_count,
+            rng=streams.fresh("overlay"),
+            capacities=list(capacities),
+            routing_state=not config.resolved_fast_build(),
+        )
+        storage = StorageSystem(
+            DHTView(network),
+            codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=config.blocks_per_chunk),
+            policy=StoragePolicy(),
+            vectorized=config.vectorized,
+        )
+        trace = generate_file_trace(
+            FileTraceConfig(
+                file_count=config.file_count,
+                mean_size=config.mean_file_size,
+                std_size=config.std_file_size,
+                min_size=config.min_file_size,
+            ),
+            rng=streams.fresh("trace"),
+        )
+        for record in trace:
+            storage.store_file(record.name, record.size)
+        return storage
+
+    def run(self) -> SoakResult:  # noqa: C901 - one event loop, many small closures
+        config = self.config
+        streams = RandomStreams(config.seed)
+        phase_start = time.perf_counter()
+        storage = self._distribute(streams)
+        distribute_s = time.perf_counter() - phase_start
+
+        dht = storage.dht
+        network = dht.network
+        ledger = storage.ledger
+        recovery = RecoveryManager(storage)
+        result = SoakResult(config=config, files_stored=len(storage.files))
+        counters = {"failures": 0, "returns": 0, "joins": 0, "leaves": 0}
+
+        sim = Simulator()
+        session_rng = streams.fresh("sessions")
+        join_rng = streams.fresh("joins")
+        leave_rng = streams.fresh("leaves")
+        horizon = config.horizon_hours
+        mean_up = config.mean_uptime_hours
+        mean_down = config.mean_downtime_hours
+
+        # -- session churn: every node alternates exponential up/down times --
+        def schedule_failure(node_id) -> None:
+            sim.schedule(session_rng.exponential(mean_up), lambda: fail_node(node_id))
+
+        def fail_node(node_id) -> None:
+            if node_id not in network:  # departed while the timer was pending
+                return
+            counters["failures"] += 1
+            recovery.handle_failure(node_id)
+            sim.schedule(session_rng.exponential(mean_down), lambda: return_node(node_id))
+
+        def return_node(node_id) -> None:
+            if node_id not in network:
+                return
+            counters["returns"] += 1
+            node = network.node(node_id)
+            node.recover(wipe=config.wipe_on_return)
+            dht.add(node)  # incremental boundary *insertion* patch
+            schedule_failure(node_id)
+
+        for node in network.nodes():
+            schedule_failure(node.node_id)
+
+        # -- Poisson joins of fresh nodes -----------------------------------
+        def schedule_join() -> None:
+            if config.join_rate_per_hour > 0:
+                sim.schedule(join_rng.exponential(1.0 / config.join_rate_per_hour), do_join)
+
+        def do_join() -> None:
+            counters["joins"] += 1
+            node_id = random_node_id(join_rng)
+            while node_id in network:  # pragma: no cover - negligible probability
+                node_id = random_node_id(join_rng)
+            capacity = max(1, int(join_rng.normal(config.capacity_mean, config.capacity_std)))
+            node = OverlayNode(
+                node_id=node_id,
+                coordinates=(float(join_rng.uniform(0.0, 1000.0)),
+                             float(join_rng.uniform(0.0, 1000.0))),
+                capacity=capacity,
+            )
+            node.leaf_set = type(node.leaf_set)(node_id, network.leaf_set_half_size)
+            network.join(node)  # O(1) on a routing-state-free population
+            dht.add(node)
+            schedule_failure(node_id)
+            schedule_join()
+
+        schedule_join()
+
+        # -- Poisson graceful departures ------------------------------------
+        def schedule_leave() -> None:
+            if config.leave_rate_per_hour > 0:
+                sim.schedule(leave_rng.exponential(1.0 / config.leave_rate_per_hour), do_leave)
+
+        def do_leave() -> None:
+            live = dht.state.nodes
+            if len(live) > 2:
+                counters["leaves"] += 1
+                victim = live[int(leave_rng.integers(len(live)))]
+                # A graceful departure migrates its data (the Section 4.4
+                # pipeline regenerates every block elsewhere), then the node
+                # leaves the overlay and its ledger rows are released.
+                recovery.handle_failure(victim.node_id)
+                network.leave(victim.node_id)
+            schedule_leave()
+
+        schedule_leave()
+
+        # -- sampling and periodic compaction -------------------------------
+        total_files = max(1, len(storage.files))
+
+        def sample() -> None:
+            result.time_hours.append(sim.now)
+            result.live_nodes.append(len(dht.state))
+            result.unavailable_pct.append(100.0 * storage.unavailable_file_count() / total_files)
+            result.utilization_pct.append(100.0 * dht.utilization())
+            if ledger is not None:
+                footprint = ledger.memory_footprint()
+                result.ledger_rows.append(footprint["row_count"])
+                result.ledger_live_rows.append(footprint["live_rows"])
+                result.ledger_allocated_rows.append(footprint["allocated_rows"])
+                result.ledger_column_bytes.append(footprint["column_bytes"])
+
+        def sample_and_reschedule() -> None:
+            sample()
+            if sim.now + config.sample_every_hours < horizon:
+                sim.schedule(config.sample_every_hours, sample_and_reschedule)
+
+        sample_and_reschedule()
+
+        if ledger is not None and config.compaction and config.compact_every_hours > 0:
+            def compact_and_reschedule() -> None:
+                stats = ledger.compact()
+                entry: Dict[str, float] = {"t_hours": sim.now}
+                entry.update({key: float(value) for key, value in stats.items()})
+                result.compactions.append(entry)
+                if sim.now + config.compact_every_hours < horizon:
+                    sim.schedule(config.compact_every_hours, compact_and_reschedule)
+
+            sim.schedule(config.compact_every_hours, compact_and_reschedule)
+
+        soak_start = time.perf_counter()
+        sim.run(until=horizon)
+        sample()  # closing sample at the horizon
+        result.counters = counters
+        result.recovery_totals = recovery.totals()
+        result.timings = {
+            "distribute_s": distribute_s,
+            "soak_s": time.perf_counter() - soak_start,
+            "events": float(sim.events_processed),
+        }
+        return result

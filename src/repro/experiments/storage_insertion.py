@@ -25,7 +25,7 @@ lookups/s of both in ``BENCH_insertion.json``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ scheduler tracks per-machine busy windows on a virtual clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.grid.machines import GridMachine
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk
+from repro.core.storage import BlockPlacement, StorageSystem
 from repro.multicast.bullet import BulletConfig, BulletSession
 from repro.multicast.tree import build_locality_tree
 from repro.overlay.ids import NodeId

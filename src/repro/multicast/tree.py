@@ -14,7 +14,7 @@ Two constructors are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.overlay.ids import NodeId
 from repro.overlay.network import OverlayNetwork

@@ -26,7 +26,7 @@ vectorized kernels agree with :meth:`lookup` key-for-key.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -102,6 +102,11 @@ class OverlayNetwork:
 
     def _insert(self, node: OverlayNode) -> None:
         self._nodes[node.node_id] = node
+        if not self.maintains_routing_state:
+            # No per-node Pastry state to build or advertise: a join is O(1)
+            # here plus an incremental boundary patch in the DHT view, which
+            # is what keeps join-heavy churn soaks incremental.
+            return
         self._refresh_state_for(node)
         # Existing nodes learn about the newcomer.
         for other in self._nodes.values():
@@ -129,10 +134,8 @@ class OverlayNetwork:
         if node_id not in self._nodes:
             raise OverlayError(f"unknown node: {node_id!r}")
         node = self._nodes.pop(node_id)
-        for listener in node._usage_listeners:
-            note = getattr(listener, "_note_departed", None)
-            if note is not None:
-                note(node)
+        for listener in node._state_listeners:
+            listener._note_departed(node)
         if self.maintains_routing_state:
             self._repair_after_departure(node_id)
 

@@ -16,7 +16,7 @@ the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Iterable, List, Optional, Set, Tuple
+from typing import ClassVar, Dict, List, Set, Tuple
 
 from repro.overlay.ids import NodeId, clockwise_distance, distance
 from repro.overlay.routing import RoutingTable
@@ -152,6 +152,12 @@ class OverlayNode:
     #: before any state has attached; attaching replaces it per instance.
     _usage_listeners: ClassVar[Tuple[object, ...]] = ()
 
+    #: Liveness listeners notified on fail/recover/depart transitions (the
+    #: columnar block ledger).  Kept separate from ``_usage_listeners`` so the
+    #: ``used`` property setter -- the hottest call in a store loop -- never
+    #: pays a no-op call per attached ledger.
+    _state_listeners: ClassVar[Tuple[object, ...]] = ()
+
     #: Backing storage for the ``used`` property; the class-level default lets
     #: the setter read the previous value without a ``getattr`` fallback.
     _used_value: ClassVar[int] = 0
@@ -229,10 +235,8 @@ class OverlayNode:
         if not self.alive:
             return
         self.alive = False
-        for listener in self._usage_listeners:
-            note = getattr(listener, "_note_failed", None)
-            if note is not None:
-                note(self)
+        for listener in self._state_listeners:
+            listener._note_failed(self)
 
     def recover(self, wipe: bool = True) -> None:
         """Bring the node back.  By default it returns empty (disk wiped)."""
@@ -241,10 +245,8 @@ class OverlayNode:
         if wipe:
             self.stored_blocks.clear()
             self.used = 0
-        for listener in self._usage_listeners:
-            note = getattr(listener, "_note_recovered", None)
-            if note is not None:
-                note(self, wipe, revived)
+        for listener in self._state_listeners:
+            listener._note_recovered(self, wipe, revived)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"

@@ -26,19 +26,20 @@ used bytes) via the ``OverlayNode.used`` property listeners, which makes the
 utilization sampling of the insertion experiments independent of the
 population size.
 
-Membership changes are asymmetric: joins mark the boundaries dirty (bulk
-changes coalesce into one full rebuild at the next lookup), while a removal
-on *clean* boundaries patches them in place -- only the two arcs adjacent to
-the removed node change, so the per-failure cost of a churn sweep is
+Membership changes on *clean* boundaries are patched in place -- a removal
+merges the two arcs adjacent to the removed node, an insertion splits the
+arc the newcomer lands on -- so the per-event cost of a churn workload is
 O(affected region) Python work plus C-level array splices instead of the
-O(N) rebuild the dirty-flag path pays.  ``tests/test_overlay_node_state.py``
-asserts patch == rebuild on adversarial rings, removal by removal.
+O(N) rebuild the dirty-flag path pays.  Changes made while the boundaries
+are already dirty (bulk population builds, ``rebuild``) still coalesce into
+one full rebuild at the next lookup.  ``tests/test_overlay_node_state.py``
+asserts patch == rebuild on adversarial rings, change by change.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -102,9 +103,12 @@ class NodeArrayState:
     def add(self, node: OverlayNode) -> bool:
         """Insert a node (no-op when already indexed).  Returns True if added.
 
-        Joins mark the boundaries dirty: bulk membership changes (population
-        builds, rejoining waves) coalesce into a single full rebuild at the
-        next lookup instead of paying one patch per change.
+        When the lookup boundaries are clean, they are *patched* in place --
+        only the arc the newcomer splits (plus the wrap-around boundary for an
+        end insertion) changes, mirroring the removal patch -- so join-heavy
+        churn never pays an O(N) rebuild per join.  When the boundaries are
+        already dirty (bulk membership change in progress, e.g. a population
+        build), the join simply coalesces into the pending full rebuild.
         """
         value = int(node.node_id)
         index = bisect.bisect_left(self.ids_int, value)
@@ -115,7 +119,8 @@ class NodeArrayState:
         self.capacity_total += node.capacity
         self.used_total += node.used
         self._attach(node)
-        self._bounds_dirty = True
+        if not self._bounds_dirty:
+            self._patch_bounds_after_insertion(index)
         return True
 
     def remove(self, node_id: int) -> bool:
@@ -287,6 +292,69 @@ class NodeArrayState:
             else:
                 bounds[-1] = wrap_raw
                 arr[-1] = _id_bytes(wrap_raw)
+        self._bounds_bytes = arr
+        self._canonical_owners(n, new_wrap_first)
+
+    def _patch_bounds_after_insertion(self, index: int) -> None:
+        """Patch clean lookup boundaries after inserting the node at ``index``.
+
+        The mirror image of :meth:`_patch_bounds_after_removal`: an interior
+        insertion splits one arc around two recomputed midpoints; inserting a
+        new smallest or largest id additionally recomputes the wrap-around
+        boundary, which may flip the layout between the "wrap boundary last"
+        and "wrap boundary first" forms.  Owner arrays are regenerated from
+        the canonical per-layout pattern.  Equality with a full rebuild is
+        asserted, ring by ring, in ``tests/test_overlay_node_state``.
+        """
+        ids = self.ids_int
+        n = len(ids)
+        if n <= 2:
+            self._rebuild_bounds()
+            return
+        bounds = self._bounds_int
+        arr = self._bounds_bytes
+        wrap_first = self._wrap_first
+        if 0 < index < n - 1:
+            # Interior insertion: the wrap arc is untouched, the layout stays.
+            mid1 = ids[index - 1] + (ids[index] - ids[index - 1]) // 2
+            mid2 = ids[index] + (ids[index + 1] - ids[index]) // 2
+            slot = index if wrap_first else index - 1
+            bounds[slot] = mid1
+            bounds.insert(slot + 1, mid2)
+            arr[slot] = _id_bytes(mid1)
+            arr = np.insert(arr, slot + 1, _id_bytes(mid2))
+            self._bounds_bytes = arr
+            self._canonical_owners(n, wrap_first)
+            return
+        # End insertion (new smallest id when index == 0, new largest when
+        # index == n-1): the wrap-around boundary is recomputed from the new
+        # first/last ids and one new inner boundary appears next to the end.
+        gap = ID_SPACE - ids[-1] + ids[0]
+        wrap_raw = ids[-1] + (gap - 1) // 2
+        new_wrap_first = wrap_raw >= ID_SPACE
+        # Drop the old wrap boundary, leaving exactly the old inner boundaries.
+        if wrap_first:
+            del bounds[0]
+            arr = np.delete(arr, 0)
+        else:
+            del bounds[-1]
+            arr = np.delete(arr, len(arr) - 1)
+        # Insert the new inner boundary at its position in the inner order.
+        if index == 0:
+            inner = ids[0] + (ids[1] - ids[0]) // 2
+            bounds.insert(0, inner)
+            arr = np.insert(arr, 0, _id_bytes(inner))
+        else:
+            inner = ids[-2] + (ids[-1] - ids[-2]) // 2
+            bounds.append(inner)
+            arr = np.append(arr, np.array([_id_bytes(inner)], dtype=arr.dtype))
+        # Re-add the wrap boundary in its (possibly flipped) layout position.
+        if new_wrap_first:
+            bounds.insert(0, wrap_raw - ID_SPACE)
+            arr = np.insert(arr, 0, _id_bytes(wrap_raw - ID_SPACE))
+        else:
+            bounds.append(wrap_raw)
+            arr = np.append(arr, np.array([_id_bytes(wrap_raw)], dtype=arr.dtype))
         self._bounds_bytes = arr
         self._canonical_owners(n, new_wrap_first)
 

@@ -150,7 +150,9 @@ def test_cfs_failure_without_rollback_keeps_blocks(dht, network):
 def test_cfs_replication_on_successors(dht):
     cfs = CfsStore(dht, block_size=4 * MB, replication=2)
     cfs.store_file("replicated", 8 * MB)
-    for name, primary, size, replicas in cfs.files["replicated"]:
+    entries = cfs.block_entries("replicated")
+    assert len(entries) == 2
+    for name, primary, size, replicas in entries:
         assert len(replicas) == 1
         assert replicas[0].has_block(name)
 
@@ -159,7 +161,7 @@ def test_cfs_availability_and_delete(dht):
     cfs = CfsStore(dht, block_size=4 * MB)
     cfs.store_file("avail", 12 * MB)
     assert cfs.is_file_available("avail")
-    name, primary, _, _ = cfs.files["avail"][0]
+    name, primary, _, _ = cfs.block_entries("avail")[0]
     primary.fail()
     assert not cfs.is_file_available("avail")
     assert cfs.delete_file("avail")
@@ -177,6 +179,48 @@ def test_cfs_duplicate_and_validation(dht):
         CfsStore(dht, replication=0)
     with pytest.raises(ValueError):
         CfsStore(dht, retries_per_block=-1)
+
+
+# -- shared ledger -------------------------------------------------------------------------------
+def test_past_and_cfs_share_one_ledger(dht, network):
+    """Both baselines on one BlockLedger: O(1) answers equal the holder walks."""
+    from repro.core import BlockLedger
+
+    shared = BlockLedger(network)
+    past = PastStore(dht, replication=2, ledger=shared)
+    cfs = CfsStore(dht, block_size=2 * MB, replication=2, ledger=shared)
+    assert past.store_file("movie", 10 * MB).success
+    assert cfs.store_file("dataset", 9 * MB).success
+    assert past.ledger is cfs.ledger is shared
+    assert shared.active_files == 2
+
+    def walk_past(name):
+        stored, holders = past.files[name]
+        return any(h.alive and h.has_block(stored) for h in holders)
+
+    def walk_cfs(name):
+        return all(
+            any(h.alive and h.has_block(block) for h in [primary, *replicas])
+            for block, primary, _, replicas in cfs.block_entries(name)
+        )
+
+    victims = [past.files["movie"][1][0]] + [e[1] for e in cfs.block_entries("dataset")]
+    for node in victims:
+        node.fail()
+    assert past.is_file_available("movie") == walk_past("movie")
+    assert cfs.is_file_available("dataset") == walk_cfs("dataset")
+    for node in victims:
+        node.recover(wipe=False)
+    assert past.is_file_available("movie") == walk_past("movie") is True
+    assert cfs.is_file_available("dataset") == walk_cfs("dataset") is True
+
+    # Delete both, compact the shared ledger to empty, re-store the same names.
+    assert past.delete_file("movie") and cfs.delete_file("dataset")
+    stats = shared.compact()
+    assert stats["rows_after"] == 0 and stats["rows_released"] > 0
+    assert past.store_file("movie", 10 * MB).success
+    assert cfs.store_file("dataset", 9 * MB).success
+    assert past.is_file_available("movie") and cfs.is_file_available("dataset")
 
 
 # -- InsertionStats ------------------------------------------------------------------------------

@@ -20,7 +20,7 @@ def test_no_arguments_prints_help_list(capsys):
 
 def test_parser_knows_all_experiments():
     parser = build_parser()
-    for name in ("insertion", "availability", "coding", "churn", "multicast", "condor"):
+    for name in ("insertion", "availability", "coding", "churn", "soak", "multicast", "condor"):
         args = parser.parse_args([name])
         assert args.experiment == name
         assert callable(args.func)
@@ -70,6 +70,24 @@ def test_condor_command_runs_small(capsys):
 def test_churn_command_runs_small(capsys):
     assert main(["churn", "--nodes", "50", "--files", "120", "--seed", "4"]) == 0
     assert "Table 3" in capsys.readouterr().out
+
+
+def test_soak_command_runs_small(capsys):
+    assert main([
+        "soak", "--scale", "0.01", "--days", "1", "--seed", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "churn soak" in out and "soak summary" in out and "ledger_rows" in out
+
+
+def test_soak_scalar_flag_skips_ledger_columns(capsys):
+    assert main([
+        "soak", "--scale", "0.01", "--days", "0.5", "--scalar", "--seed", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "seed scalar path" in out
+    # No ledger on the scalar path: no compaction passes, no row accounting.
+    assert "compactions=0.00" in out and "peak_ledger_rows=0.00" in out
 
 
 def test_insertion_command_runs_small(capsys):

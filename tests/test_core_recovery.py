@@ -9,7 +9,6 @@ from repro.core.policies import StoragePolicy
 from repro.core.recovery import RecoveryManager
 from repro.core.storage import StorageSystem
 from repro.erasure.chunk_codec import ChunkCodec
-from repro.erasure.null_code import NullCode
 from repro.erasure.xor_code import XorParityCode
 from repro.overlay.dht import DHTView
 from repro.overlay.network import OverlayNetwork

@@ -10,9 +10,6 @@ from repro.core.storage import StorageSystem
 from repro.erasure.chunk_codec import ChunkCodec
 from repro.erasure.null_code import NullCode
 from repro.erasure.reed_solomon import ReedSolomonCode
-from repro.erasure.xor_code import XorParityCode
-from repro.overlay.dht import DHTView
-from repro.overlay.network import OverlayNetwork
 
 MB = 1 << 20
 

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.grid.condor import CondorJob, CondorPool, SchedulingError
-from repro.grid.machines import GridMachine, build_condor_pool_nodes
+from repro.grid.machines import build_condor_pool_nodes
 from repro.grid.transfer import TransferCostModel
 from repro.workloads.filetrace import GB
 

@@ -9,7 +9,6 @@ storage system is driven through the interposition layer.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.policies import StoragePolicy
 from repro.core.recovery import RecoveryManager

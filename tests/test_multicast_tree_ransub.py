@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.multicast.ransub import RanSubProtocol
-from repro.multicast.tree import MulticastTree, TreeNode, build_binary_tree, build_locality_tree
+from repro.multicast.tree import build_binary_tree, build_locality_tree
 from repro.overlay.network import OverlayNetwork
 
 
@@ -122,7 +122,6 @@ def test_ransub_epochs_change_views():
     first = protocol.run_epoch(lambda label: 0)
     second = protocol.run_epoch(lambda label: 0)
     assert protocol.epoch == 2
-    leaf = tree.leaves()[0].label
     # With overwhelming probability at least one leaf's view differs between epochs.
     different = any(first[node.label].labels() != second[node.label].labels() for node in tree.leaves())
     assert different

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.overlay.ids import NodeId, distance, key_for, random_node_id
+from repro.overlay.ids import distance, key_for, random_node_id
 from repro.overlay.network import OverlayError, OverlayNetwork
 from repro.overlay.node import OverlayNode
 

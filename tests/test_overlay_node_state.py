@@ -232,15 +232,82 @@ def test_removal_down_to_one_node_falls_back_to_trivial_bounds():
     assert state.ids_int[state.lookup_index(ID_SPACE - 1)] == 2 ** 100
 
 
-def test_bulk_membership_changes_coalesce_to_full_rebuild():
-    """Once the bounds are dirty (a join), removals coalesce instead of patching."""
-    ids = [10, 200, 3000, 2 ** 100, ID_SPACE - 77]
+#: Newcomers exercising every insertion-patch case per ring: interior splits,
+#: new smallest / new largest ids (wrap-boundary recompute, layout flips) and
+#: ids adjacent to existing ones (zero-width arcs).
+def _newcomers_for(ids: list[int]) -> list[int]:
+    candidates = {1, 2 ** 40 + 3, 2 ** 159 + 9, ID_SPACE - 5}
+    for value in ids:
+        candidates.add((value + 1) % ID_SPACE)
+        candidates.add((value - 1) % ID_SPACE)
+    ordered = sorted(ids)
+    for a, b in zip(ordered, ordered[1:]):
+        candidates.add(a + (b - a) // 2)
+    return sorted(candidates - set(ids))
+
+
+@pytest.mark.parametrize("ids", PATCH_RINGS, ids=lambda ids: f"n{len(ids)}")
+def test_single_insertion_patch_equals_full_rebuild(ids):
+    """Patched boundaries after a join equal a from-scratch rebuild."""
+    for newcomer_id in _newcomers_for(ids):
+        state = _state_for(ids)
+        state.lookup_index(0)  # force a clean boundary build before joining
+        assert state.add(OverlayNode(node_id=NodeId(newcomer_id), capacity=1))
+        assert not state._bounds_dirty, "a single join must patch, not rebuild"
+        grown = sorted(ids + [newcomer_id])
+        assert _bounds_snapshot(state) == _bounds_snapshot(_state_for(grown)), hex(newcomer_id)
+        for key in _interesting_keys(grown):
+            assert state.ids_int[state.lookup_index(key)] == _oracle(grown, key), hex(key)
+
+
+def test_interleaved_join_and_removal_patches_stay_exact_on_random_ring():
+    """Alternating joins and failures on a random ring, patch == rebuild each time."""
+    rng = np.random.default_rng(43)
+    ids = sorted({int(random_node_id(rng)) for _ in range(48)})
     state = _state_for(ids)
     state.lookup_index(0)
-    assert not state._bounds_dirty
+    current = list(ids)
+    for step in range(30):
+        if step % 2 == 0:
+            newcomer = int(random_node_id(rng))
+            if newcomer in current:
+                continue
+            assert state.add(OverlayNode(node_id=NodeId(newcomer), capacity=1))
+            current.append(newcomer)
+            current.sort()
+        else:
+            victim = current[int(rng.integers(len(current)))]
+            assert state.remove(victim)
+            current.remove(victim)
+        assert not state._bounds_dirty
+        assert _bounds_snapshot(state) == _bounds_snapshot(_state_for(current)), step
+    keys = [int(random_node_id(rng)) for _ in range(200)]
+    digests = b"".join(k.to_bytes(20, "big") for k in keys)
+    batched = state.lookup_digests(digests)
+    for position, key in enumerate(keys):
+        assert state.ids_int[batched[position]] == _oracle(current, key)
+
+
+def test_insertion_patch_grows_from_tiny_rings():
+    """Joining one- and two-node rings falls back to (trivial) rebuilds."""
+    state = _state_for([10])
+    state.lookup_index(0)
+    assert state.add(OverlayNode(node_id=NodeId(2 ** 100), capacity=1))
+    for key in _interesting_keys([10, 2 ** 100]):
+        assert state.ids_int[state.lookup_index(key)] == _oracle([10, 2 ** 100], key)
+    assert state.add(OverlayNode(node_id=NodeId(2 ** 50), capacity=1))
+    grown = [10, 2 ** 50, 2 ** 100]
+    assert _bounds_snapshot(state) == _bounds_snapshot(_state_for(grown))
+
+
+def test_bulk_membership_changes_coalesce_to_full_rebuild():
+    """While the bounds are dirty (bulk build), changes coalesce instead of patching."""
+    ids = [10, 200, 3000, 2 ** 100, ID_SPACE - 77]
+    state = _state_for(ids)  # freshly rebuilt: bounds start dirty
+    assert state._bounds_dirty
     newcomer = OverlayNode(node_id=NodeId(2 ** 130), capacity=1)
     assert state.add(newcomer)
-    assert state._bounds_dirty, "joins mark the bounds dirty (bulk coalescing)"
+    assert state._bounds_dirty, "a join on dirty bounds must coalesce, not patch"
     assert state.remove(3000)
     assert state._bounds_dirty, "a removal on dirty bounds must not patch"
     current = sorted(v for v in ids + [2 ** 130] if v != 3000)

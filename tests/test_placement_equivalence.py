@@ -56,12 +56,15 @@ def _past_snapshot(store: PastStore):
 
 
 def _cfs_snapshot(store: CfsStore):
+    # block_entries materialises identical structures from the seed tuple
+    # lists and from the shared columnar ledger, so the snapshot compares the
+    # two representations block for block.
     return {
         name: [
             (block, int(primary.node_id), size, [int(r.node_id) for r in replicas])
-            for block, primary, size, replicas in placements
+            for block, primary, size, replicas in store.block_entries(name)
         ]
-        for name, placements in store.files.items()
+        for name in store.files
     }
 
 

@@ -12,7 +12,7 @@ from repro.erasure.chunk_codec import ChunkCodec
 from repro.erasure.null_code import NullCode
 from repro.erasure.xor_code import XorParityCode
 from repro.overlay.dht import DHTView
-from repro.overlay.ids import NodeId, distance, key_for
+from repro.overlay.ids import NodeId, distance
 from repro.overlay.network import OverlayNetwork
 
 MB = 1 << 20

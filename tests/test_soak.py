@@ -1,0 +1,87 @@
+"""Oracle tests for the join/leave churn-soak experiment.
+
+The soak engine composes every dynamic path of the system -- session
+failures, regeneration, wiped returns, Poisson joins (the incremental
+boundary insertion patch), graceful departures (row release) and periodic
+ledger compaction.  The oracles assert that none of the optimizations is
+observable: the scalar seed path, the ledger path and the ledger path with
+compaction disabled must all sample identical series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.soak import PAPER_SOAK, SoakConfig, SoakExperiment
+from repro.workloads.filetrace import MB
+
+#: Small but non-trivial: ~180 failures, ~50 joins/leaves over two sim-days.
+SMALL = SoakConfig(
+    node_count=70,
+    file_count=180,
+    capacity_mean=400 * MB,
+    capacity_std=100 * MB,
+    mean_file_size=24 * MB,
+    std_file_size=8 * MB,
+    min_file_size=4 * MB,
+    horizon_hours=48.0,
+    mean_uptime_hours=12.0,
+    mean_downtime_hours=2.0,
+    join_rate_per_hour=1.0,
+    leave_rate_per_hour=1.0,
+    sample_every_hours=4.0,
+    compact_every_hours=12.0,
+    seed=17,
+)
+
+_SERIES = ("time_hours", "live_nodes", "unavailable_pct", "utilization_pct")
+
+
+def test_soak_scalar_and_ledger_paths_sample_identical_series():
+    scalar = SoakExperiment(replace(SMALL, vectorized=False)).run()
+    vector = SoakExperiment(SMALL).run()
+    for name in _SERIES:
+        assert getattr(scalar, name) == getattr(vector, name), name
+    assert scalar.counters == vector.counters
+    assert scalar.recovery_totals == vector.recovery_totals
+    assert scalar.files_stored == vector.files_stored
+    # The scalar path has no ledger, hence no compaction and no row series.
+    assert scalar.compactions == [] and scalar.ledger_rows == []
+    assert vector.compactions and vector.ledger_rows
+
+
+def test_soak_compaction_is_invisible_and_bounds_rows():
+    compacted = SoakExperiment(SMALL).run()
+    unbounded = SoakExperiment(replace(SMALL, compaction=False)).run()
+    for name in _SERIES:
+        assert getattr(compacted, name) == getattr(unbounded, name), name
+    assert compacted.counters == unbounded.counters
+    # Live rows agree sample by sample; total rows are GC-bounded vs append-only.
+    assert compacted.ledger_live_rows == unbounded.ledger_live_rows
+    assert max(compacted.ledger_rows) <= max(unbounded.ledger_rows)
+    assert sum(entry["rows_released"] for entry in compacted.compactions) > 0
+    assert unbounded.ledger_rows[-1] >= compacted.ledger_rows[-1]
+
+
+def test_soak_exercises_every_churn_path_and_stays_healthy():
+    result = SoakExperiment(SMALL).run()
+    counters = result.counters
+    assert counters["failures"] > 50
+    assert counters["returns"] > 40
+    assert counters["joins"] > 10
+    assert counters["leaves"] > 10
+    summary = result.summary()
+    assert summary["data_regenerated_gb"] > 0.0
+    assert result.files_stored > 150
+    # Repair keeps the archive overwhelmingly available at this utilization.
+    assert summary["max_unavailable_pct"] < 25.0
+    # The sampled grid covers the horizon.
+    assert result.time_hours[0] == 0.0
+    assert result.time_hours[-1] == SMALL.horizon_hours
+    assert len(result.time_hours) >= SMALL.horizon_hours / SMALL.sample_every_hours
+
+
+def test_paper_soak_preset_matches_issue_contract():
+    assert PAPER_SOAK.node_count == 10_000
+    assert PAPER_SOAK.horizon_hours == 7 * 24.0
+    assert PAPER_SOAK.vectorized and PAPER_SOAK.compaction
