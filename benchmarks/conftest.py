@@ -45,6 +45,12 @@ BENCH_SOAK_PATH = Path(__file__).resolve().parent.parent / "BENCH_soak.json"
 #: Rows accumulated by ``test_bench_soak.py`` during the session.
 _SOAK_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the bandwidth-aware repair benchmark writes its trajectory record.
+BENCH_REPAIR_PATH = Path(__file__).resolve().parent.parent / "BENCH_repair.json"
+
+#: Rows accumulated by ``test_bench_repair.py`` during the session.
+_REPAIR_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -84,6 +90,12 @@ def soak_bench_results() -> dict:
     return _SOAK_RESULTS
 
 
+@pytest.fixture(scope="session")
+def repair_bench_results() -> dict:
+    """Session accumulator for bandwidth-aware repair rows (written at exit)."""
+    return _REPAIR_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -103,6 +115,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_CHURN_PATH.write_text(json.dumps(_CHURN_RESULTS, indent=2) + "\n")
     if _SOAK_RESULTS["results"] and _SOAK_RESULTS["speedups"]:
         BENCH_SOAK_PATH.write_text(json.dumps(_SOAK_RESULTS, indent=2) + "\n")
+    if _REPAIR_RESULTS["results"] and _REPAIR_RESULTS["speedups"]:
+        BENCH_REPAIR_PATH.write_text(json.dumps(_REPAIR_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

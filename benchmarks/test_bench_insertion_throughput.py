@@ -22,6 +22,7 @@ and vectorized runs must produce identical curves.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import replace
 
@@ -153,6 +154,13 @@ def test_bench_pipeline_at_paper_population(insertion_bench_results: dict):
                 ),
             }
             for scheme, store in stores.items():
+                # Collect the previous scheme's (and population builds')
+                # cyclic garbage before the timed loop: a 10 000-node session
+                # leaves ~10^5 dead cross-referenced objects per build, and a
+                # generational collection landing mid-loop skews a sub-second
+                # measurement by integer factors (same hygiene as the soak
+                # bench module's autouse fixture).
+                gc.collect()
                 start = time.perf_counter()
                 for record in trace:
                     store.store_file(record.name, record.size)

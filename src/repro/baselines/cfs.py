@@ -54,6 +54,7 @@ class CfsStore:
         rollback_on_failure: bool = True,
         vectorized: bool = True,
         ledger: Optional[BlockLedger] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
@@ -69,10 +70,14 @@ class CfsStore:
         self.vectorized = vectorized
         #: Columnar bookkeeping (vectorized path only; the seed path keeps the
         #: per-block tuple lists).  Pass ``ledger`` to share one instance with
-        #: other stores on the same overlay.
-        self.ledger = (
-            (ledger if ledger is not None else BlockLedger(dht.network)) if vectorized else None
-        )
+        #: other stores on the same overlay, and ``tenant`` to scope this
+        #: store's files to their own namespace on a multi-tenant ledger.
+        from repro.core.storage import _resolve_ledger
+
+        self.ledger = _resolve_ledger(dht, vectorized, ledger, tenant)
+        #: A private ledger's namespace is exactly ``self.files``; only a
+        #: shared ledger needs the pre-flight name check on the hot path.
+        self._ledger_shared = ledger is not None and self.ledger is not None
         #: Scalar path: filename -> [(block name, primary, size, replicas)].
         #: Ledger path: filename -> ledger file index.
         self.files: Dict[
@@ -94,9 +99,10 @@ class CfsStore:
         """Insert one file; one p2p lookup per block placement attempt."""
         # A shared ledger is a shared file namespace: a name another store on
         # the same ledger already registered must be rejected up front, before
-        # any block is placed (for a private ledger the check is redundant).
+        # any block is placed (for a private ledger the check is redundant and
+        # skipped).
         if filename in self.files or (
-            self.ledger is not None and self.ledger.file_index(filename) is not None
+            self._ledger_shared and self.ledger.file_index(filename) is not None
         ):
             return BaselineStoreResult(
                 filename=filename,

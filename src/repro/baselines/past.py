@@ -44,6 +44,7 @@ class PastStore:
         retries: int = 3,
         vectorized: bool = True,
         ledger: Optional[BlockLedger] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
@@ -55,10 +56,16 @@ class PastStore:
         self.vectorized = vectorized
         #: Columnar bookkeeping (vectorized path only; the seed path keeps the
         #: holder-list walks).  Pass ``ledger`` to share one instance with
-        #: other stores on the same overlay.
-        self.ledger = (
-            (ledger if ledger is not None else BlockLedger(dht.network)) if vectorized else None
-        )
+        #: other stores on the same overlay, and ``tenant`` to scope this
+        #: store's files to their own namespace on a multi-tenant ledger.
+        from repro.core.storage import _resolve_ledger
+
+        self.ledger = _resolve_ledger(dht, vectorized, ledger, tenant)
+        #: Only a ledger shared with other stores can carry a colliding name
+        #: this store's own ``files`` dict does not know about; a private
+        #: ledger's namespace is exactly ``self.files``, so the per-store
+        #: ledger lookup is skipped on the hot path.
+        self._ledger_shared = ledger is not None and self.ledger is not None
         #: filename -> (name actually stored under, holder nodes).
         self.files: dict[str, tuple[str, List[OverlayNode]]] = {}
         self.total_lookups = 0
@@ -73,9 +80,10 @@ class PastStore:
         """Insert one file; a single p2p lookup per attempt, as in PAST."""
         # A shared ledger is a shared file namespace: a name another store on
         # the same ledger already registered must be rejected up front, before
-        # any block is placed (for a private ledger the check is redundant).
+        # any block is placed (for a private ledger the check is redundant and
+        # skipped).
         if filename in self.files or (
-            self.ledger is not None and self.ledger.file_index(filename) is not None
+            self._ledger_shared and self.ledger.file_index(filename) is not None
         ):
             return BaselineStoreResult(
                 filename=filename,
@@ -95,7 +103,10 @@ class PastStore:
             if holders is not None:
                 self.files[filename] = (name, holders)
                 if self.ledger is not None:
-                    self.ledger.register_whole_file(
+                    # Buffered: the single-row column writes land in one bulk
+                    # pass at the next flush point (a liveness event or a
+                    # ledger read), keeping the ledger out of the store loop.
+                    self.ledger.queue_whole_file(
                         filename, size, name, holders, salted=attempt > 0
                     )
                 self.total_lookups += lookups

@@ -29,6 +29,7 @@ from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
+from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
 from repro.experiments.soak import PAPER_SOAK, SoakExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
@@ -130,6 +131,8 @@ def _run_soak(args: argparse.Namespace) -> int:
         join_rate_per_hour=args.join_rate * args.scale,
         leave_rate_per_hour=args.leave_rate * args.scale,
         compaction=not args.no_compaction,
+        leave_mode=args.leave_mode,
+        bandwidth_gb_per_hour=args.bandwidth_gb_hour,
         seed=args.seed,
         vectorized=not args.scalar,
     )
@@ -143,6 +146,38 @@ def _run_soak(args: argparse.Namespace) -> int:
     print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
           f"{config.horizon_hours / 24:.1f} simulated days, "
           f"{'seed scalar path' if args.scalar else 'columnar ledger + compaction'})")
+    return 0
+
+
+def _run_repair(args: argparse.Namespace) -> int:
+    """Bandwidth-aware repair at the paper's scale (10 000 nodes) by default."""
+    import time
+    from dataclasses import replace
+
+    fractions = tuple(float(pct) / 100.0 for pct in args.fractions.split(","))
+    sweep = tuple(float(value) for value in args.bandwidth_sweep.split(","))
+    config = replace(
+        PAPER_REPAIR,
+        node_count=max(2, int(round(args.nodes * args.scale))),
+        file_count=max(1, int(round(args.files * args.scale))),
+        fail_fractions=fractions,
+        bandwidth_mb_s=args.bandwidth,
+        bandwidth_sweep_mb_s=sweep,
+        failure_spacing_s=args.spacing,
+        seed=args.seed,
+        vectorized=not args.scalar,
+    )
+    start = time.perf_counter()
+    result = RepairExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    print(result.fraction_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.bandwidth_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.ablation_table().format(float_format="{:,.2f}"))
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
+          f"{'seed scalar path' if args.scalar else 'columnar ledger'}, "
+          f"fair-share transfer scheduler)")
     return 0
 
 
@@ -272,10 +307,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="multiply nodes, files and churn rates by this factor (e.g. 0.1)")
     soak.add_argument("--no-compaction", action="store_true",
                       help="disable the periodic ledger compaction pass")
+    soak.add_argument("--leave-mode", type=str, default=PAPER_SOAK.leave_mode,
+                      choices=("regenerate", "migrate"),
+                      help="graceful departures regenerate from redundancy or "
+                           "migrate their blocks out over their uplink")
+    soak.add_argument("--bandwidth-gb-hour", type=float, default=None,
+                      help="per-node link capacity in GB per simulated hour "
+                           "(default: unconstrained, instantaneous repair)")
     soak.add_argument("--scalar", action="store_true",
                       help="run the preserved seed scalar path instead of the ledger")
     soak.add_argument("--seed", type=int, default=PAPER_SOAK.seed)
     soak.set_defaults(func=_run_soak)
+
+    repair = subparsers.add_parser(
+        "repair", help="bandwidth-aware repair: time-to-repair and traffic curves, "
+                       "migration-vs-regeneration ablation (paper scale: 10 000 nodes)"
+    )
+    repair.add_argument("--nodes", type=int, default=PAPER_REPAIR.node_count)
+    repair.add_argument("--files", type=int, default=PAPER_REPAIR.file_count)
+    repair.add_argument("--fractions", type=str, default="2,5,10",
+                        help="comma-separated failure percentages for the sweep")
+    repair.add_argument("--bandwidth", type=float, default=PAPER_REPAIR.bandwidth_mb_s,
+                        help="per-node link capacity in MB per simulated second")
+    repair.add_argument("--bandwidth-sweep", type=str, default="4,8,16",
+                        help="comma-separated bandwidths for the bandwidth panel")
+    repair.add_argument("--spacing", type=float, default=PAPER_REPAIR.failure_spacing_s,
+                        help="simulated seconds between consecutive failures")
+    repair.add_argument("--scale", type=float, default=1.0,
+                        help="multiply nodes and files by this factor (e.g. 0.1)")
+    repair.add_argument("--scalar", action="store_true",
+                        help="run the preserved seed scalar path instead of the ledger")
+    repair.add_argument("--seed", type=int, default=PAPER_REPAIR.seed)
+    repair.set_defaults(func=_run_repair)
 
     coding = subparsers.add_parser("coding", help="Table 2")
     coding.add_argument("--chunk-mb", type=float, default=1.0)
@@ -317,7 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list or args.experiment is None:
         print(
             "Available experiments: insertion, availability, fig10, coding, churn, "
-            "table3, soak, multicast, condor, bench"
+            "table3, soak, repair, multicast, condor, bench"
         )
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func

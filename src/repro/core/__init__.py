@@ -13,13 +13,16 @@ Public entry points:
   byte ranges, availability queries, utilisation statistics;
 * :class:`~repro.core.policies.StoragePolicy` -- all tunables (zero-chunk
   retry limit, replication factors, capacity-report fraction, ...);
-* :class:`~repro.core.recovery.RecoveryManager` -- failure handling and block
-  regeneration;
+* :class:`~repro.core.recovery.RecoveryManager` -- failure handling, block
+  regeneration and graceful-departure migration (planner/executor split);
+* :class:`~repro.core.transfer.TransferScheduler` -- the deterministic
+  fair-share bandwidth model repairs charge their data movements to;
 * :mod:`~repro.core.naming` -- the ``filename_chunk_ECB`` naming convention.
 """
 
 from repro.core.naming import block_name, cat_name, chunk_name, parse_block_name, parse_chunk_name
-from repro.core.block_ledger import BlockLedger
+from repro.core.block_ledger import BlockLedger, TenantLedgerView
+from repro.core.transfer import Transfer, TransferScheduler
 from repro.core.cat import CatEntry, ChunkAllocationTable
 from repro.core.policies import StoragePolicy
 from repro.core.capacity import CapacityProbe, ProbeResult
@@ -37,6 +40,9 @@ from repro.core.recovery import FailureImpact, RecoveryManager
 __all__ = [
     "block_name",
     "BlockLedger",
+    "TenantLedgerView",
+    "Transfer",
+    "TransferScheduler",
     "cat_name",
     "chunk_name",
     "parse_block_name",

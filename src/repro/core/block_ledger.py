@@ -53,6 +53,33 @@ with a stable row-id remapping of every column and every held row index
 (per-file, per-placement and per-owner lists), bounding ledger memory over
 simulated weeks.
 
+Multi-tenancy: one ledger per overlay
+-------------------------------------
+A single ledger can carry *mixed* workloads -- the erasure-coded system plus
+the PAST and CFS baselines -- as first-class **tenants**: every row and every
+file carries a tenant tag, file names are scoped per tenant (two tenants may
+both store ``"movie"``), and per-tenant O(1) aggregates (active files,
+unavailable files, stored/live bytes) sit next to the global ones.
+:meth:`BlockLedger.tenant` returns a :class:`TenantLedgerView` -- the facade
+each store registers through -- while liveness transitions, per-node row
+indexes and :meth:`BlockLedger.compact` remain global: mixed PAST/CFS/ours
+populations share one failure mask and one compaction pass.  A raw ledger
+used directly (no views) behaves exactly as before: everything lands in the
+default tenant 0 and the global aggregates are its aggregates.
+
+PAST's whole-file stores additionally *buffer* their single-row registrations
+(:meth:`BlockLedger.queue_whole_file`): the per-file scalar column writes are
+deferred and materialised in one bulk write.  Exactness is preserved because
+every path that can read buffered state flushes the buffer first --
+``file_index`` on a pending name, the per-node repair-row reads, the
+aggregate accessors, compaction, the listener notifications of already
+materialised rows -- and the flush *reconciles* each holder's actual
+liveness (alive / holds the copy / still in the overlay), so churn that hit
+a still-buffered holder lands as exactly the dead or released rows an eager
+registration would have produced.  Aggregate counters are bumped eagerly at
+queue time.  Any new code path that reads the raw row columns must call
+``_flush_pending()`` (or go through one of the accessors above) first.
+
 The ledger exists only on the ``vectorized=True`` path; the preserved seed
 paths keep the per-node dict walks, and ``tests/test_churn_equivalence.py`` /
 ``tests/test_placement_equivalence.py`` assert the two produce identical
@@ -110,6 +137,7 @@ class BlockLedger:
         self._released = np.zeros(_INITIAL, dtype=bool)
         self._kind = np.zeros(_INITIAL, dtype=np.int8)
         self._group = np.full(_INITIAL, -1, dtype=np.int64)
+        self._row_tenant = np.zeros(_INITIAL, dtype=np.int16)
         # -- flat group registry (baseline rows: one group per replica set) --
         self.group_count = 0
         self._group_copies = np.zeros(_INITIAL, dtype=np.int64)
@@ -127,14 +155,36 @@ class BlockLedger:
         self._chunk_file = np.full(_INITIAL, -1, dtype=np.int64)
         self._chunk_placements: List[List[int]] = []
         self._chunk_objs: List["StoredChunk"] = []
-        # -- file registry ----------------------------------------------------
-        self._file_index: Dict[str, int] = {}
+        # -- file registry (names scoped per tenant) --------------------------
+        self._file_index: Dict[Tuple[int, str], int] = {}
         self._file_names: List[str] = []
         self._file_rows: List[List[int]] = []
         self._file_size = np.zeros(_INITIAL, dtype=np.int64)
         self._file_bad = np.zeros(_INITIAL, dtype=np.int64)
         self._file_active = np.zeros(_INITIAL, dtype=bool)
+        self._file_tenant = np.zeros(_INITIAL, dtype=np.int16)
         self.file_count = 0
+        # -- tenants -----------------------------------------------------------
+        #: Tenant 0 is the default namespace a raw ledger operates in; the
+        #: per-tenant aggregate arrays are maintained only once a second
+        #: tenant exists (``_multi_tenant``) -- a private single-tenant ledger
+        #: pays nothing, and the global counters *are* tenant 0's.
+        self._tenant_ids: Dict[str, int] = {"default": 0}
+        self._tenant_names: List[str] = ["default"]
+        self._views: Dict[int, "TenantLedgerView"] = {}
+        self._multi_tenant = False
+        self._tenant_active_files = np.zeros(1, dtype=np.int64)
+        self._tenant_unavailable = np.zeros(1, dtype=np.int64)
+        self._tenant_stored_bytes = np.zeros(1, dtype=np.int64)
+        self._tenant_live_bytes = np.zeros(1, dtype=np.int64)
+        self._tenant_live_rows = np.zeros(1, dtype=np.int64)
+        # -- buffered whole-file registrations (PAST's store loop) ------------
+        #: Deferred single-group registrations: (filename, size, stored name,
+        #: holder nodes, salted, tenant).  Aggregates are bumped and liveness
+        #: listeners attached at queue time; slot creation and the column
+        #: writes land in one bulk pass at flush.
+        self._pending_whole: List[tuple] = []
+        self._pending_names: set = set()
         # -- node slots -------------------------------------------------------
         self._slots: Dict[int, int] = {}
         self._slot_nodes: List["OverlayNode"] = []
@@ -149,6 +199,60 @@ class BlockLedger:
         self.active_files = 0
         self.unavailable_files = 0
 
+    # ----------------------------------------------------------------- tenants --
+    @property
+    def tenant_id(self) -> int:
+        """The tenant a raw (un-viewed) ledger operates as: the default, 0."""
+        return 0
+
+    def ensure_tenant(self, name: str) -> int:
+        """Create (or look up) the tenant id for ``name``.
+
+        Creating the first *additional* tenant switches the ledger to
+        multi-tenant accounting; everything registered so far belonged to the
+        default tenant, so its per-tenant aggregates seed from the globals.
+        """
+        tenant = self._tenant_ids.get(name)
+        if tenant is not None:
+            return tenant
+        tenant = len(self._tenant_names)
+        self._tenant_ids[name] = tenant
+        self._tenant_names.append(name)
+        for attr in (
+            "_tenant_active_files", "_tenant_unavailable", "_tenant_stored_bytes",
+            "_tenant_live_bytes", "_tenant_live_rows",
+        ):
+            setattr(self, attr, _grown(getattr(self, attr), tenant + 1))
+        if not self._multi_tenant:
+            self._multi_tenant = True
+            self._tenant_active_files[0] = self.active_files
+            self._tenant_unavailable[0] = self.unavailable_files
+            self._tenant_stored_bytes[0] = self.stored_data_bytes
+            self._tenant_live_bytes[0] = self.live_bytes
+            self._tenant_live_rows[0] = self.live_rows
+        return tenant
+
+    def tenant(self, name: str) -> "TenantLedgerView":
+        """The (cached) tenant-scoped facade for ``name``."""
+        tenant = self.ensure_tenant(name)
+        view = self._views.get(tenant)
+        if view is None:
+            view = TenantLedgerView(self, name, tenant)
+            self._views[tenant] = view
+        return view
+
+    def tenant_name(self, tenant: int) -> str:
+        """The registered name of tenant id ``tenant``."""
+        return self._tenant_names[tenant]
+
+    def row_tenant(self, row: int) -> int:
+        """The tenant a row's copy belongs to."""
+        return int(self._row_tenant[row])
+
+    def file_tenant(self, file_idx: int) -> int:
+        """The tenant a registered file belongs to."""
+        return int(self._file_tenant[file_idx])
+
     # ------------------------------------------------------------- registration --
     def _slot_for(self, node: "OverlayNode") -> int:
         value = int(node.node_id)
@@ -158,7 +262,8 @@ class BlockLedger:
             self._slots[value] = slot
             self._slot_nodes.append(node)
             self._slot_rows.append([])
-            node._state_listeners = node._state_listeners + (self,)
+            if self not in node._state_listeners:
+                node._state_listeners = node._state_listeners + (self,)
         return slot
 
     def _grow_rows(self, needed: int) -> None:
@@ -173,6 +278,7 @@ class BlockLedger:
         self._released = _grown(self._released, needed)
         self._kind = _grown(self._kind, needed)
         self._group = _grown(self._group, needed)
+        self._row_tenant = _grown(self._row_tenant, needed)
 
     def _append_row(
         self,
@@ -185,6 +291,7 @@ class BlockLedger:
         digest: Optional[bytes] = None,
         kind: int = KIND_PRIMARY,
         group_idx: int = -1,
+        tenant: int = 0,
     ) -> int:
         row = self.row_count
         if row >= len(self._owner):
@@ -200,43 +307,58 @@ class BlockLedger:
         self._alive[row] = True
         self._kind[row] = kind
         self._group[row] = group_idx
+        self._row_tenant[row] = tenant
         if digest is not None:
             self._digest[row] = digest
             self._digest_known[row] = True
         self.row_count = row + 1
         self.live_bytes += size
         self.live_rows += 1
+        if self._multi_tenant:
+            self._tenant_live_bytes[tenant] += size
+            self._tenant_live_rows[tenant] += 1
         if file_idx >= 0:
             self._file_rows[file_idx].append(row)
         return row
 
-    def _new_file_entry(self, name: str, size: int) -> int:
-        """Create one file registry entry (shared by every registration path)."""
-        if name in self._file_index:
+    def _new_file_entry(self, name: str, size: int, tenant: int = 0, counted: bool = True) -> int:
+        """Create one file registry entry (shared by every registration path).
+
+        ``counted=False`` skips the aggregate bumps -- used when materialising
+        buffered registrations whose counters were bumped at queue time.
+        """
+        key = (tenant, name)
+        if key in self._file_index or key in self._pending_names:
             raise ValueError(f"file already registered: {name!r}")
         f = self.file_count
         self.file_count = f + 1
         self._file_size = _grown(self._file_size, f + 1)
         self._file_bad = _grown(self._file_bad, f + 1)
         self._file_active = _grown(self._file_active, f + 1)
-        self._file_index[name] = f
+        self._file_tenant = _grown(self._file_tenant, f + 1)
+        self._file_index[key] = f
         self._file_names.append(name)
         self._file_rows.append([])
         self._file_size[f] = size
         self._file_bad[f] = 0
         self._file_active[f] = True
-        self.active_files += 1
-        self.stored_data_bytes += size
+        self._file_tenant[f] = tenant
+        if counted:
+            self.active_files += 1
+            self.stored_data_bytes += size
+            if self._multi_tenant:
+                self._tenant_active_files[tenant] += 1
+                self._tenant_stored_bytes[tenant] += size
         return f
 
-    def register_file(self, stored: "StoredFile", required_blocks: int) -> None:
+    def register_file(self, stored: "StoredFile", required_blocks: int, tenant: int = 0) -> None:
         """Record every copy of a freshly (successfully) stored file.
 
         Called once per successful store, after the chunk and CAT placements
         are final, so the per-node row order matches the chronological
         ``stored_blocks`` dict order the seed recovery path iterates.
         """
-        f = self._new_file_entry(stored.name, stored.size)
+        f = self._new_file_entry(stored.name, stored.size, tenant)
         stored.ledger_index = f
 
         network_node = self.network.node
@@ -263,13 +385,14 @@ class BlockLedger:
                 self._placement_pos[p] = pos
                 rows = [
                     self._append_row(
-                        network_node(placement.node_id), placement.block_name, placement.size, f, c, p
+                        network_node(placement.node_id), placement.block_name, placement.size,
+                        f, c, p, tenant=tenant,
                     )
                 ]
                 rows.extend(
                     self._append_row(
                         network_node(node_id), placement.block_name, placement.size, f, c, p,
-                        kind=KIND_REPLICA,
+                        kind=KIND_REPLICA, tenant=tenant,
                     )
                     for node_id in placement.replica_nodes
                 )
@@ -285,10 +408,12 @@ class BlockLedger:
             for node_id in (placement.node_id, *placement.replica_nodes):
                 self._append_row(
                     network_node(node_id), placement.block_name, placement.size, f, -1, -1,
-                    kind=KIND_META,
+                    kind=KIND_META, tenant=tenant,
                 )
         if self._file_bad[f] > 0:
             self.unavailable_files += 1
+            if self._multi_tenant:
+                self._tenant_unavailable[tenant] += 1
 
     # ------------------------------------------------- baseline registration --
     def register_whole_file(
@@ -298,6 +423,7 @@ class BlockLedger:
         stored_name: str,
         holders: Sequence["OverlayNode"],
         salted: bool = False,
+        tenant: int = 0,
     ) -> int:
         """Record a PAST-style whole-file store: one replica group of copies.
 
@@ -306,20 +432,141 @@ class BlockLedger:
         rows.  The file stays available while any copy in the group survives.
         Returns the ledger file index.
         """
-        f = self._new_file_entry(filename, size)
+        self._flush_pending()
+        f = self._register_whole_file_now(filename, size, stored_name, holders, salted, tenant)
+        if not holders:
+            # Degenerate zero-copy store: the group is dead on arrival.
+            self._file_bad[f] = 1
+            self.unavailable_files += 1
+            if self._multi_tenant:
+                self._tenant_unavailable[tenant] += 1
+        return f
+
+    def queue_whole_file(
+        self,
+        filename: str,
+        size: int,
+        stored_name: str,
+        holders: Sequence["OverlayNode"],
+        salted: bool = False,
+        tenant: int = 0,
+    ) -> None:
+        """Buffer a whole-file registration for a later bulk column write.
+
+        Every ``holders`` entry must already hold ``stored_name`` (the way
+        PAST's store loop places blocks before registering); the flush
+        treats a missing copy as gone for good.
+
+        PAST's store loop registers exactly one replica group per file; the
+        per-file scalar column writes are what shows up as ``pipeline_past``
+        in BENCH_insertion.json.  Queuing defers them: the aggregate
+        counters are bumped eagerly, and exactness is preserved because
+        every path that can *read* buffered state flushes first (``file_index``
+        when the name is pending, the per-node repair-row reads, compaction,
+        the aggregate accessors) and the flush reconciles each holder's
+        actual liveness -- a holder that failed, wiped or departed between
+        the queue and the flush lands as a dead (and, where the copy is
+        gone for good, released) row, exactly as the listener path would
+        have recorded it.
+        """
+        if not holders:
+            self.register_whole_file(filename, size, stored_name, holders, salted, tenant)
+            return
+        key = (tenant, filename)
+        if key in self._file_index or key in self._pending_names:
+            raise ValueError(f"file already registered: {filename!r}")
+        copies = len(holders)
+        self._pending_names.add(key)
+        self._pending_whole.append((filename, size, stored_name, holders, salted, tenant))
+        self.active_files += 1
+        self.stored_data_bytes += size
+        self.live_bytes += size * copies
+        self.live_rows += copies
+        if self._multi_tenant:
+            self._tenant_active_files[tenant] += 1
+            self._tenant_stored_bytes[tenant] += size
+            self._tenant_live_bytes[tenant] += size * copies
+            self._tenant_live_rows[tenant] += copies
+
+    def flush_registrations(self) -> None:
+        """Materialise every buffered registration (idempotent)."""
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        if not self._pending_whole:
+            return
+        batch, self._pending_whole = self._pending_whole, []
+        self._pending_names.clear()
+        for filename, size, stored_name, holders, salted, tenant in batch:
+            self._register_whole_file_now(
+                filename, size, stored_name, holders, salted, tenant, counted=False
+            )
+
+    def _register_whole_file_now(
+        self,
+        filename: str,
+        size: int,
+        stored_name: str,
+        holders: Sequence["OverlayNode"],
+        salted: bool,
+        tenant: int,
+        counted: bool = True,
+    ) -> int:
+        """One whole-file replica group as bulk column writes (no scalar rows).
+
+        ``counted=False`` (the buffered-flush path) additionally reconciles
+        each holder's *current* liveness: a holder that failed keeps a dead
+        but revivable row; one whose copy is gone for good (wiped disk,
+        graceful departure) gets its row killed and released -- the states
+        the listener notifications would have produced had the registration
+        been materialised eagerly.
+        """
+        f = self._new_file_entry(filename, size, tenant, counted=counted)
         g = self.group_count
         self.group_count = g + 1
         self._group_copies = _grown(self._group_copies, g + 1)
         self._group_file = _grown(self._group_file, g + 1)
         self._group_copies[g] = len(holders)
         self._group_file[g] = f
-        for pos, node in enumerate(holders):
-            kind = KIND_REPLICA if pos else (KIND_SALTED if salted else KIND_PRIMARY)
-            self._append_row(node, stored_name, size, f, -1, -1, kind=kind, group_idx=g)
-        if not holders:
-            # Degenerate zero-copy store: the group is dead on arrival.
-            self._file_bad[f] = 1
-            self.unavailable_files += 1
+        b = len(holders)
+        if not b:
+            return f
+        slots = [self._slot_for(node) for node in holders]
+        row0 = self.row_count
+        row1 = row0 + b
+        self._grow_rows(row1)
+        self.names.extend([stored_name] * b)
+        self._owner[row0:row1] = slots
+        self._size[row0:row1] = size
+        self._file[row0:row1] = f
+        self._chunk[row0:row1] = -1
+        self._placement[row0:row1] = -1
+        self._alive[row0:row1] = True
+        self._kind[row0:row1] = KIND_REPLICA
+        self._kind[row0] = KIND_SALTED if salted else KIND_PRIMARY
+        self._group[row0:row1] = g
+        self._row_tenant[row0:row1] = tenant
+        slot_rows = self._slot_rows
+        for row, slot in zip(range(row0, row1), slots):
+            slot_rows[slot].append(row)
+        self._file_rows[f] = list(range(row0, row1))
+        self.row_count = row1
+        if counted:
+            self.live_bytes += size * b
+            self.live_rows += b
+            if self._multi_tenant:
+                self._tenant_live_bytes[tenant] += size * b
+                self._tenant_live_rows[tenant] += b
+        else:
+            network = self.network
+            for offset, node in enumerate(holders):
+                if node.alive and stored_name in node.stored_blocks and node.node_id in network:
+                    continue
+                row = np.asarray([row0 + offset], dtype=np.int64)
+                self._kill_rows(row)
+                if stored_name not in node.stored_blocks or node.node_id not in network:
+                    # The copy itself is gone (wipe/departure): never revives.
+                    self._released[row] = True
         return f
 
     def register_striped_file(
@@ -331,6 +578,7 @@ class BlockLedger:
         block_size: int,
         salted: Optional[Sequence[int]] = None,
         replicas: Optional[Sequence[Tuple[int, "OverlayNode"]]] = None,
+        tenant: int = 0,
     ) -> int:
         """Record a CFS-style striped store in bulk: one group per fixed block.
 
@@ -344,7 +592,7 @@ class BlockLedger:
         the columnar bookkeeping replaces the per-block tuple lists the seed
         path carries.  Returns the ledger file index.
         """
-        f = self._new_file_entry(filename, size)
+        f = self._new_file_entry(filename, size, tenant)
         b = len(names)
         g0 = self.group_count
         self.group_count = g0 + b
@@ -371,6 +619,7 @@ class BlockLedger:
         self._group[row0:row1] = np.arange(g0, g0 + b, dtype=np.int64)
         self._alive[row0:row1] = True
         self._kind[row0:row1] = KIND_PRIMARY
+        self._row_tenant[row0:row1] = tenant
         if salted:
             self._kind[[row0 + index for index in salted]] = KIND_SALTED
         slot_rows = self._slot_rows
@@ -378,28 +627,38 @@ class BlockLedger:
             slot_rows[slot].append(row)
         self.row_count = row1
         self.live_rows += b
+        if self._multi_tenant and b:
+            self._tenant_live_bytes[tenant] += int(self._size[row0:row1].sum())
+            self._tenant_live_rows[tenant] += b
         if replicas:
             for index, node in replicas:
                 block_bytes = int(self._size[row0 + index])
                 self._append_row(
                     node, names[index], block_bytes, f, -1, -1,
-                    kind=KIND_REPLICA, group_idx=g0 + index,
+                    kind=KIND_REPLICA, group_idx=g0 + index, tenant=tenant,
                 )
                 self._group_copies[g0 + index] += 1
         self._file_rows[f] = range(row0, self.row_count)
         return f
 
-    def remove_file(self, name: str) -> bool:
+    def remove_file(self, name: str, tenant: int = 0) -> bool:
         """Release every row of a deleted file and drop it from the accounting."""
-        f = self._file_index.pop(name, None)
+        if self._pending_whole:
+            self._flush_pending()
+        f = self._file_index.pop((tenant, name), None)
         if f is None:
             return False
         if self._file_active[f]:
             self._file_active[f] = False
             self.active_files -= 1
             self.stored_data_bytes -= int(self._file_size[f])
+            if self._multi_tenant:
+                self._tenant_active_files[tenant] -= 1
+                self._tenant_stored_bytes[tenant] -= int(self._file_size[f])
             if self._file_bad[f] > 0:
                 self.unavailable_files -= 1
+                if self._multi_tenant:
+                    self._tenant_unavailable[tenant] -= 1
         rows = np.asarray(self._file_rows[f], dtype=np.int64)
         if rows.size:
             self._kill_rows(rows[self._alive[rows]])
@@ -413,7 +672,15 @@ class BlockLedger:
         uf, inc = np.unique(files, return_counts=True)
         before_f = self._file_bad[uf]
         self._file_bad[uf] = before_f + inc
-        self.unavailable_files += int(((before_f == 0) & self._file_active[uf]).sum())
+        crossed = (before_f == 0) & self._file_active[uf]
+        self.unavailable_files += int(crossed.sum())
+        if self._multi_tenant and crossed.any():
+            # The aggregate arrays grow by amortized doubling, so slice to the
+            # live tenant count before adding the bincount.
+            count = len(self._tenant_names)
+            self._tenant_unavailable[:count] += np.bincount(
+                self._file_tenant[uf[crossed]], minlength=count
+            )
 
     def _mark_files_good(self, files: np.ndarray) -> None:
         """The inverse of :meth:`_mark_files_bad`."""
@@ -421,7 +688,26 @@ class BlockLedger:
         before_f = self._file_bad[uf]
         after_f = before_f - dec
         self._file_bad[uf] = after_f
-        self.unavailable_files -= int(((after_f == 0) & (before_f > 0) & self._file_active[uf]).sum())
+        crossed = (after_f == 0) & (before_f > 0) & self._file_active[uf]
+        self.unavailable_files -= int(crossed.sum())
+        if self._multi_tenant and crossed.any():
+            count = len(self._tenant_names)
+            self._tenant_unavailable[:count] -= np.bincount(
+                self._file_tenant[uf[crossed]], minlength=count
+            )
+
+    def _tenant_live_delta(self, rows: np.ndarray, sign: int) -> None:
+        """Apply a kill/revive batch to the per-tenant live aggregates.
+
+        The aggregate arrays grow by amortized doubling, so the bincounts are
+        added through a slice of the live tenant count.
+        """
+        tenants = self._row_tenant[rows]
+        count = len(self._tenant_names)
+        self._tenant_live_rows[:count] += sign * np.bincount(tenants, minlength=count)
+        self._tenant_live_bytes[:count] += sign * np.bincount(
+            tenants, weights=self._size[rows], minlength=count
+        ).astype(np.int64)
 
     def _kill_rows(self, rows: np.ndarray) -> None:
         """Mark currently-live rows dead and propagate the count transitions."""
@@ -430,6 +716,8 @@ class BlockLedger:
         self._alive[rows] = False
         self.live_bytes -= int(self._size[rows].sum())
         self.live_rows -= int(rows.size)
+        if self._multi_tenant:
+            self._tenant_live_delta(rows, -1)
         placements = self._placement[rows]
         placements = placements[placements >= 0]
         if placements.size:
@@ -469,6 +757,8 @@ class BlockLedger:
         self._alive[rows] = True
         self.live_bytes += int(self._size[rows].sum())
         self.live_rows += int(rows.size)
+        if self._multi_tenant:
+            self._tenant_live_delta(rows, 1)
         placements = self._placement[rows]
         placements = placements[placements >= 0]
         if placements.size:
@@ -514,6 +804,8 @@ class BlockLedger:
 
     # -- node state listener hooks (wired through OverlayNode/OverlayNetwork) ----
     def _note_failed(self, node: "OverlayNode") -> None:
+        if self._pending_whole:
+            self._flush_pending()
         slot = self._slots.get(int(node.node_id))
         if slot is None:
             return
@@ -521,6 +813,8 @@ class BlockLedger:
         self._kill_rows(rows[self._alive[rows]])
 
     def _note_recovered(self, node: "OverlayNode", wipe: bool, revived: bool) -> None:
+        if self._pending_whole:
+            self._flush_pending()
         slot = self._slots.get(int(node.node_id))
         if slot is None:
             return
@@ -534,6 +828,8 @@ class BlockLedger:
 
     def _note_departed(self, node: "OverlayNode") -> None:
         """A graceful leave takes the copies out of the system permanently."""
+        if self._pending_whole:
+            self._flush_pending()
         slot = self._slots.get(int(node.node_id))
         if slot is None:
             return
@@ -549,6 +845,8 @@ class BlockLedger:
         superseded primaries) are excluded, exactly matching the names the
         seed's dict walk would still find.
         """
+        if self._pending_whole:
+            self._flush_pending()
         slot = self._slots.get(int(node.node_id))
         if slot is None:
             return []
@@ -581,6 +879,10 @@ class BlockLedger:
             int(self._size[row]),
         )
 
+    def row_group(self, row: int) -> int:
+        """The row's baseline replica-group index (-1 for chunk/meta rows)."""
+        return int(self._group[row])
+
     def chunk_object(self, chunk_idx: int) -> "StoredChunk":
         return self._chunk_objs[chunk_idx]
 
@@ -595,6 +897,23 @@ class BlockLedger:
     def placement_for(self, chunk_idx: int, position: int) -> int:
         """The ledger placement index for position ``position`` of a chunk."""
         return self._chunk_placements[chunk_idx][position]
+
+    def chunk_placement_indexes(self, chunk_idx: int) -> Sequence[int]:
+        """The ledger placement indexes of a chunk, in placement order."""
+        return self._chunk_placements[chunk_idx]
+
+    def live_copy_owner(self, placement_idx: int) -> Optional["OverlayNode"]:
+        """A node holding a live copy of the placement (None if all are dead).
+
+        Used by the bandwidth-aware repair executor to pick the surviving
+        blocks a regeneration reads from; the first live row in registration
+        order keeps the choice deterministic.
+        """
+        alive = self._alive
+        for row in self._placement_rows[placement_idx]:
+            if alive[row]:
+                return self._slot_nodes[self._owner[row]]
+        return None
 
     def file_name(self, file_idx: int) -> str:
         return self._file_names[file_idx]
@@ -653,10 +972,17 @@ class BlockLedger:
         size: int,
         digest: Optional[bytes],
     ) -> int:
-        """Append a live copy to a placement, propagating threshold crossings."""
+        """Append a live copy to a placement, propagating threshold crossings.
+
+        The fresh copy inherits the file's tenant, so regenerated blocks on a
+        multi-tenant ledger stay visible to their tenant's repair pipeline.
+        """
         chunk_idx = int(self._placement_chunk[placement_idx])
         file_idx = int(self._chunk_file[chunk_idx])
-        row = self._append_row(node, name, size, file_idx, chunk_idx, placement_idx, digest)
+        row = self._append_row(
+            node, name, size, file_idx, chunk_idx, placement_idx, digest,
+            tenant=int(self._file_tenant[file_idx]) if file_idx >= 0 else 0,
+        )
         self._placement_rows[placement_idx].append(row)
         copies = self._placement_copies
         copies[placement_idx] += 1
@@ -664,14 +990,14 @@ class BlockLedger:
             alive = self._chunk_alive
             alive[chunk_idx] += 1
             if alive[chunk_idx] == self._chunk_required[chunk_idx] and file_idx >= 0:
-                bad = self._file_bad
-                bad[file_idx] -= 1
-                if bad[file_idx] == 0 and self._file_active[file_idx]:
-                    self.unavailable_files -= 1
+                # Route the crossing through the shared transition helper so
+                # the per-tenant unavailable counters move with the global one.
+                self._mark_files_good(np.asarray([file_idx], dtype=np.int64))
         return row
 
     def restore_meta_copy(
-        self, node: "OverlayNode", name: str, size: int, digest: Optional[bytes] = None
+        self, node: "OverlayNode", name: str, size: int, digest: Optional[bytes] = None,
+        tenant: int = 0,
     ) -> int:
         """Record a re-created CAT/metadata copy.
 
@@ -679,15 +1005,53 @@ class BlockLedger:
         not add restored copies to ``cat_placements`` either -- deleting the
         file later leaves them behind in both representations.
         """
-        return self._append_row(node, name, size, -1, -1, -1, digest)
+        return self._append_row(node, name, size, -1, -1, -1, digest, tenant=tenant)
+
+    def migrate_group_row(self, row: int, new_node: "OverlayNode") -> int:
+        """Re-point one baseline replica-group copy at a migrated duplicate.
+
+        The graceful-departure counterpart of :meth:`replace_primary` for
+        PAST/CFS rows: the departing holder's copy leaves the group
+        (released), and the copy written to ``new_node`` joins it, keeping
+        the group's live-copy counter -- and therefore ``is_file_available``
+        -- exact through the move.
+        """
+        group = int(self._group[row])
+        file_idx = int(self._file[row])
+        name = self.names[row]
+        size = int(self._size[row])
+        kind = int(self._kind[row])
+        tenant = int(self._row_tenant[row])
+        digest = bytes(self._digest[row]) if self._digest_known[row] else None
+        if not self._released[row]:
+            if self._alive[row]:
+                self._kill_rows(np.asarray([row], dtype=np.int64))
+            self._released[row] = True
+        rows_of_file = self._file_rows[file_idx]
+        if not isinstance(rows_of_file, list):
+            # CFS registrations store a compact range; appending converts it.
+            self._file_rows[file_idx] = list(rows_of_file)
+        new_row = self._append_row(
+            new_node, name, size, file_idx, -1, -1, digest, kind=kind, group_idx=group,
+            tenant=tenant,
+        )
+        before = int(self._group_copies[group])
+        self._group_copies[group] = before + 1
+        if before == 0:
+            self._mark_files_good(np.asarray([self._group_file[group]], dtype=np.int64))
+        return new_row
 
     # --------------------------------------------------------- baseline access --
-    def file_index(self, name: str) -> Optional[int]:
+    def file_index(self, name: str, tenant: int = 0) -> Optional[int]:
         """The ledger file index of ``name``, or None when never registered."""
-        return self._file_index.get(name)
+        if self._pending_names and (tenant, name) in self._pending_names:
+            self._flush_pending()
+        return self._file_index.get((tenant, name))
 
     def file_rows(self, file_idx: int) -> Sequence[int]:
         """Row ids referenced by a file, in registration order (incl. released)."""
+        if self._pending_whole:
+            self._flush_pending()
         return self._file_rows[file_idx]
 
     def row_owner(self, row: int) -> "OverlayNode":
@@ -744,6 +1108,8 @@ class BlockLedger:
         Returns ``{rows_before, rows_released, rows_after}`` (``rows_released``
         counts the rows actually dropped).
         """
+        if self._pending_whole:
+            self._flush_pending()
         n = self.row_count
         released = self._released[:n]
         keep = ~released
@@ -765,7 +1131,7 @@ class BlockLedger:
         capacity = max(_INITIAL, int(kept.size))
         for attr in (
             "_digest", "_digest_known", "_owner", "_size", "_file", "_chunk",
-            "_placement", "_alive", "_released", "_kind", "_group",
+            "_placement", "_alive", "_released", "_kind", "_group", "_row_tenant",
         ):
             old = getattr(self, attr)
             new = np.zeros(capacity, dtype=old.dtype)
@@ -794,13 +1160,15 @@ class BlockLedger:
 
     def memory_footprint(self) -> Dict[str, int]:
         """Ledger sizing counters (sampled by the churn-soak experiment)."""
+        if self._pending_whole:
+            self._flush_pending()
         columns = (
             self._digest, self._digest_known, self._owner, self._size, self._file,
             self._chunk, self._placement, self._alive, self._released, self._kind,
-            self._group, self._group_copies, self._group_file, self._placement_chunk,
-            self._placement_pos, self._placement_copies, self._chunk_required,
-            self._chunk_alive, self._chunk_file, self._file_size, self._file_bad,
-            self._file_active,
+            self._group, self._row_tenant, self._group_copies, self._group_file,
+            self._placement_chunk, self._placement_pos, self._placement_copies,
+            self._chunk_required, self._chunk_alive, self._chunk_file,
+            self._file_size, self._file_bad, self._file_active, self._file_tenant,
         )
         return {
             "row_count": self.row_count,
@@ -814,8 +1182,110 @@ class BlockLedger:
     @property
     def unavailable_count(self) -> int:
         """Active files with at least one undecodable chunk (Figure 10), O(1)."""
+        if self._pending_whole:
+            self._flush_pending()  # buffered holders may have churned unseen
         return self.unavailable_files
 
     def file_available(self, file_idx: int) -> bool:
         """Whether every chunk of an active file is still decodable, O(1)."""
         return bool(self._file_active[file_idx]) and int(self._file_bad[file_idx]) == 0
+
+    def tenant_aggregates(self, tenant: int) -> Dict[str, int]:
+        """O(1) per-tenant counters (globals when only the default tenant exists)."""
+        if self._pending_whole:
+            self._flush_pending()  # buffered holders may have churned unseen
+        if not self._multi_tenant:
+            return {
+                "active_files": self.active_files,
+                "unavailable_files": self.unavailable_files,
+                "stored_data_bytes": self.stored_data_bytes,
+                "live_bytes": self.live_bytes,
+                "live_rows": self.live_rows,
+            }
+        return {
+            "active_files": int(self._tenant_active_files[tenant]),
+            "unavailable_files": int(self._tenant_unavailable[tenant]),
+            "stored_data_bytes": int(self._tenant_stored_bytes[tenant]),
+            "live_bytes": int(self._tenant_live_bytes[tenant]),
+            "live_rows": int(self._tenant_live_rows[tenant]),
+        }
+
+
+class TenantLedgerView:
+    """A tenant-scoped facade over a (potentially shared) :class:`BlockLedger`.
+
+    Stores register and delete through the view, which tags every file and
+    row with the tenant id and scopes the file namespace, while every other
+    operation -- liveness listeners, repair row reads, compaction -- passes
+    straight through to the shared base ledger (mixed PAST/CFS/ours
+    populations share one failure mask and one compaction pass).  Aggregate
+    properties read the per-tenant O(1) counters.
+    """
+
+    __slots__ = ("base", "tenant_name", "tenant_id")
+
+    def __init__(self, base: BlockLedger, name: str, tenant_id: int) -> None:
+        self.base = base
+        self.tenant_name = name
+        self.tenant_id = tenant_id
+
+    # -- tenant-scoped registration -------------------------------------------
+    def register_file(self, stored: "StoredFile", required_blocks: int) -> None:
+        return self.base.register_file(stored, required_blocks, tenant=self.tenant_id)
+
+    def register_whole_file(
+        self, filename, size, stored_name, holders, salted: bool = False
+    ) -> int:
+        return self.base.register_whole_file(
+            filename, size, stored_name, holders, salted, tenant=self.tenant_id
+        )
+
+    def queue_whole_file(
+        self, filename, size, stored_name, holders, salted: bool = False
+    ) -> None:
+        return self.base.queue_whole_file(
+            filename, size, stored_name, holders, salted, tenant=self.tenant_id
+        )
+
+    def register_striped_file(
+        self, filename, size, names, holders, block_size, salted=None, replicas=None
+    ) -> int:
+        return self.base.register_striped_file(
+            filename, size, names, holders, block_size, salted=salted, replicas=replicas,
+            tenant=self.tenant_id,
+        )
+
+    def remove_file(self, name: str) -> bool:
+        return self.base.remove_file(name, tenant=self.tenant_id)
+
+    def file_index(self, name: str) -> Optional[int]:
+        return self.base.file_index(name, tenant=self.tenant_id)
+
+    def restore_meta_copy(self, node, name, size, digest=None) -> int:
+        return self.base.restore_meta_copy(node, name, size, digest, tenant=self.tenant_id)
+
+    # -- tenant-scoped aggregates ----------------------------------------------
+    @property
+    def unavailable_count(self) -> int:
+        """Unavailable active files of this tenant, O(1)."""
+        return self.base.tenant_aggregates(self.tenant_id)["unavailable_files"]
+
+    @property
+    def active_files(self) -> int:
+        return self.base.tenant_aggregates(self.tenant_id)["active_files"]
+
+    @property
+    def stored_data_bytes(self) -> int:
+        return self.base.tenant_aggregates(self.tenant_id)["stored_data_bytes"]
+
+    @property
+    def live_bytes(self) -> int:
+        return self.base.tenant_aggregates(self.tenant_id)["live_bytes"]
+
+    @property
+    def live_rows(self) -> int:
+        return self.base.tenant_aggregates(self.tenant_id)["live_rows"]
+
+    # -- passthrough -----------------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self.base, name)

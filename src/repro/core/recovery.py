@@ -1,4 +1,4 @@
-"""Failure handling and block regeneration (Section 4.4 of the paper).
+"""Failure handling, block regeneration and graceful migration (Section 4.4).
 
 When a participant fails, the identifier-space region it owned is split
 between its immediate neighbours; those neighbours become responsible for the
@@ -16,26 +16,60 @@ here:
 * CAT objects are re-replicated, and a lost CAT can be rebuilt by probing
   chunk names one past the zero-chunk limit (Section 4.4).
 
-The manager exposes per-failure accounting (bytes regenerated, bytes lost)
-which is exactly what Table 3 of the paper reports.
+The recovery subsystem is split into two collaborating halves:
+
+* :class:`RepairPlanner` *selects* the repair work: which block copies died
+  with the node (one read of the columnar ledger's per-owner row index on the
+  vectorized path, the seed per-node dict walk otherwise), which of them can
+  be regenerated vs. are lost, which must be copied out ahead of a graceful
+  departure, and which surviving nodes the regeneration reads come from;
+* :class:`RepairExecutor` *applies* each selected step: it places the
+  replacement copy (DHT lookup plus the rateless relocation walk), re-points
+  the placement bookkeeping, mirrors the ledger, and -- when a
+  :class:`~repro.core.transfer.TransferScheduler` is attached -- charges the
+  bytes that step moves to the fair-share bandwidth model so repairs take
+  simulated *time*.
+
+Planning and execution stay interleaved (the planner classifies one lost copy
+at a time and the executor applies it before the next classification) because
+placement decisions consume capacity that later decisions must observe --
+exactly the seed ordering.  With no scheduler attached (``transfers=None``,
+the default) the executor applies every step instantaneously and the whole
+pipeline is bit-identical to the seed implementation; the oracle is
+``tests/test_churn_equivalence.py``.
+
+Graceful departures (:meth:`RecoveryManager.handle_leave`) are first-class:
+the departing node's blocks are *copied out* to the nodes now responsible for
+them before it leaves -- CFS and PAST both define this migration as
+first-class, and their whole-file/stripe replica rows on a shared multi-tenant
+ledger migrate through the same pipeline -- instead of being regenerated from
+surviving redundancy afterwards.  Migration moves each block once (``B``
+bytes) where regeneration reads ``required`` surviving blocks per lost block
+(``required x B`` bytes), which is the traffic gap the
+``repro.cli repair`` ablation measures.
+
+The manager exposes per-failure accounting (bytes regenerated, bytes lost,
+bytes migrated, repair completion times) which is exactly what Table 3 of the
+paper and the bandwidth-aware repair experiment report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import naming
 from repro.core.block_ledger import BlockLedger
 from repro.core.cat import ChunkAllocationTable
 from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk, StoredFile
+from repro.core.transfer import TransferScheduler
 from repro.overlay.ids import NodeId
 from repro.overlay.node import OverlayNode
 
 
 @dataclass
 class FailureImpact:
-    """Accounting for one node failure (one row contribution to Table 3)."""
+    """Accounting for one node failure or departure (one Table 3 row share)."""
 
     failed_node: NodeId
     blocks_lost: int = 0
@@ -48,168 +82,198 @@ class FailureImpact:
     chunks_lost: int = 0
     files_damaged: int = 0
     cat_copies_restored: int = 0
+    #: Bytes copied out ahead of a graceful departure (handle_leave only).
+    bytes_migrated: int = 0
+    #: Bytes charged to the transfer scheduler for this repair (reads of the
+    #: surviving blocks plus migrated copies); 0 in instantaneous mode.
+    repair_traffic_bytes: int = 0
+    #: Simulated start/finish of the repair's transfers (None when
+    #: instantaneous or when nothing had to move).
+    repair_started_at: Optional[float] = None
+    repair_finished_at: Optional[float] = None
+
+    @property
+    def time_to_repair(self) -> Optional[float]:
+        """Simulated time from failure to the last repair transfer completing."""
+        if self.repair_started_at is None or self.repair_finished_at is None:
+            return None
+        return self.repair_finished_at - self.repair_started_at
 
 
-class RecoveryManager:
-    """Drives block regeneration after node failures."""
+class RepairPlanner:
+    """Selects repair/migration work from the ledger rows (or the seed walk).
 
-    def __init__(
-        self,
-        storage: StorageSystem,
-        relocate_when_full: bool = True,
-    ) -> None:
+    The planner owns the *decisions* -- which copies are examined in which
+    order, regenerate vs. lost vs. copy-out, and which surviving nodes a
+    regeneration reads from -- but never mutates placement state; every
+    decision is handed to the executor before the next one is taken, because
+    executing a step consumes target capacity that later decisions observe.
+    """
+
+    def __init__(self, storage: StorageSystem) -> None:
         self.storage = storage
         self.dht = storage.dht
-        #: The paper adopts "drop and create another one at a different
-        #: location" when the neighbour lacks capacity; set False to model the
-        #: alternative (skip regeneration entirely).
-        self.relocate_when_full = relocate_when_full
-        self.impacts: List[FailureImpact] = []
+        #: Tenant whose chunk rows this planner repairs (0 for a private
+        #: ledger; shared multi-tenant ledgers tag rows per tenant).
+        self.tenant_id = getattr(storage.ledger, "tenant_id", 0)
 
-    # ------------------------------------------------------------------ failure --
-    def handle_failure(self, node_id: NodeId) -> FailureImpact:
-        """Fail ``node_id`` and regenerate what can be regenerated.
+    # -------------------------------------------------------- classification --
+    def classify_row(self, row: int, name: str, ledger: BlockLedger):
+        """Classify one ledger row of a failed node into a repair step.
 
-        The node is marked failed in the overlay, removed from the DHT view,
-        and every block it stored is examined: blocks whose chunk is still
-        decodable are re-created on the node now responsible for their name
-        (or elsewhere if that node is full); chunks that are no longer
-        decodable are counted as lost data.
+        Returns one of::
 
-        When the storage system runs on the columnar block ledger (the
-        ``vectorized=True`` default), the lost blocks come from one mask over
-        the ledger's owner column and every decodability check is an O(1)
-        counter read; the seed path walks the per-node dict and the chunk
-        placements.  Both produce identical impacts, placements and Table 3
-        rows (``tests/test_churn_equivalence.py``).
+            ("skip",)                      -- another tenant's row, or a
+                                              baseline replica-group row (the
+                                              baselines have no regeneration)
+            ("meta", name, size, key, digest)
+            ("lost", chunk, file_name)     -- chunk below decode threshold
+            ("regenerate", chunk, position, name, size, key, digest)
         """
-        ledger = self.storage.ledger
-        if ledger is not None:
-            return self._handle_failure_ledger(node_id, ledger)
-        return self._handle_failure_scalar(node_id)
-
-    def _handle_failure_scalar(self, node_id: NodeId) -> FailureImpact:
-        """The preserved seed failure path: per-node dict walk end to end."""
-        node = self.dht.network.node(node_id)
-        lost_blocks = dict(node.stored_blocks)
-        impact = FailureImpact(failed_node=node_id)
-        impact.blocks_lost = len(lost_blocks)
-        impact.bytes_on_failed_node = sum(lost_blocks.values())
-
-        if node.alive:
-            self.dht.network.fail(node_id)
-        self.dht.remove(node_id)
-
-        damaged_files: set[str] = set()
-        for block_name, size in lost_blocks.items():
-            self._recover_block(block_name, size, node_id, impact, damaged_files)
-        impact.files_damaged = len(damaged_files)
-        self.impacts.append(impact)
-        return impact
-
-    def _handle_failure_ledger(self, node_id: NodeId, ledger: BlockLedger) -> FailureImpact:
-        """Ledger-driven failure: columnar block selection, O(1) decodability."""
-        node = self.dht.network.node(node_id)
-        lost_blocks = dict(node.stored_blocks)
-        impact = FailureImpact(failed_node=node_id)
-        impact.blocks_lost = len(lost_blocks)
-        impact.bytes_on_failed_node = sum(lost_blocks.values())
-
-        rows = ledger.recovery_rows(node)
-        if node.alive:
-            self.dht.network.fail(node_id)  # the ledger is notified via its listener
-        self.dht.remove(node_id)  # incremental boundary patch, not an O(N) rebuild
-        ledger.ensure_digests(rows)
-
-        damaged_files: set[str] = set()
-        ledger_names = set()
-        for row in rows:
-            name = ledger.row_name(row)
-            ledger_names.add(name)
-            self._recover_row(row, name, ledger, node_id, impact, damaged_files)
-        # Blocks present in the node's dict but not in the ledger (out-of-band
-        # stores, copies a repair re-pointed away from) fall back to the seed
-        # per-block logic so both paths examine exactly the same names.
-        missing = lost_blocks.keys() - ledger_names
-        if missing:
-            for name, size in lost_blocks.items():
-                if name in missing:
-                    self._recover_block(name, size, node_id, impact, damaged_files)
-        impact.files_damaged = len(damaged_files)
-        self.impacts.append(impact)
-        return impact
-
-    def _recover_row(
-        self,
-        row: int,
-        name: str,
-        ledger: BlockLedger,
-        failed_node: NodeId,
-        impact: FailureImpact,
-        damaged_files: set,
-    ) -> None:
-        """Ledger-path counterpart of :meth:`_recover_block` for one lost copy."""
+        if ledger.row_group(row) >= 0 or ledger.row_tenant(row) != self.tenant_id:
+            return ("skip",)
         file_idx, chunk_idx, placement_idx, size = ledger.row_fields(row)
         key = ledger.row_key(row)
+        digest = ledger.row_digest(row)
         if placement_idx < 0:
-            # CAT/metadata copy: restore one on the node now responsible.
-            self._restore_object_copy(name, size, impact, key=key, digest=ledger.row_digest(row))
-            return
+            return ("meta", name, size, key, digest)
         chunk = ledger.chunk_object(chunk_idx)
         if not ledger.chunk_recoverable(chunk_idx):
-            damaged_files.add(ledger.file_name(file_idx))
-            if not getattr(chunk, "_counted_lost", False):
-                impact.data_bytes_lost += chunk.size
-                impact.chunks_lost += 1
-                setattr(chunk, "_counted_lost", True)
-            return
-        self._apply_regeneration(
+            return ("lost", chunk, ledger.file_name(file_idx))
+        return (
+            "regenerate",
             chunk,
             ledger.placement_position(placement_idx),
             name,
             size,
-            failed_node,
-            impact,
-            key=key,
-            digest=ledger.row_digest(row),
+            key,
+            digest,
         )
 
-    def _recover_block(
-        self,
-        block_name: str,
-        size: int,
-        failed_node: NodeId,
-        impact: FailureImpact,
-        damaged_files: set,
-    ) -> None:
+    def classify_block(self, block_name: str, size: int):
+        """Seed-path counterpart of :meth:`classify_row` for one lost copy."""
         parsed = naming.parse_block_name(block_name)
         if parsed is None:
-            # Not an encoded block: CAT object or replica.  Restore a copy on
-            # the node now responsible for the name.
-            self._restore_object_copy(block_name, size, impact)
-            return
+            # Not an encoded block: CAT object or replica.
+            return ("meta", block_name, size, None, None)
         stored = self.storage.files.get(parsed.filename)
         if stored is None:
-            return
+            return ("skip",)
         chunk = self._find_chunk(stored, parsed.chunk_no)
         if chunk is None:
-            return
+            return ("skip",)
         placement_index = self._find_placement(chunk, block_name)
         if placement_index is None:
-            return
-
+            return ("skip",)
         if not self.storage.chunk_is_recoverable(chunk):
-            # Too many blocks of this chunk are gone; data is lost.
-            damaged_files.add(parsed.filename)
-            already_counted = getattr(chunk, "_counted_lost", False)
-            if not already_counted:
-                impact.data_bytes_lost += chunk.size
-                impact.chunks_lost += 1
-                setattr(chunk, "_counted_lost", True)
-            return
-        self._apply_regeneration(chunk, placement_index, block_name, size, failed_node, impact)
+            return ("lost", chunk, parsed.filename)
+        return ("regenerate", chunk, placement_index, block_name, size, None, None)
 
-    def _apply_regeneration(
+    # ---------------------------------------------------------- read sources --
+    def regeneration_sources(self, chunk: StoredChunk, skip_position: int) -> List[OverlayNode]:
+        """Live nodes a regeneration reads its ``required`` input blocks from.
+
+        One surviving copy per placement (the decoder needs ``required``
+        distinct blocks of the chunk), skipping the placement being repaired.
+        Only consulted when a transfer scheduler is charging repair traffic.
+        """
+        required = self.storage.codec.spec().required_blocks()
+        sources: List[OverlayNode] = []
+        ledger = self.storage.ledger
+        if ledger is not None and chunk.ledger_index is not None:
+            for position, placement_idx in enumerate(
+                ledger.chunk_placement_indexes(chunk.ledger_index)
+            ):
+                if position == skip_position:
+                    continue
+                owner = ledger.live_copy_owner(placement_idx)
+                if owner is not None:
+                    sources.append(owner)
+                    if len(sources) >= required:
+                        break
+            return sources
+        network = self.dht.network
+        for position, placement in enumerate(chunk.placements):
+            if position == skip_position:
+                continue
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                if node_id in network and network.node(node_id).has_block(placement.block_name):
+                    sources.append(network.node(node_id))
+                    break
+            if len(sources) >= required:
+                break
+        return sources
+
+    @staticmethod
+    def _find_chunk(stored: StoredFile, chunk_no: int) -> Optional[StoredChunk]:
+        for chunk in stored.chunks:
+            if chunk.chunk_no == chunk_no:
+                return chunk
+        return None
+
+    @staticmethod
+    def _find_placement(chunk: StoredChunk, block_name: str) -> Optional[int]:
+        for index, placement in enumerate(chunk.placements):
+            if placement.block_name == block_name:
+                return index
+        return None
+
+
+class RepairExecutor:
+    """Applies repair/migration steps: placement, bookkeeping, bandwidth.
+
+    With ``transfers=None`` every step applies instantaneously and the
+    behaviour is the preserved seed pipeline.  With a scheduler attached, the
+    logical state change still applies immediately (placements are exact at
+    all times) while the bytes the step moves are charged to the fair-share
+    bandwidth model; the repair is *complete* -- for time-to-repair purposes
+    -- when its last transfer drains.
+    """
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        relocate_when_full: bool,
+        transfers: Optional[TransferScheduler],
+    ) -> None:
+        self.storage = storage
+        self.dht = storage.dht
+        self.relocate_when_full = relocate_when_full
+        self.transfers = transfers
+        #: Transfer specs staged for the failure currently being processed.
+        self._staged: List[Tuple[float, Optional[int], Optional[int]]] = []
+
+    # -------------------------------------------------------------- staging --
+    def begin(self, impact: FailureImpact) -> None:
+        """Start charging a new failure's repair traffic."""
+        self._staged = []
+        if self.transfers is not None:
+            impact.repair_started_at = self.transfers.sim.now
+
+    def finish(self, impact: FailureImpact) -> None:
+        """Submit the staged transfers and wire the completion accounting."""
+        if self.transfers is None or not self._staged:
+            self._staged = []
+            return
+        pending = len(self._staged)
+
+        def on_complete(_transfer, impact=impact) -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                impact.repair_finished_at = self.transfers.sim.now
+
+        specs = [(size, src, dst, on_complete) for size, src, dst in self._staged]
+        impact.repair_traffic_bytes += int(sum(size for size, _, _ in self._staged))
+        self._staged = []
+        self.transfers.submit_many(specs)
+
+    def _stage(self, size: float, src: Optional[int], dst: Optional[int]) -> None:
+        if self.transfers is not None:
+            self._staged.append((size, src, dst))
+
+    # ------------------------------------------------------------ regenerate --
+    def apply_regeneration(
         self,
         chunk: StoredChunk,
         placement_index: int,
@@ -219,15 +283,21 @@ class RecoveryManager:
         impact: FailureImpact,
         key: Optional[int] = None,
         digest: Optional[bytes] = None,
+        planner: Optional[RepairPlanner] = None,
     ) -> None:
         """Re-create one lost block and re-point its placement (both paths).
 
         Regenerating the block requires reading the surviving blocks of the
-        chunk (cost charged by the Table 3 experiment as "data regenerated").
-        When the chunk is ledger-registered the placement re-point is mirrored
-        into the columnar bookkeeping.
+        chunk (cost charged by the Table 3 experiment as "data regenerated",
+        and by the transfer scheduler as ``required`` reads of ``size`` bytes
+        each).  When the chunk is ledger-registered the placement re-point is
+        mirrored into the columnar bookkeeping.
         """
-        new_holder = self._place_regenerated_block(block_name, size, exclude=failed_node, key=key)
+        sources: List[OverlayNode] = []
+        if self.transfers is not None and planner is not None:
+            # Collected before the re-point so the fresh copy is never a source.
+            sources = planner.regeneration_sources(chunk, placement_index)
+        new_holder = self.place_block(block_name, size, exclude=failed_node, key=key)
         if new_holder is None:
             impact.bytes_dropped += size
             return
@@ -239,6 +309,8 @@ class RecoveryManager:
             replica_nodes=old_placement.replica_nodes,
         )
         impact.bytes_regenerated += size
+        for source in sources:
+            self._stage(size, int(source.node_id), int(new_holder.node_id))
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
             if digest is None:
@@ -277,7 +349,7 @@ class RecoveryManager:
         Returns ``None`` for non-rateless codes (their repair re-places the
         original payload).  For the online code, the surviving blocks are
         decoded and ``generate_additional_blocks`` continues the check-block
-        stream — the cached code-structure layer means this reuses the graph
+        stream -- the cached code-structure layer means this reuses the graph
         the encoder built rather than re-deriving it.
         """
         code = self.storage.codec.code
@@ -295,10 +367,10 @@ class RecoveryManager:
         encoded.metadata["output_blocks"] = block.index + 1
         return block
 
-    def _place_regenerated_block(
+    def place_block(
         self, block_name: str, size: int, exclude: NodeId, key: Optional[int] = None
     ) -> Optional[OverlayNode]:
-        """Find a live node to hold the regenerated block.
+        """Find a live node to hold a regenerated or migrated block.
 
         ``key`` lets the ledger path reuse the stored digest instead of
         re-hashing the name; the lookup itself (and its accounting) is the
@@ -317,7 +389,8 @@ class RecoveryManager:
                 return candidate
         return None
 
-    def _restore_object_copy(
+    # ------------------------------------------------------------------ meta --
+    def restore_object_copy(
         self,
         name: str,
         size: int,
@@ -332,22 +405,386 @@ class RecoveryManager:
         if target.store_block(name, size):
             impact.cat_copies_restored += 1
             impact.bytes_regenerated += size
+            # The source copy (a surviving CAT replica) is not tracked per
+            # name; charge the restore to the receiver's downlink only.
+            self._stage(size, None, int(target.node_id))
             if digest is not None and self.storage.ledger is not None:
                 self.storage.ledger.restore_meta_copy(target, name, size, digest)
 
-    @staticmethod
-    def _find_chunk(stored: StoredFile, chunk_no: int) -> Optional[StoredChunk]:
-        for chunk in stored.chunks:
-            if chunk.chunk_no == chunk_no:
-                return chunk
-        return None
+    # ------------------------------------------------------------- migration --
+    def migrate_block(
+        self,
+        chunk: StoredChunk,
+        placement_index: int,
+        block_name: str,
+        size: int,
+        leaving: OverlayNode,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+    ) -> None:
+        """Copy one encoded block off a departing node before it leaves.
 
-    @staticmethod
-    def _find_placement(chunk: StoredChunk, block_name: str) -> Optional[int]:
-        for index, placement in enumerate(chunk.placements):
-            if placement.block_name == block_name:
-                return index
-        return None
+        Unlike regeneration, migration moves the existing bytes once
+        (``size`` bytes over the departing node's uplink) -- no surviving
+        blocks are read and no fresh check block is minted.  The placement is
+        re-pointed at the node now responsible for the name, exactly where the
+        regeneration path would have re-created it.
+        """
+        new_holder = self.place_block(block_name, size, exclude=leaving.node_id, key=key)
+        if new_holder is None:
+            impact.bytes_dropped += size
+            return
+        old_placement = chunk.placements[placement_index]
+        chunk.placements[placement_index] = BlockPlacement(
+            block_name=block_name,
+            node_id=new_holder.node_id,
+            size=size,
+            replica_nodes=old_placement.replica_nodes,
+        )
+        impact.bytes_migrated += size
+        self._stage(size, int(leaving.node_id), int(new_holder.node_id))
+        ledger = self.storage.ledger
+        if ledger is not None and chunk.ledger_index is not None:
+            if digest is None:
+                digest = naming.key_digest(block_name)
+            ledger.replace_primary(
+                ledger.placement_for(chunk.ledger_index, placement_index),
+                int(old_placement.node_id),
+                new_holder,
+                block_name,
+                size,
+                digest,
+            )
+        if self.storage.payload_mode:
+            payload_key = (int(leaving.node_id), block_name)
+            payload = self.storage._block_payloads.pop(payload_key, None)
+            if payload is not None:
+                self.storage._block_payloads[(int(new_holder.node_id), block_name)] = payload
+        leaving.remove_block(block_name)
+
+    def migrate_meta(
+        self,
+        name: str,
+        size: int,
+        leaving: OverlayNode,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+        tenant: Optional[int] = None,
+    ) -> None:
+        """Copy a CAT/metadata object off a departing node.
+
+        Mirrors :meth:`restore_object_copy`'s placement rule (single lookup,
+        skip if the responsible node already holds a replica, no relocation
+        walk) so migration and post-failure restoration land copies on the
+        same nodes.  ``tenant`` tags the restored row explicitly (a shared
+        multi-tenant ledger migrates every tenant's copies through one
+        executor); ``None`` uses the executor's own store tenant.
+        """
+        target = self.dht.lookup(key if key is not None else naming.key_for_name(name))
+        if not target.has_block(name) and target.store_block(name, size):
+            impact.cat_copies_restored += 1
+            impact.bytes_migrated += size
+            self._stage(size, int(leaving.node_id), int(target.node_id))
+            ledger = self.storage.ledger
+            if digest is not None and ledger is not None:
+                if tenant is None:
+                    ledger.restore_meta_copy(target, name, size, digest)
+                else:
+                    base = getattr(ledger, "base", ledger)
+                    base.restore_meta_copy(target, name, size, digest, tenant=tenant)
+        if self.storage.payload_mode:
+            payload = self.storage._block_payloads.pop((int(leaving.node_id), name), None)
+            if payload is not None and target.has_block(name):
+                self.storage._block_payloads.setdefault((int(target.node_id), name), payload)
+        leaving.remove_block(name)
+
+    def migrate_group_row(
+        self,
+        row: int,
+        name: str,
+        size: int,
+        leaving: OverlayNode,
+        impact: FailureImpact,
+        ledger: BlockLedger,
+    ) -> None:
+        """Copy one baseline (PAST/CFS) replica-group row off a departing node.
+
+        The copy goes to the node now responsible for the stored name -- the
+        root PAST/CFS would re-insert it at -- falling back to the root's
+        identifier-space neighbours when the root cannot take it (it is full,
+        or it already holds a fellow replica of the same group, which is the
+        common case for PAST's leaf-set replicas); that is the same
+        neighbourhood the baselines place their replicas on.  Only when no
+        nearby node accepts is the copy dropped with the departure.
+        """
+        key = ledger.row_key(row)
+        target = self.dht.lookup(key)
+        placed: Optional[OverlayNode] = None
+        if target.node_id != leaving.node_id and target.store_block(name, size):
+            placed = target
+        else:
+            for candidate in self.dht.neighbors(target.node_id, 8):
+                if candidate.node_id == leaving.node_id:
+                    continue
+                if candidate.store_block(name, size):
+                    placed = candidate
+                    break
+        if placed is not None:
+            impact.bytes_migrated += size
+            self._stage(size, int(leaving.node_id), int(placed.node_id))
+            ledger.migrate_group_row(row, placed)
+        else:
+            impact.bytes_dropped += size
+        leaving.remove_block(name)
+
+
+class RecoveryManager:
+    """Drives block regeneration after failures and migration before leaves."""
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        relocate_when_full: bool = True,
+        transfers: Optional[TransferScheduler] = None,
+    ) -> None:
+        self.storage = storage
+        self.dht = storage.dht
+        #: Fair-share bandwidth model; ``None`` (the default) keeps every
+        #: repair instantaneous -- the preserved seed behaviour.
+        self.transfers = transfers
+        self.planner = RepairPlanner(storage)
+        self.executor = RepairExecutor(storage, relocate_when_full, transfers)
+        self.impacts: List[FailureImpact] = []
+
+    @property
+    def relocate_when_full(self) -> bool:
+        """The paper adopts "drop and create another one at a different
+        location" when the neighbour lacks capacity; set False to model the
+        alternative (skip regeneration entirely)."""
+        return self.executor.relocate_when_full
+
+    @relocate_when_full.setter
+    def relocate_when_full(self, value: bool) -> None:
+        self.executor.relocate_when_full = value
+
+    # ------------------------------------------------------------------ failure --
+    def handle_failure(self, node_id: NodeId) -> FailureImpact:
+        """Fail ``node_id`` and regenerate what can be regenerated.
+
+        The node is marked failed in the overlay, removed from the DHT view,
+        and every block it stored is examined: blocks whose chunk is still
+        decodable are re-created on the node now responsible for their name
+        (or elsewhere if that node is full); chunks that are no longer
+        decodable are counted as lost data.
+
+        When the storage system runs on the columnar block ledger (the
+        ``vectorized=True`` default), the lost blocks come from one mask over
+        the ledger's owner column and every decodability check is an O(1)
+        counter read; the seed path walks the per-node dict and the chunk
+        placements.  Both produce identical impacts, placements and Table 3
+        rows (``tests/test_churn_equivalence.py``).
+        """
+        ledger = self.storage.ledger
+        if ledger is not None:
+            return self._handle_failure_ledger(node_id, ledger)
+        return self._handle_failure_scalar(node_id)
+
+    def _handle_failure_scalar(self, node_id: NodeId) -> FailureImpact:
+        """The preserved seed failure path: per-node dict walk end to end."""
+        node = self.dht.network.node(node_id)
+        lost_blocks = dict(node.stored_blocks)
+        impact = FailureImpact(failed_node=node_id)
+        impact.blocks_lost = len(lost_blocks)
+        impact.bytes_on_failed_node = sum(lost_blocks.values())
+        self.executor.begin(impact)
+
+        if node.alive:
+            self.dht.network.fail(node_id)
+        self.dht.remove(node_id)
+
+        damaged_files: set[str] = set()
+        for block_name, size in lost_blocks.items():
+            self._recover_block(block_name, size, node_id, impact, damaged_files)
+        impact.files_damaged = len(damaged_files)
+        self.executor.finish(impact)
+        self.impacts.append(impact)
+        return impact
+
+    def _handle_failure_ledger(self, node_id: NodeId, ledger: BlockLedger) -> FailureImpact:
+        """Ledger-driven failure: columnar block selection, O(1) decodability."""
+        node = self.dht.network.node(node_id)
+        lost_blocks = dict(node.stored_blocks)
+        impact = FailureImpact(failed_node=node_id)
+        impact.blocks_lost = len(lost_blocks)
+        impact.bytes_on_failed_node = sum(lost_blocks.values())
+        self.executor.begin(impact)
+
+        rows = ledger.recovery_rows(node)
+        if node.alive:
+            self.dht.network.fail(node_id)  # the ledger is notified via its listener
+        self.dht.remove(node_id)  # incremental boundary patch, not an O(N) rebuild
+        ledger.ensure_digests(rows)
+
+        damaged_files: set[str] = set()
+        ledger_names = set()
+        for row in rows:
+            name = ledger.row_name(row)
+            ledger_names.add(name)
+            self._apply_step(
+                self.planner.classify_row(row, name, ledger), node_id, impact, damaged_files
+            )
+        # Blocks present in the node's dict but not in the ledger (out-of-band
+        # stores, copies a repair re-pointed away from) fall back to the seed
+        # per-block logic so both paths examine exactly the same names.
+        missing = lost_blocks.keys() - ledger_names
+        if missing:
+            for name, size in lost_blocks.items():
+                if name in missing:
+                    self._recover_block(name, size, node_id, impact, damaged_files)
+        impact.files_damaged = len(damaged_files)
+        self.executor.finish(impact)
+        self.impacts.append(impact)
+        return impact
+
+    # ------------------------------------------------------------- step driver --
+    def _apply_step(self, step, failed_node: NodeId, impact, damaged_files: set) -> None:
+        """Execute one planner decision for a failed node's lost copy."""
+        kind = step[0]
+        if kind == "skip":
+            return
+        if kind == "meta":
+            _, name, size, key, digest = step
+            self.executor.restore_object_copy(name, size, impact, key=key, digest=digest)
+            return
+        if kind == "lost":
+            _, chunk, file_name = step
+            damaged_files.add(file_name)
+            if not getattr(chunk, "_counted_lost", False):
+                impact.data_bytes_lost += chunk.size
+                impact.chunks_lost += 1
+                setattr(chunk, "_counted_lost", True)
+            return
+        _, chunk, position, name, size, key, digest = step
+        self.executor.apply_regeneration(
+            chunk, position, name, size, failed_node, impact,
+            key=key, digest=digest, planner=self.planner,
+        )
+
+    def _recover_block(
+        self,
+        block_name: str,
+        size: int,
+        failed_node: NodeId,
+        impact: FailureImpact,
+        damaged_files: set,
+    ) -> None:
+        """Classify and apply one lost copy through the seed scalar path."""
+        self._apply_step(
+            self.planner.classify_block(block_name, size), failed_node, impact, damaged_files
+        )
+
+    # ---------------------------------------------------------------- departure --
+    def handle_leave(self, node_id: NodeId) -> FailureImpact:
+        """Gracefully migrate a node's blocks out, then remove it.
+
+        The departing node's copies are *moved* (each block crosses the
+        network once, charged to the node's uplink) to the nodes that become
+        responsible for them -- the same targets the post-failure regeneration
+        pipeline would pick -- before :meth:`~repro.overlay.network.
+        OverlayNetwork.leave` releases whatever could not be placed.  On a
+        multi-tenant ledger the PAST/CFS replica-group rows migrate too.
+        When redundancy is intact and capacity suffices, the resulting
+        placements are identical to failing the node and regenerating
+        (``tests/test_soak.py``'s migration-conserves-bytes oracle).
+        """
+        node = self.dht.network.node(node_id)
+        held = dict(node.stored_blocks)
+        impact = FailureImpact(failed_node=node_id)
+        impact.blocks_lost = len(held)
+        impact.bytes_on_failed_node = sum(held.values())
+        self.executor.begin(impact)
+
+        self.dht.remove(node_id)  # lookups now exclude the departing node
+        ledger = self.storage.ledger
+        if ledger is not None:
+            rows = ledger.recovery_rows(node)
+            ledger.ensure_digests(rows)
+            ledger_names = set()
+            for row in rows:
+                name = ledger.row_name(row)
+                ledger_names.add(name)
+                self._apply_migration_row(row, name, node, impact, ledger)
+            missing = held.keys() - ledger_names
+            if missing:
+                for name, size in held.items():
+                    if name in missing:
+                        self._migrate_block_scalar(name, size, node, impact)
+        else:
+            for name, size in held.items():
+                self._migrate_block_scalar(name, size, node, impact)
+        self.executor.finish(impact)
+        self.dht.network.leave(node_id)  # releases whatever was not migrated
+        self.impacts.append(impact)
+        return impact
+
+    def _apply_migration_row(
+        self, row: int, name: str, node: OverlayNode, impact: FailureImpact, ledger: BlockLedger
+    ) -> None:
+        if ledger.row_group(row) >= 0:
+            # Baseline replica-group copy (any tenant): representation-free move.
+            self.executor.migrate_group_row(
+                row, name, int(ledger.row_fields(row)[3]), node, impact, ledger
+            )
+            return
+        # Chunk and meta rows migrate regardless of tenant: the departure is
+        # final (``network.leave`` permanently releases whatever stays behind,
+        # and no other tenant's manager can run on a node that already left),
+        # and the ledger bookkeeping is tenant-exact either way -- re-pointed
+        # placements inherit their file's tenant, and restored meta copies
+        # keep the departing row's tag.  The one cross-tenant gap is payload
+        # mode: another tenant's block *bytes* live in that tenant's storage
+        # and are not relocated here (capacity accounting stays exact).
+        file_idx, chunk_idx, placement_idx, size = ledger.row_fields(row)
+        key = ledger.row_key(row)
+        digest = ledger.row_digest(row)
+        if placement_idx < 0:
+            self.executor.migrate_meta(
+                name, size, node, impact, key=key, digest=digest,
+                tenant=ledger.row_tenant(row),
+            )
+            return
+        chunk = ledger.chunk_object(chunk_idx)
+        self.executor.migrate_block(
+            chunk,
+            ledger.placement_position(placement_idx),
+            name,
+            size,
+            node,
+            impact,
+            key=key,
+            digest=digest,
+        )
+
+    def _migrate_block_scalar(
+        self, block_name: str, size: int, node: OverlayNode, impact: FailureImpact
+    ) -> None:
+        """Seed-path migration of one copy (mirrors the scalar failure walk)."""
+        parsed = naming.parse_block_name(block_name)
+        if parsed is None:
+            self.executor.migrate_meta(block_name, size, node, impact)
+            return
+        stored = self.storage.files.get(parsed.filename)
+        if stored is None:
+            return
+        chunk = self.planner._find_chunk(stored, parsed.chunk_no)
+        if chunk is None:
+            return
+        placement_index = self.planner._find_placement(chunk, block_name)
+        if placement_index is None:
+            return
+        self.executor.migrate_block(chunk, placement_index, block_name, size, node, impact)
 
     # ---------------------------------------------------------------- CAT rebuild --
     def rebuild_cat(self, filename: str, probe_limit: Optional[int] = None) -> ChunkAllocationTable:
@@ -392,6 +829,7 @@ class RecoveryManager:
                 "failures": 0.0,
                 "total_regenerated_bytes": 0.0,
                 "total_data_lost_bytes": 0.0,
+                "total_migrated_bytes": 0.0,
                 "mean_regenerated_per_failure": 0.0,
                 "std_regenerated_per_failure": 0.0,
             }
@@ -399,10 +837,20 @@ class RecoveryManager:
 
         regenerated = np.asarray([impact.bytes_regenerated for impact in self.impacts], dtype=float)
         lost = float(sum(impact.data_bytes_lost for impact in self.impacts))
+        migrated = float(sum(impact.bytes_migrated for impact in self.impacts))
         return {
             "failures": float(len(self.impacts)),
             "total_regenerated_bytes": float(regenerated.sum()),
             "total_data_lost_bytes": lost,
+            "total_migrated_bytes": migrated,
             "mean_regenerated_per_failure": float(regenerated.mean()),
             "std_regenerated_per_failure": float(regenerated.std()),
         }
+
+    def repair_times(self) -> List[float]:
+        """Time-to-repair of every impact whose transfers have drained."""
+        return [
+            impact.time_to_repair
+            for impact in self.impacts
+            if impact.time_to_repair is not None
+        ]

@@ -123,6 +123,25 @@ class RetrieveResult:
     failure_reason: Optional[str] = None
 
 
+def _resolve_ledger(dht: DHTView, vectorized: bool, ledger, tenant: Optional[str]):
+    """Resolve a store's ledger handle: private, shared, or tenant-scoped.
+
+    ``None``/``tenant=None`` on the vectorized path keeps today's behaviour
+    (a private untagged :class:`BlockLedger`); a ``tenant`` name wraps the
+    (possibly shared) ledger in a :class:`~repro.core.block_ledger.
+    TenantLedgerView` so files and rows are tagged and name-scoped per
+    tenant.  A raw shared ledger without a tenant keeps the single shared
+    namespace (duplicate names across stores are rejected).
+    """
+    if not vectorized:
+        return None
+    if ledger is None:
+        ledger = BlockLedger(dht.network)
+    if tenant is None:
+        return ledger
+    return ledger.tenant(tenant) if isinstance(ledger, BlockLedger) else ledger
+
+
 class StorageSystem:
     """The striped, erasure-coded contributory storage system."""
 
@@ -134,6 +153,8 @@ class StorageSystem:
         payload_mode: bool = False,
         track_neighbor_ledgers: bool = False,
         vectorized: bool = True,
+        ledger: Optional[BlockLedger] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.dht = dht
         self.codec = codec or ChunkCodec(NullCode(), blocks_per_chunk=1)
@@ -151,7 +172,13 @@ class StorageSystem:
         #: decodability and O(1) usage/availability aggregates.  The seed path
         #: keeps the per-node dict walks; ``tests/test_churn_equivalence.py``
         #: asserts both produce identical availability curves and churn rows.
-        self.ledger: Optional[BlockLedger] = BlockLedger(dht.network) if vectorized else None
+        #: Pass ``ledger`` to share one multi-tenant ledger with other stores
+        #: on the same overlay and ``tenant`` to scope this store's file
+        #: namespace and aggregates (a private untagged ledger otherwise).
+        self.ledger = _resolve_ledger(dht, vectorized, ledger, tenant)
+        #: A private ledger's namespace is exactly ``self.files``; only a
+        #: shared ledger needs the pre-flight name check before placing.
+        self._ledger_shared = ledger is not None and self.ledger is not None
         self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
         self._probe_chunk = self.probe.probe_chunk_fast if vectorized else self.probe.probe_chunk
         self.chunker = Chunker(self.probe, self.codec, self.policy)
@@ -177,7 +204,12 @@ class StorageSystem:
         return self._store(filename, len(data), data=data)
 
     def _store(self, filename: str, size: int, data: Optional[bytes]) -> StoreResult:
-        if filename in self.files:
+        # On a shared ledger another store may already own the name; reject
+        # up front, before any block is placed (the same pre-flight check the
+        # baselines make -- registration would otherwise raise mid-store).
+        if filename in self.files or (
+            self._ledger_shared and self.ledger.file_index(filename) is not None
+        ):
             return StoreResult(
                 filename=filename,
                 requested_size=size,

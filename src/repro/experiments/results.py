@@ -11,7 +11,10 @@ performance trajectory recorded by the benchmark session hooks:
   engine (seed vs ledger) and the end-to-end Figure 10 / Table 3 times,
   including the paper-scale 10 000-node flagship runs;
 * ``BENCH_soak.json`` -- events/s and the compaction memory bound of the
-  join/leave churn-soak engine (10 000 nodes over simulated weeks).
+  join/leave churn-soak engine (10 000 nodes over simulated weeks);
+* ``BENCH_repair.json`` -- time-to-repair and repair-traffic records of the
+  bandwidth-aware repair subsystem (fair-share transfer scheduler), including
+  the migration-vs-regeneration traffic ratio.
 
 ``python -m repro.cli bench --summary-only`` prints both via
 :func:`benchmark_summary`; the benchmarks themselves are run with
@@ -177,6 +180,31 @@ def soak_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def repair_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_repair.json rows as a time-to-repair/traffic table."""
+    table = TableResult(
+        title="Bandwidth-aware repair (fair-share transfer scheduler)",
+        columns=[
+            "scenario", "nodes", "fail_pct", "bandwidth_mb_s", "mode",
+            "moved_gb", "traffic_gb", "mean_ttr_s", "makespan_s", "seconds",
+        ],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            scenario=row.get("scenario", "?"),
+            nodes=row.get("node_count", 0),
+            fail_pct=float(row.get("fail_pct", 0.0)),
+            bandwidth_mb_s=float(row.get("bandwidth_mb_s", 0.0)),
+            mode=row.get("mode", "fail"),
+            moved_gb=float(row.get("moved_gb", 0.0)),
+            traffic_gb=float(row.get("traffic_gb", 0.0)),
+            mean_ttr_s=float(row.get("mean_ttr_s", 0.0)),
+            makespan_s=float(row.get("makespan_s", 0.0)),
+            seconds=float(row.get("seconds", 0.0)),
+        )
+    return table
+
+
 def churn_benchmark_table(record: dict) -> TableResult:
     """Render the BENCH_churn.json rows as a failure-throughput table."""
     table = TableResult(
@@ -199,8 +227,8 @@ def churn_benchmark_table(record: dict) -> TableResult:
 def _benchmark_section(root: Path, filename: str, table_fn, speedup_label: str) -> List[str]:
     """One record's summary: its table plus a rendered speedups line.
 
-    Ratio entries get an ``x`` suffix; absolute-throughput entries (keys
-    ending in ``_per_s``) are printed plain.
+    Ratio entries get an ``x`` suffix; absolute entries (throughputs ending
+    in ``_per_s``, wall times ending in ``_seconds``) are printed plain.
     """
     record = load_benchmark_record(Path(root) / filename)
     if record is None:
@@ -208,7 +236,8 @@ def _benchmark_section(root: Path, filename: str, table_fn, speedup_label: str) 
     sections = [table_fn(record).format(float_format="{:,.1f}")]
     speedups = record.get("speedups", {})
     rendered = [
-        f"{key}={value:,.1f}" + ("" if key.endswith("_per_s") else "x")
+        f"{key}={value:,.1f}"
+        + ("" if key.endswith("_per_s") or key.endswith("_seconds") else "x")
         for key, value in sorted(speedups.items())
         if isinstance(value, (int, float))
     ]
@@ -234,6 +263,9 @@ def benchmark_summary(root: Path) -> str:
         root, "BENCH_churn.json", churn_benchmark_table, "churn speedup vs scalar seed path"
     )
     sections += _benchmark_section(root, "BENCH_soak.json", soak_benchmark_table, "soak engine")
+    sections += _benchmark_section(
+        root, "BENCH_repair.json", repair_benchmark_table, "repair subsystem"
+    )
     return "\n\n".join(sections)
 
 

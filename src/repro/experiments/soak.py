@@ -13,8 +13,18 @@ a population under *sustained* churn for simulated weeks, where
 * fresh nodes join as a Poisson process (drawing a new id and capacity) --
   with a routing-state-free population a join is O(1) overlay work plus one
   boundary patch, never an O(N) rebuild;
-* nodes depart gracefully as a second Poisson process: their blocks are
-  regenerated elsewhere and their ledger rows are released;
+* nodes depart gracefully as a second Poisson process: with the default
+  ``leave_mode="regenerate"`` their blocks are regenerated elsewhere from
+  surviving redundancy and their ledger rows are released;
+  ``leave_mode="migrate"`` instead *copies the blocks out* before departure
+  (:meth:`repro.core.recovery.RecoveryManager.handle_leave`) -- each block
+  crosses the network once, over the departing node's uplink, and
+  ``tests/test_soak.py`` proves the copies land exactly where regeneration
+  would have re-created them;
+* an optional per-node bandwidth (``bandwidth_gb_per_hour``) charges every
+  repair and migration to the fair-share transfer scheduler of
+  :mod:`repro.core.transfer`, turning repairs into timed data movements
+  without changing any sampled series (a pure timing overlay);
 * the columnar block ledger is compacted periodically
   (:meth:`repro.core.block_ledger.BlockLedger.compact`), garbage-collecting
   the rows that repair re-points, wipes and departures release -- without the
@@ -72,6 +82,10 @@ class SoakConfig:
     min_file_size: int = 50 * MB
     #: Blocks per chunk for the (2,3) XOR protection used during distribution.
     blocks_per_chunk: int = 2
+    #: Copies kept of each encoded block (1 = primary only, the paper's
+    #: insertion setting).  2+ keeps every placement alive through single
+    #: departures, which is what makes migration == regeneration an oracle.
+    block_replication: int = 1
     #: Simulated soak length.
     horizon_hours: float = 7 * HOURS_PER_DAY
     #: Session model: exponential up/down times (availability ~ up/(up+down)).
@@ -90,6 +104,16 @@ class SoakConfig:
     #: Gate for the periodic compaction pass (the soak oracle runs with and
     #: without it to assert compaction never changes observable state).
     compaction: bool = True
+    #: How graceful departures move their data: ``"regenerate"`` charges the
+    #: Section 4.4 failure pipeline (the node "fails", neighbours regenerate
+    #: from surviving redundancy), ``"migrate"`` copies the blocks out over
+    #: the departing node's uplink before it leaves
+    #: (:meth:`repro.core.recovery.RecoveryManager.handle_leave`).
+    leave_mode: str = "regenerate"
+    #: Per-node symmetric link capacity in GB per simulated hour charged to
+    #: the fair-share transfer scheduler (None = unconstrained links, i.e.
+    #: the preserved instantaneous-repair behaviour).
+    bandwidth_gb_per_hour: Optional[float] = None
     seed: int = 8
     #: Run distribution, repair and sampling on the array engine + columnar
     #: block ledger; ``False`` preserves the seed scalar path end to end.
@@ -132,6 +156,8 @@ class SoakResult:
     compactions: List[Dict[str, float]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     recovery_totals: Dict[str, float] = field(default_factory=dict)
+    #: Transfer-scheduler aggregates (only when a bandwidth is configured).
+    transfer_totals: Dict[str, float] = field(default_factory=dict)
     files_stored: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
 
@@ -149,6 +175,7 @@ class SoakResult:
             "final_unavailable_pct": self.unavailable_pct[-1] if self.unavailable_pct else 0.0,
             "max_unavailable_pct": max(self.unavailable_pct) if self.unavailable_pct else 0.0,
             "data_regenerated_gb": self.recovery_totals.get("total_regenerated_bytes", 0.0) / GB,
+            "data_migrated_gb": self.recovery_totals.get("total_migrated_bytes", 0.0) / GB,
             "data_lost_gb": self.recovery_totals.get("total_data_lost_bytes", 0.0) / GB,
             "compactions": float(len(self.compactions)),
             "rows_reclaimed": float(rows_reclaimed),
@@ -205,7 +232,7 @@ class SoakExperiment:
         storage = StorageSystem(
             DHTView(network),
             codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=config.blocks_per_chunk),
-            policy=StoragePolicy(),
+            policy=StoragePolicy(block_replication=config.block_replication),
             vectorized=config.vectorized,
         )
         trace = generate_file_trace(
@@ -231,11 +258,17 @@ class SoakExperiment:
         dht = storage.dht
         network = dht.network
         ledger = storage.ledger
-        recovery = RecoveryManager(storage)
+        sim = Simulator()
+        transfers = None
+        if config.bandwidth_gb_per_hour is not None:
+            from repro.core.transfer import TransferScheduler
+
+            rate = config.bandwidth_gb_per_hour * GB
+            transfers = TransferScheduler(sim, uplink=rate, downlink=rate)
+        recovery = RecoveryManager(storage, transfers=transfers)
         result = SoakResult(config=config, files_stored=len(storage.files))
         counters = {"failures": 0, "returns": 0, "joins": 0, "leaves": 0}
 
-        sim = Simulator()
         session_rng = streams.fresh("sessions")
         join_rng = streams.fresh("joins")
         leave_rng = streams.fresh("leaves")
@@ -301,11 +334,18 @@ class SoakExperiment:
             if len(live) > 2:
                 counters["leaves"] += 1
                 victim = live[int(leave_rng.integers(len(live)))]
-                # A graceful departure migrates its data (the Section 4.4
-                # pipeline regenerates every block elsewhere), then the node
-                # leaves the overlay and its ledger rows are released.
-                recovery.handle_failure(victim.node_id)
-                network.leave(victim.node_id)
+                if config.leave_mode == "migrate":
+                    # Graceful migration: the departing node copies its blocks
+                    # to the nodes now responsible *before* leaving -- each
+                    # block crosses the network once, over its uplink.
+                    recovery.handle_leave(victim.node_id)
+                else:
+                    # Regeneration-style departure (the seed behaviour): the
+                    # Section 4.4 failure pipeline re-creates every block from
+                    # surviving redundancy, then the node leaves and its
+                    # remaining ledger rows are released.
+                    recovery.handle_failure(victim.node_id)
+                    network.leave(victim.node_id)
             schedule_leave()
 
         schedule_leave()
@@ -348,6 +388,8 @@ class SoakExperiment:
         sample()  # closing sample at the horizon
         result.counters = counters
         result.recovery_totals = recovery.totals()
+        if transfers is not None:
+            result.transfer_totals = transfers.summary()
         result.timings = {
             "distribute_s": distribute_s,
             "soak_s": time.perf_counter() - soak_start,

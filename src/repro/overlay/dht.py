@@ -26,6 +26,7 @@ vectorized kernels agree with :meth:`lookup` key-for-key.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from typing import Iterable, List
 
 import numpy as np
@@ -119,7 +120,11 @@ class DHTView:
         ``vectorized=False`` is exactly the seed :meth:`lookup` call.
         """
         if vectorized:
-            node = self.state.lookup_node(int(key_for(name)))
+            # Raw int key (same value as ``key_for``) skips the NodeId
+            # wrapper on the hot path -- one sha1 + from_bytes per lookup.
+            state = self.state
+            key = int.from_bytes(hashlib.sha1(name.encode("utf-8")).digest(), "big")
+            node = state.nodes[state.lookup_index(key)]
             self.lookup_count += 1
             return node
         return self.lookup(key_for(name))

@@ -130,12 +130,18 @@ class OverlayNetwork:
             node.routing_table.consider(other_id, self.proximity(node.node_id, other_id))
 
     def leave(self, node_id: NodeId) -> None:
-        """Graceful departure: remove the node and repair neighbours' state."""
+        """Graceful departure: remove the node and repair neighbours' state.
+
+        The node-level :meth:`~repro.overlay.node.OverlayNode.leave` hook
+        notifies attached state listeners (the columnar block ledger releases
+        whatever rows were not migrated out beforehand -- see
+        :meth:`repro.core.recovery.RecoveryManager.handle_leave` for the
+        bandwidth-aware copy-out that precedes a graceful departure).
+        """
         if node_id not in self._nodes:
             raise OverlayError(f"unknown node: {node_id!r}")
         node = self._nodes.pop(node_id)
-        for listener in node._state_listeners:
-            listener._note_departed(node)
+        node.leave()
         if self.maintains_routing_state:
             self._repair_after_departure(node_id)
 

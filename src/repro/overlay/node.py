@@ -248,6 +248,19 @@ class OverlayNode:
         for listener in self._state_listeners:
             listener._note_recovered(self, wipe, revived)
 
+    def leave(self) -> None:
+        """Graceful departure: the node exits the overlay *alive*.
+
+        Unlike :meth:`fail`, a leaving node had the chance to migrate its
+        blocks out first (:meth:`repro.core.recovery.RecoveryManager.
+        handle_leave` copies them to the nodes now responsible); whatever it
+        still holds departs with it, so attached state listeners (the
+        columnar block ledger) permanently release the remaining rows.
+        Called by :meth:`repro.overlay.network.OverlayNetwork.leave`.
+        """
+        for listener in self._state_listeners:
+            listener._note_departed(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"
         return (

@@ -104,15 +104,21 @@ class ChurnModel:
 
     Stream versions
     ---------------
-    ``stream_version=2`` (the default) samples sessions in geometric batches:
-    draw a block of up/down pairs sized ~1.5x the expected remaining count,
-    trim at the first pair that crosses the horizon, and grow the block only
-    if it fell short.  Values drawn within a block are identical to the
-    scalar stream (NumPy's ``exponential`` consumes the bit stream the same
-    way batched or one at a time), but the model over-draws past the horizon,
-    so the generator state after a call -- and any values from follow-up
-    blocks -- differ from version 1.  ``stream_version=1`` preserves the seed
-    one-pair-at-a-time loop bit-for-bit for experiments pinned to old seeds.
+    ``stream_version=3`` (the default) samples sessions in geometrically
+    *doubling* batches: the first block is sized by a concentration bound on
+    the expected pair count (``E + 4*sqrt(E)`` pairs), so a single draw
+    covers the horizon with overwhelming probability, and each follow-up
+    block -- only ever needed on heavy-tailed outliers -- doubles the
+    previous size, bounding the number of RNG calls at ``O(log)`` regardless
+    of the tail.  ``stream_version=2`` is the first batched sampler (blocks
+    re-sized to ~1.5x the expected remaining count per iteration).  In every
+    version the *returned* session lengths are identical to the seed scalar
+    stream value-for-value (NumPy's exponential consumes the bit stream the
+    same way batched or one at a time, and the batch is trimmed at the first
+    pair crossing the horizon); the batched versions merely over-draw past
+    the horizon, so the generator state after a call differs from version 1.
+    ``stream_version=1`` preserves the seed one-pair-at-a-time loop
+    bit-for-bit for experiments pinned to old seeds.
     """
 
     def __init__(
@@ -120,11 +126,11 @@ class ChurnModel:
         mean_uptime: float,
         mean_downtime: float,
         rng: np.random.Generator,
-        stream_version: int = 2,
+        stream_version: int = 3,
     ) -> None:
         if mean_uptime <= 0 or mean_downtime <= 0:
             raise ValueError("mean up/down times must be positive")
-        if stream_version not in (1, 2):
+        if stream_version not in (1, 2, 3):
             raise ValueError(f"unsupported churn stream version {stream_version}")
         self.mean_uptime = float(mean_uptime)
         self.mean_downtime = float(mean_downtime)
@@ -140,9 +146,21 @@ class ChurnModel:
         mean_pair = self.mean_uptime + self.mean_downtime
         batches: list[np.ndarray] = []
         elapsed = 0.0
+        batch = 0
         while True:
-            expected = (horizon - elapsed) / mean_pair
-            batch = max(4, int(expected * 1.5) + 4)
+            if self.stream_version == 2:
+                # v2: re-estimate ~1.5x the expected remaining pairs per block.
+                expected = (horizon - elapsed) / mean_pair
+                batch = max(4, int(expected * 1.5) + 4)
+            elif not batches:
+                # v3 first block: expectation plus a 4-sigma concentration
+                # margin -- one draw covers the horizon w.h.p.
+                expected = horizon / mean_pair
+                batch = max(4, int(expected + 4.0 * expected ** 0.5) + 4)
+            else:
+                # v3 follow-ups (heavy-tail outliers only): geometric doubling
+                # bounds the RNG call count at O(log) regardless of the tail.
+                batch *= 2
             pairs = self._rng.standard_exponential(size=(batch, 2))
             pairs[:, 0] *= self.mean_uptime
             pairs[:, 1] *= self.mean_downtime

@@ -1,0 +1,455 @@
+"""Multi-tenant ledger: one BlockLedger per overlay for PAST/CFS/ours.
+
+Covers the tenant row/file tagging, per-tenant namespaces and aggregates,
+mixed-tenant compaction with stable remaps of every tenant's indexes, the
+tenant-filtered repair pipeline, graceful-departure migration of baseline
+replica-group rows, and the buffered PAST registration path's exactness
+under out-of-band churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cfs import CfsStore
+from repro.baselines.past import PastStore
+from repro.core.block_ledger import BlockLedger
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.workloads.filetrace import MB
+
+
+def _pool(node_count: int, seed: int, capacity=120 * MB):
+    rng = np.random.default_rng(seed)
+    capacities = [max(int(c), 32 * MB) for c in rng.normal(capacity, capacity / 4, size=node_count)]
+    network = OverlayNetwork.build(
+        node_count, np.random.default_rng(seed + 1), capacities=capacities, routing_state=False
+    )
+    return network, DHTView(network)
+
+
+def _three_tenants(node_count=40, seed=61):
+    """One shared ledger carrying ours + PAST + CFS, each in its own tenant."""
+    network, dht = _pool(node_count, seed)
+    shared = BlockLedger(network)
+    ours = StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(),
+        ledger=shared,
+        tenant="ours",
+    )
+    past = PastStore(dht, replication=2, ledger=shared, tenant="past")
+    cfs = CfsStore(dht, block_size=2 * MB, replication=2, ledger=shared, tenant="cfs")
+    return network, dht, shared, ours, past, cfs
+
+
+def test_tenants_scope_the_file_namespace():
+    """Every tenant can store the same file name on one shared ledger."""
+    _, _, shared, ours, past, cfs = _three_tenants()
+    assert ours.store_file("movie", 6 * MB).success
+    assert past.store_file("movie", 6 * MB).success
+    assert cfs.store_file("movie", 6 * MB).success
+    shared.flush_registrations()
+    assert shared.active_files == 3
+    # Per-tenant views see exactly their own file.
+    assert ours.ledger.active_files == 1
+    assert past.ledger.active_files == 1
+    assert cfs.ledger.active_files == 1
+    assert ours.is_file_available("movie")
+    assert past.is_file_available("movie")
+    assert cfs.is_file_available("movie")
+    # ...and deleting one tenant's copy leaves the namesakes alone.
+    assert past.delete_file("movie")
+    assert not past.is_file_available("movie")
+    assert ours.is_file_available("movie") and cfs.is_file_available("movie")
+    assert shared.active_files == 2
+
+
+def test_two_tenant_ledger_survives_churn_and_deletes():
+    """Regression: per-tenant bincount updates must not assume the aggregate
+    arrays are sized exactly to the tenant count (they grow by doubling, so a
+    two-store ledger has 3 tenant names in length-4 arrays)."""
+    network, dht = _pool(30, 111)
+    shared = BlockLedger(network)
+    ours = StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        ledger=shared,
+        tenant="ours",
+    )
+    past = PastStore(dht, replication=2, ledger=shared, tenant="past")
+    for index in range(5):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 3 * MB).success
+    victim = dht.state.nodes[0]
+    victim.fail()  # crashed with a broadcast ValueError before the fix
+    victim.recover(wipe=False)
+    assert ours.delete_file("o0") and past.delete_file("p0")
+    assert ours.ledger.active_files == past.ledger.active_files == 4
+    assert shared.unavailable_files == 0
+
+
+def test_regenerated_copies_inherit_their_tenant():
+    """Regression: replace_primary's fresh rows must carry the file's tenant,
+    or later failures of the regenerated holder skip them as foreign rows."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=30, seed=117)
+    for index in range(6):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 3 * MB).success
+    recovery = RecoveryManager(ours)
+    ours_tenant = ours.ledger.tenant_id
+    recovery.handle_failure(dht.state.nodes[0].node_id)
+    assert sum(impact.bytes_regenerated for impact in recovery.impacts) > 0
+    shared.flush_registrations()
+    # Every live chunk row (placement >= 0) still belongs to the ours tenant.
+    for row in range(shared.row_count):
+        if shared.row_fields(row)[2] >= 0 and not shared._released[row]:
+            assert shared.row_tenant(row) == ours_tenant, row
+    # ...and the per-tenant live aggregates still sum to the global ones.
+    views = [ours.ledger, past.ledger, cfs.ledger]
+    assert sum(view.live_rows for view in views) == shared.live_rows
+    assert sum(view.live_bytes for view in views) == shared.live_bytes
+    # The regenerated copies stay repairable: fail every node once more and
+    # the availability counter keeps agreeing with the placement walk.
+    for node in list(dht.state.nodes[:6]):
+        recovery.handle_failure(node.node_id)
+    walked = sum(
+        0 if all(
+            chunk.is_empty
+            or sum(1 for p in chunk.placements if ours._live_copies(p) > 0)
+            >= ours.codec.spec().required_blocks()
+            for chunk in ours.files[f"o{index}"].chunks
+        ) else 1
+        for index in range(6)
+    )
+    assert ours.ledger.unavailable_count == walked
+
+
+def test_storage_system_rejects_shared_namespace_collisions_preflight():
+    """Regression: a raw shared ledger collision must fail the store cleanly
+    (no placements consumed, no mid-store ValueError)."""
+    network, dht = _pool(24, 121)
+    shared = BlockLedger(network)
+    first = StorageSystem(dht, codec=ChunkCodec(XorParityCode(group_size=2),
+                                                blocks_per_chunk=2), ledger=shared)
+    second = StorageSystem(dht, codec=ChunkCodec(XorParityCode(group_size=2),
+                                                 blocks_per_chunk=2), ledger=shared)
+    assert first.store_file("movie", 5 * MB).success
+    used_before = dht.total_used()
+    result = second.store_file("movie", 5 * MB)
+    assert not result.success
+    assert result.failure_reason == "file already stored"
+    assert dht.total_used() == used_before
+    assert "movie" not in second.files
+
+
+def test_duplicate_names_within_one_tenant_still_rejected():
+    _, _, shared, ours, past, _ = _three_tenants()
+    assert past.store_file("x", 4 * MB).success
+    second = PastStore(past.dht, ledger=shared, tenant="past")
+    result = second.store_file("x", 4 * MB)
+    assert not result.success and result.failure_reason == "file already stored"
+    # A raw shared ledger (no tenants) keeps the legacy shared namespace --
+    # covered by tests/test_ledger_compaction.py -- while ours' namespace
+    # here is untouched by the PAST collision.
+    assert ours.store_file("x", 4 * MB).success
+
+
+def test_per_tenant_aggregates_match_walks():
+    _, dht, shared, ours, past, cfs = _three_tenants()
+    for index in range(8):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 3 * MB).success
+        assert cfs.store_file(f"c{index}", 5 * MB).success
+    assert ours.ledger.active_files == past.ledger.active_files == 8
+    assert ours.ledger.stored_data_bytes == 8 * 4 * MB
+    assert past.ledger.stored_data_bytes == 8 * 3 * MB
+    assert cfs.ledger.stored_data_bytes == 8 * 5 * MB
+    # Tenant live rows/bytes sum to the global aggregates.
+    views = [ours.ledger, past.ledger, cfs.ledger]
+    shared.flush_registrations()
+    assert sum(view.live_rows for view in views) == shared.live_rows
+    assert sum(view.live_bytes for view in views) == shared.live_bytes
+    # Fail a node: every tenant's unavailable counter stays an O(1) truth.
+    victim = dht.state.nodes[0]
+    victim.fail()
+    for store, names in ((ours, [f"o{i}" for i in range(8)]),
+                        (past, [f"p{i}" for i in range(8)]),
+                        (cfs, [f"c{i}" for i in range(8)])):
+        walked = sum(0 if store.is_file_available(name) else 1 for name in names)
+        assert store.ledger.unavailable_count == walked
+    victim.recover(wipe=False)
+    assert shared.unavailable_files == 0
+
+
+def test_mixed_tenant_compaction_keeps_stable_remaps():
+    """Released rows of all three tenants GC together; every index survives."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=36, seed=67)
+    for index in range(10):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 3 * MB).success
+        assert cfs.store_file(f"c{index}", 5 * MB).success
+
+    def snapshots():
+        return (
+            {f"o{i}": ours.is_file_available(f"o{i}") for i in range(10)},
+            {f"p{i}": [(n, int(h.node_id)) for n, h, _, _ in _past_entries(past, f"p{i}")]
+             for i in range(10) if f"p{i}" in past.files},
+            {f"c{i}": [(n, int(p.node_id), s, [int(r.node_id) for r in reps])
+                       for n, p, s, reps in cfs.block_entries(f"c{i}")]
+             for i in range(10) if f"c{i}" in cfs.files},
+        )
+
+    def _past_entries(store, name):
+        idx = store.ledger.file_index(name)
+        return store.ledger.baseline_entries(idx) if idx is not None else []
+
+    # Release rows in every tenant: deletions plus a wiped holder.
+    assert ours.delete_file("o0") and past.delete_file("p0") and cfs.delete_file("c0")
+    node = dht.state.nodes[1]
+    node.fail()
+    node.recover(wipe=True)
+    before = snapshots()
+    tenant_rows_before = {
+        view.tenant_id: (view.live_rows, view.live_bytes)
+        for view in (ours.ledger, past.ledger, cfs.ledger)
+    }
+    stats = shared.compact()
+    assert stats["rows_released"] > 0
+    assert snapshots() == before
+    for view in (ours.ledger, past.ledger, cfs.ledger):
+        assert (view.live_rows, view.live_bytes) == tenant_rows_before[view.tenant_id]
+    # The compacted ledger keeps working: repair, more stores, another GC.
+    RecoveryManager(ours).handle_failure(dht.state.nodes[2].node_id)
+    assert ours.store_file("after-compact", 4 * MB).success
+    shared.compact()
+    assert ours.is_file_available("after-compact")
+
+
+def test_marginal_chunk_migration_keeps_tenant_unavailable_exact():
+    """Regression: migrating a block of a chunk sitting exactly at its decode
+    threshold crosses availability down (replace_primary kills the live row)
+    and immediately back up (_register_copy_row); both crossings must move
+    the per-tenant counter, not just the global one."""
+    _, dht, shared, ours, past, _ = _three_tenants(node_count=40, seed=131)
+    for index in range(6):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 2 * MB).success
+    recovery = RecoveryManager(ours)
+    # Fail one block holder per file so some chunks sit at exactly the
+    # required live-placement count, then gracefully depart other holders.
+    victims = [node.node_id for node in dht.state.nodes[:4]]
+    for victim in victims:
+        dht.network.node(victim).fail()
+        dht.remove(victim)
+    for _ in range(6):
+        holders = [node for node in dht.state.nodes if node.stored_blocks]
+        if len(dht.state.nodes) <= 3 or not holders:
+            break
+        recovery.handle_leave(holders[0].node_id)
+
+    def walked_available(name: str) -> bool:
+        stored = ours.files[name]
+        required = ours.codec.spec().required_blocks()
+        return all(
+            chunk.is_empty
+            or sum(1 for p in chunk.placements if ours._live_copies(p) > 0) >= required
+            for chunk in stored.chunks
+        )
+
+    walked_bad = sum(0 if walked_available(f"o{index}") else 1 for index in range(6))
+    assert ours.ledger.unavailable_count == walked_bad
+    assert shared.unavailable_files >= ours.ledger.unavailable_count
+
+
+def test_repair_pipeline_only_regenerates_its_own_tenant():
+    """ours' RecoveryManager must not resurrect PAST/CFS rows as CAT copies."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=32, seed=71)
+    for index in range(6):
+        assert ours.store_file(f"o{index}", 4 * MB).success
+        assert past.store_file(f"p{index}", 3 * MB).success
+        assert cfs.store_file(f"c{index}", 5 * MB).success
+    recovery = RecoveryManager(ours)
+    victims = [node.node_id for node in dht.state.nodes[:8]]
+    for victim in victims:
+        recovery.handle_failure(victim)
+    # Baseline groups lose copies (replicas may survive); nothing regenerates
+    # them, exactly as the seed baselines have no repair pipeline.
+    shared.flush_registrations()
+
+    def walked_available(name: str) -> bool:
+        stored = ours.files[name]
+        required = ours.codec.spec().required_blocks()
+        return all(
+            chunk.is_empty
+            or sum(1 for p in chunk.placements if ours._live_copies(p) > 0) >= required
+            for chunk in stored.chunks
+        )
+
+    # The O(1) per-tenant counters agree with the placement walk after the
+    # mixed-tenant repair pass (losses, if any, are counted identically).
+    for index in range(6):
+        assert ours.is_file_available(f"o{index}") == walked_available(f"o{index}")
+    walked_bad = sum(0 if walked_available(f"o{index}") else 1 for index in range(6))
+    assert ours.ledger.unavailable_count == walked_bad
+    total = sum(impact.bytes_regenerated for impact in recovery.impacts)
+    assert total > 0
+    # No baseline row was duplicated onto a live node by the repair pass: the
+    # live copies of every PAST/CFS group are never more than placed.
+    for index in range(6):
+        entries = cfs.block_entries(f"c{index}")
+        for _, primary, _, replicas in entries:
+            assert len(replicas) <= cfs.replication - 1
+
+
+def test_graceful_leave_migrates_every_tenant():
+    """handle_leave moves ours chunks, a *second* storage tenant's chunks,
+    AND baseline replica-group copies -- the departure is final, so one
+    manager must migrate everything (nothing can run after network.leave
+    releases the remaining rows)."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=30, seed=73)
+    other = StorageSystem(
+        dht,
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        ledger=shared,
+        tenant="ours2",
+    )
+    assert ours.store_file("o", 6 * MB).success
+    assert other.store_file("o2", 6 * MB).success
+    assert past.store_file("p", 5 * MB).success
+    assert cfs.store_file("c", 7 * MB).success
+    recovery = RecoveryManager(ours)
+    # Depart every node that holds anything, one at a time; every file of
+    # every tenant must remain fully available because copies are moved,
+    # never regenerated.
+    for _ in range(10):
+        holders = [node for node in dht.state.nodes if node.stored_blocks]
+        if len(dht.state.nodes) <= 3 or not holders:
+            break
+        impact = recovery.handle_leave(holders[0].node_id)
+        assert impact.bytes_regenerated == 0
+        assert ours.is_file_available("o")
+        assert other.is_file_available("o2")
+        assert past.is_file_available("p")
+        assert cfs.is_file_available("c")
+    migrated = sum(impact.bytes_migrated for impact in recovery.impacts)
+    assert migrated > 0
+    # Per-tenant aggregates survived the cross-tenant migration exactly.
+    views = [ours.ledger, other.ledger, past.ledger, cfs.ledger]
+    shared.flush_registrations()
+    assert sum(view.live_rows for view in views) == shared.live_rows
+    assert sum(view.live_bytes for view in views) == shared.live_bytes
+    assert shared.unavailable_files == 0
+    for view in views:
+        assert view.unavailable_count == 0
+
+
+# -- buffered PAST registration ------------------------------------------------------
+
+
+def test_buffered_past_registration_is_exact_under_out_of_band_churn():
+    """fail/recover/leave between a PAST store and the next read stay exact."""
+    network, dht = _pool(24, 81)
+    past = PastStore(dht, replication=2)
+    assert past.store_file("movie", 5 * MB).success
+    ledger = past.ledger
+    # Nothing materialised yet: the registration is buffered...
+    assert ledger.row_count == 0
+    primary = past.files["movie"][1][0]
+    # ...and a failure hitting a still-buffered holder is reconciled exactly
+    # at the next read (the flush records the row dead-but-revivable).
+    primary.fail()
+    assert past.is_file_available("movie")  # the replica survives
+    assert ledger.row_count > 0  # the availability read flushed the buffer
+    replica = past.files["movie"][1][1]
+    replica.fail()
+    assert not past.is_file_available("movie")
+    primary.recover(wipe=False)
+    assert past.is_file_available("movie")
+
+    # A store whose holder is wiped before any flush point loses the copies.
+    assert past.store_file("short-lived", 4 * MB).success
+    holder = past.files["short-lived"][1][0]
+    holder.fail()
+    holder.recover(wipe=True)
+    second = past.files["short-lived"][1][1]
+    second.fail()
+    assert not past.is_file_available("short-lived")
+
+
+def test_buffered_registrations_survive_compaction_and_deletes():
+    network, dht = _pool(24, 83)
+    past = PastStore(dht)
+    for index in range(12):
+        assert past.store_file(f"f{index}", 3 * MB).success
+    ledger = past.ledger
+    assert ledger.active_files == 12  # aggregates are eager
+    assert ledger.stored_data_bytes == 12 * 3 * MB
+    # Deleting a still-buffered file flushes, then releases its rows.
+    assert past.delete_file("f3")
+    assert ledger.active_files == 11
+    stats = ledger.compact()
+    assert stats["rows_released"] > 0
+    for index in range(12):
+        assert past.is_file_available(f"f{index}") == (index != 3)
+    # file_index flushes only when the name is actually pending.
+    assert past.store_file("late", 3 * MB).success
+    assert ledger.file_index("nope") is None
+    assert ledger.file_index("late") is not None
+    assert past.is_file_available("late")
+
+
+def test_buffered_past_matches_scalar_twin_after_heavy_churn():
+    """End-to-end parity: buffered ledger vs the seed holder-list walks."""
+    stores = []
+    for vectorized in (False, True):
+        network, dht = _pool(30, 91)
+        stores.append((PastStore(dht, replication=2, vectorized=vectorized), dht))
+    scalar, vector = stores
+    for index in range(20):
+        r1 = scalar[0].store_file(f"f{index}", 4 * MB)
+        r2 = vector[0].store_file(f"f{index}", 4 * MB)
+        assert r1 == r2
+    rng = np.random.default_rng(97)
+    nodes_s = scalar[1].state.nodes
+    nodes_v = vector[1].state.nodes
+    for _ in range(30):
+        pick = int(rng.integers(len(nodes_s)))
+        action = int(rng.integers(3))
+        for nodes in (nodes_s, nodes_v):
+            node = nodes[pick]
+            if action == 0:
+                node.fail()
+            elif action == 1:
+                node.recover(wipe=False)
+            else:
+                node.recover(wipe=True)
+        for index in range(20):
+            name = f"f{index}"
+            assert scalar[0].is_file_available(name) == vector[0].is_file_available(name), (
+                name, action,
+            )
+
+
+def test_queue_rejects_duplicates_and_handles_degenerate_stores():
+    network, dht = _pool(12, 99)
+    shared = BlockLedger(network)
+    holder = dht.state.nodes[0]
+    assert holder.store_block("a", 1 * MB)  # queueing records copies that exist
+    shared.queue_whole_file("a", 1 * MB, "a", [holder])
+    with pytest.raises(ValueError):
+        shared.queue_whole_file("a", 1 * MB, "a", [dht.state.nodes[1]])
+    with pytest.raises(ValueError):
+        shared.register_whole_file("a", 1 * MB, "a", [dht.state.nodes[1]])
+    # Zero-holder registration goes through the immediate (bad-group) path.
+    shared.queue_whole_file("empty", 1 * MB, "empty", [])
+    assert shared.unavailable_files == 1
+    shared.flush_registrations()
+    assert shared.active_files == 2

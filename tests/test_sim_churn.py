@@ -82,7 +82,7 @@ def test_churn_model_rejects_nonpositive_parameters():
     with pytest.raises(ValueError):
         model.sample_sessions(1, horizon=0.0)
     with pytest.raises(ValueError):
-        ChurnModel(1.0, 1.0, np.random.default_rng(0), stream_version=3)
+        ChurnModel(1.0, 1.0, np.random.default_rng(0), stream_version=4)
 
 
 def _scalar_reference_sessions(mean_up, mean_down, rng, horizon):
@@ -110,7 +110,7 @@ def test_stream_version_2_draws_same_values_with_batched_sampling():
     # *keeps* must equal the scalar stream value-for-value (the batch draws
     # are the same stream, just over-drawn past the horizon).
     for seed, horizon in ((3, 40.0), (9, 250.0), (12, 7.5)):
-        model = ChurnModel(5.0, 2.0, np.random.default_rng(seed))
+        model = ChurnModel(5.0, 2.0, np.random.default_rng(seed), stream_version=2)
         assert model.stream_version == 2
         expected_ups, expected_downs = _scalar_reference_sessions(
             5.0, 2.0, np.random.default_rng(seed), horizon
@@ -118,6 +118,39 @@ def test_stream_version_2_draws_same_values_with_batched_sampling():
         sample = model.sample_sessions(node_id=4, horizon=horizon)
         assert np.array_equal(sample.up_times, expected_ups)
         assert np.array_equal(sample.down_times, expected_downs)
+
+
+def test_stream_version_3_is_the_default_and_stream_identical():
+    """v3 (doubling batches) keeps value-for-value identity with v1 and v2."""
+    for seed, horizon in ((3, 40.0), (9, 250.0), (12, 7.5), (21, 1000.0), (5, 0.01)):
+        model = ChurnModel(5.0, 2.0, np.random.default_rng(seed))
+        assert model.stream_version == 3
+        expected_ups, expected_downs = _scalar_reference_sessions(
+            5.0, 2.0, np.random.default_rng(seed), horizon
+        )
+        sample = model.sample_sessions(node_id=4, horizon=horizon)
+        assert np.array_equal(sample.up_times, expected_ups)
+        assert np.array_equal(sample.down_times, expected_downs)
+        v2 = ChurnModel(
+            5.0, 2.0, np.random.default_rng(seed), stream_version=2
+        ).sample_sessions(node_id=4, horizon=horizon)
+        assert np.array_equal(sample.up_times, v2.up_times)
+        assert np.array_equal(sample.down_times, v2.down_times)
+
+
+def test_stream_version_3_survives_heavy_tail_shortfalls():
+    """When the first concentration-sized block falls short, doubling covers it.
+
+    A tiny mean against a huge horizon forces many pairs; whatever the block
+    layout, the kept values must still equal the scalar stream.
+    """
+    model = ChurnModel(0.01, 0.01, np.random.default_rng(77))
+    expected_ups, expected_downs = _scalar_reference_sessions(
+        0.01, 0.01, np.random.default_rng(77), 50.0
+    )
+    sample = model.sample_sessions(node_id=1, horizon=50.0)
+    assert np.array_equal(sample.up_times, expected_ups)
+    assert np.array_equal(sample.down_times, expected_downs)
 
 
 def test_failure_times_match_seed_scalar_loop():

@@ -1,0 +1,140 @@
+"""Unit tests for the fair-share transfer scheduler (core/transfer.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transfer import TransferScheduler
+from repro.sim.engine import Simulator
+
+
+def _scheduler(uplink=None, downlink=None):
+    sim = Simulator()
+    return sim, TransferScheduler(sim, uplink=uplink, downlink=downlink)
+
+
+def test_single_transfer_takes_size_over_bottleneck():
+    sim, sched = _scheduler(uplink=100.0, downlink=50.0)
+    done = []
+    sched.submit(500.0, src=1, dst=2, on_complete=lambda t: done.append(sim.now))
+    sim.run()
+    # Bottleneck is the 50 B/s downlink: 500 bytes take 10 time units.
+    assert done == [pytest.approx(10.0)]
+    assert sched.idle
+    assert sched.last_completion_time == pytest.approx(10.0)
+
+
+def test_two_transfers_share_a_common_downlink_fairly():
+    sim, sched = _scheduler(uplink=None, downlink=100.0)
+    t1 = sched.submit(300.0, src=1, dst=9)
+    t2 = sched.submit(300.0, src=2, dst=9)
+    # Equal split of the shared downlink while both are active.
+    assert t1.rate == pytest.approx(50.0)
+    assert t2.rate == pytest.approx(50.0)
+    sim.run()
+    assert t1.finished_at == pytest.approx(6.0)
+    assert t2.finished_at == pytest.approx(6.0)
+
+
+def test_release_of_bottleneck_speeds_up_survivor():
+    sim, sched = _scheduler(uplink=None, downlink=100.0)
+    t1 = sched.submit(100.0, src=1, dst=9)
+    t2 = sched.submit(300.0, src=2, dst=9)
+    sim.run()
+    # Both run at 50 until t1 finishes at t=2; t2 then gets the full 100:
+    # 300 - 50*2 = 200 remaining at 100 B/s -> finishes at t=4.
+    assert t1.finished_at == pytest.approx(2.0)
+    assert t2.finished_at == pytest.approx(4.0)
+
+
+def test_progressive_filling_respects_per_flow_bottlenecks():
+    """A slow uplink flow leaves its unused downlink share to the others."""
+    sim, sched = _scheduler(uplink=None, downlink=90.0)
+    sched.set_node_bandwidth(1, uplink=10.0, downlink=None)
+    slow = sched.submit(10.0, src=1, dst=9)
+    fast_a = sched.submit(40.0, src=2, dst=9)
+    fast_b = sched.submit(40.0, src=3, dst=9)
+    # Progressive filling: slow is frozen at its 10 B/s uplink; the remaining
+    # 80 B/s of the shared downlink splits between the other two.
+    assert slow.rate == pytest.approx(10.0)
+    assert fast_a.rate == pytest.approx(40.0)
+    assert fast_b.rate == pytest.approx(40.0)
+    sim.run()
+    assert slow.finished_at == pytest.approx(1.0)
+    assert fast_a.finished_at == pytest.approx(1.0)
+    assert fast_b.finished_at == pytest.approx(1.0)
+
+
+def test_unconstrained_transfer_completes_instantly():
+    sim, sched = _scheduler()
+    transfer = sched.submit(1e9, src=None, dst=None)
+    sim.run()
+    assert transfer.done
+    assert transfer.finished_at == pytest.approx(0.0)
+
+
+def test_staggered_submissions_account_for_progress():
+    sim, sched = _scheduler(uplink=100.0)
+    first = sched.submit(400.0, src=1, dst=2)
+    # Let the first transfer run alone for 2 units, then contend.
+    second = []
+    sim.schedule(2.0, lambda: second.append(sched.submit(100.0, src=1, dst=3)))
+    sim.run()
+    # First moves 200 bytes alone, then both share 100 B/s (50 each).  The
+    # second finishes its 100 bytes at t=4; the first then runs at full rate:
+    # 400 - 200 - 50*2 = 100 remaining -> finishes at t=5.
+    assert second[0].finished_at == pytest.approx(4.0)
+    assert first.finished_at == pytest.approx(5.0)
+
+
+def test_per_node_byte_accounting_and_summary():
+    sim, sched = _scheduler(uplink=100.0, downlink=100.0)
+    sched.submit_many([(100.0, 1, 2, None), (50.0, 1, 3, None)])
+    sim.run()
+    assert sched.bytes_out[1] == pytest.approx(150.0)
+    assert sched.bytes_in[2] == pytest.approx(100.0)
+    assert sched.bytes_in[3] == pytest.approx(50.0)
+    summary = sched.summary()
+    assert summary["submitted"] == 2.0
+    assert summary["completed"] == 2.0
+    assert summary["bytes_completed"] == pytest.approx(150.0)
+    assert summary["active"] == 0.0
+
+
+def test_schedule_is_deterministic():
+    def run_once():
+        sim, sched = _scheduler(uplink=70.0, downlink=130.0)
+        finishes = []
+        for index in range(20):
+            sched.submit(
+                100.0 + 7 * index,
+                src=index % 4,
+                dst=10 + index % 3,
+                on_complete=lambda t: finishes.append((t.seq, sim.now)),
+            )
+        sim.run()
+        return finishes
+
+    assert run_once() == run_once()
+
+
+def test_rejects_bad_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TransferScheduler(sim, uplink=0.0)
+    with pytest.raises(ValueError):
+        TransferScheduler(sim, downlink=-1.0)
+    sched = TransferScheduler(sim, uplink=10.0)
+    with pytest.raises(ValueError):
+        sched.submit(-5.0, src=1, dst=2)
+
+
+def test_completion_callback_runs_at_completion_time_not_submit_time():
+    sim, sched = _scheduler(uplink=10.0)
+    seen = []
+    sched.submit(100.0, src=1, dst=2, on_complete=lambda t: seen.append(sim.now))
+    assert seen == []  # nothing fires synchronously at submit
+    sim.run(until=5.0)
+    assert seen == []  # still in flight at t=5
+    sim.run()
+    assert seen == [pytest.approx(10.0)]
