@@ -51,6 +51,12 @@ BENCH_REPAIR_PATH = Path(__file__).resolve().parent.parent / "BENCH_repair.json"
 #: Rows accumulated by ``test_bench_repair.py`` during the session.
 _REPAIR_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the fault-injection benchmark writes its trajectory record.
+BENCH_FAULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+#: Rows accumulated by ``test_bench_faults.py`` during the session.
+_FAULTS_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -96,6 +102,12 @@ def repair_bench_results() -> dict:
     return _REPAIR_RESULTS
 
 
+@pytest.fixture(scope="session")
+def faults_bench_results() -> dict:
+    """Session accumulator for fault-injection rows (written at exit)."""
+    return _FAULTS_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -117,6 +129,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_SOAK_PATH.write_text(json.dumps(_SOAK_RESULTS, indent=2) + "\n")
     if _REPAIR_RESULTS["results"] and _REPAIR_RESULTS["speedups"]:
         BENCH_REPAIR_PATH.write_text(json.dumps(_REPAIR_RESULTS, indent=2) + "\n")
+    if _FAULTS_RESULTS["results"] and _FAULTS_RESULTS["speedups"]:
+        BENCH_FAULTS_PATH.write_text(json.dumps(_FAULTS_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

@@ -28,6 +28,7 @@ from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, Avai
 from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
+from repro.experiments.faults import PAPER_FAULTS, SMOKE_FAULTS, FaultsExperiment
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
@@ -178,6 +179,36 @@ def _run_repair(args: argparse.Namespace) -> int:
     print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
           f"{'seed scalar path' if args.scalar else 'columnar ledger'}, "
           f"fair-share transfer scheduler)")
+    return 0
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    """Failure-domain fault panels at the paper's scale (10 000 nodes) by default."""
+    import time
+    from dataclasses import replace
+
+    if args.smoke:
+        config = replace(SMOKE_FAULTS, seed=args.seed)
+    else:
+        config = replace(
+            PAPER_FAULTS,
+            node_count=max(2, int(round(args.nodes * args.scale))),
+            file_count=max(1, int(round(args.files * args.scale))),
+            flash_fraction=args.flash_pct / 100.0,
+            bandwidth_mb_s=args.bandwidth,
+            sites=args.sites,
+            racks_per_site=args.racks_per_site,
+            seed=args.seed,
+        )
+    start = time.perf_counter()
+    result = FaultsExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    print(result.durability_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.repair_table().format(float_format="{:,.2f}"))
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
+          f"{config.sites}x{config.racks_per_site} racks, "
+          f"{config.block_replication}-copy target)")
     return 0
 
 
@@ -340,6 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--seed", type=int, default=PAPER_REPAIR.seed)
     repair.set_defaults(func=_run_repair)
 
+    faults = subparsers.add_parser(
+        "faults", help="failure-domain fault panels: site/rack outages, flash crowd, "
+                       "rolling restart, degraded links (paper scale: 10 000 nodes)"
+    )
+    faults.add_argument("--nodes", type=int, default=PAPER_FAULTS.node_count)
+    faults.add_argument("--files", type=int, default=PAPER_FAULTS.file_count)
+    faults.add_argument("--flash-pct", type=float,
+                        default=100.0 * PAPER_FAULTS.flash_fraction,
+                        help="percent of the population downed by the flash crowd")
+    faults.add_argument("--bandwidth", type=float, default=PAPER_FAULTS.bandwidth_mb_s,
+                        help="per-node link capacity in MB per simulated second")
+    faults.add_argument("--sites", type=int, default=PAPER_FAULTS.sites,
+                        help="failure-domain sites in the grid")
+    faults.add_argument("--racks-per-site", type=int, default=PAPER_FAULTS.racks_per_site)
+    faults.add_argument("--scale", type=float, default=1.0,
+                        help="multiply nodes and files by this factor (e.g. 0.1)")
+    faults.add_argument("--smoke", action="store_true",
+                        help="run the fixed tier-1 smoke configuration (seconds)")
+    faults.add_argument("--seed", type=int, default=PAPER_FAULTS.seed)
+    faults.set_defaults(func=_run_faults)
+
     coding = subparsers.add_parser("coding", help="Table 2")
     coding.add_argument("--chunk-mb", type=float, default=1.0)
     coding.add_argument("--blocks", type=int, default=512)
@@ -380,7 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list or args.experiment is None:
         print(
             "Available experiments: insertion, availability, fig10, coding, churn, "
-            "table3, soak, repair, multicast, condor, bench"
+            "table3, soak, repair, faults, multicast, condor, bench"
         )
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func

@@ -108,6 +108,10 @@ KIND_REPLICA = 1   #: a neighbour/successor replica of a primary copy
 KIND_META = 2      #: CAT/metadata copy (not part of any chunk)
 KIND_SALTED = 3    #: a primary stored under a salted retry name
 
+#: Top bucket of the replication-level histogram: placements with this many
+#: live copies or more share the last bin (far above any configured target).
+REPLICATION_HIST_MAX = 8
+
 
 def _grown(array: np.ndarray, needed: int) -> np.ndarray:
     """Amortized-doubling growth for one column."""
@@ -192,6 +196,19 @@ class BlockLedger:
         #: node" O(rows of that node) instead of one scan over every column;
         #: released entries are pruned lazily and at compaction.
         self._slot_rows: List[List[int]] = []
+        #: Failure-domain columns alongside the owner column: the site and
+        #: (globally unique) rack of each owner slot, so a correlated outage
+        #: is one equality mask composed with ``_owner`` -- never N scalar
+        #: failures.  Captured at slot creation; :meth:`refresh_domains`
+        #: re-syncs after late assignment.
+        self._slot_site = np.full(_INITIAL, -1, dtype=np.int16)
+        self._slot_rack = np.full(_INITIAL, -1, dtype=np.int16)
+        #: Replication-level histogram over the erasure-coded chunk
+        #: placements: ``hist[k]`` = placements currently holding ``k`` live
+        #: copies (``k`` clipped to :data:`REPLICATION_HIST_MAX`).  Maintained
+        #: incrementally at every copy-count transition, so erosion of the
+        #: neighbour-replica level is an O(1) observable.
+        self._replication_hist = np.zeros(REPLICATION_HIST_MAX + 1, dtype=np.int64)
         # -- O(1) aggregates --------------------------------------------------
         self.live_bytes = 0
         self.live_rows = 0
@@ -262,6 +279,10 @@ class BlockLedger:
             self._slots[value] = slot
             self._slot_nodes.append(node)
             self._slot_rows.append([])
+            self._slot_site = _grown(self._slot_site, slot + 1)
+            self._slot_rack = _grown(self._slot_rack, slot + 1)
+            self._slot_site[slot] = node.site
+            self._slot_rack[slot] = node.rack
             if self not in node._state_listeners:
                 node._state_listeners = node._state_listeners + (self,)
         return slot
@@ -398,6 +419,7 @@ class BlockLedger:
                 )
                 self._placement_rows.append(rows)
                 self._placement_copies[p] = len(rows)
+                self._replication_hist[min(len(rows), REPLICATION_HIST_MAX)] += 1
                 self._chunk_placements[c].append(p)
             # A fresh chunk has every placement alive; it can still start
             # below threshold if a policy ever under-places, so count it.
@@ -663,6 +685,13 @@ class BlockLedger:
         if rows.size:
             self._kill_rows(rows[self._alive[rows]])
             self._released[rows] = True
+            # Retire the file's placements from the replication histogram:
+            # every row is now released, so no transition can touch them again.
+            placements = self._placement[rows]
+            placements = np.unique(placements[placements >= 0])
+            if placements.size:
+                buckets = np.minimum(self._placement_copies[placements], REPLICATION_HIST_MAX)
+                np.subtract.at(self._replication_hist, buckets, 1)
         self._file_rows[f] = []
         return True
 
@@ -725,6 +754,9 @@ class BlockLedger:
             before = self._placement_copies[uniq]
             after = before - counts
             self._placement_copies[uniq] = after
+            hist = self._replication_hist
+            np.subtract.at(hist, np.minimum(before, REPLICATION_HIST_MAX), 1)
+            np.add.at(hist, np.minimum(after, REPLICATION_HIST_MAX), 1)
             newly_dead = uniq[(after == 0) & (before > 0)]
             if newly_dead.size:
                 chunks, dec = np.unique(self._placement_chunk[newly_dead], return_counts=True)
@@ -765,6 +797,9 @@ class BlockLedger:
             uniq, counts = np.unique(placements, return_counts=True)
             before = self._placement_copies[uniq]
             self._placement_copies[uniq] = before + counts
+            hist = self._replication_hist
+            np.subtract.at(hist, np.minimum(before, REPLICATION_HIST_MAX), 1)
+            np.add.at(hist, np.minimum(before + counts, REPLICATION_HIST_MAX), 1)
             newly_live = uniq[before == 0]
             if newly_live.size:
                 chunks, inc = np.unique(self._placement_chunk[newly_live], return_counts=True)
@@ -837,6 +872,67 @@ class BlockLedger:
         self._kill_rows(rows[self._alive[rows]])
         self._released[rows] = True
 
+    # --------------------------------------------------------- failure domains --
+    def refresh_domains(self) -> None:
+        """Re-sync the per-slot domain columns from the tracked nodes.
+
+        Domains are captured when a slot is first created; call this after
+        assigning ``node.site`` / ``node.rack`` to nodes the ledger already
+        tracks (e.g. domains laid over a pre-built population).
+        """
+        count = len(self._slot_nodes)
+        if count:
+            self._slot_site[:count] = [node.site for node in self._slot_nodes]
+            self._slot_rack[:count] = [node.rack for node in self._slot_nodes]
+
+    def fail_domain(self, site: Optional[int] = None, rack: Optional[int] = None) -> int:
+        """Kill every live row owned by one failure domain, as a single mask.
+
+        This is the correlated-outage primitive: the site/rack equality test
+        over the int16 slot columns composes with the owner column into one
+        row mask, and the whole outage is a single :meth:`_kill_rows` batch --
+        never N scalar per-node failures.  The caller remains responsible for
+        the overlay-side transitions (``node.fail()``, DHT removal); by the
+        time those run, this ledger holds no live rows for the domain, so the
+        per-node listener sweeps are no-ops.  Returns the number of rows
+        killed.  End-state equivalence with the scalar per-node sequence is
+        oracle-tested in ``tests/test_faults.py``.
+        """
+        if site is None and rack is None:
+            raise ValueError("specify a site and/or a rack")
+        if self._pending_whole:
+            self._flush_pending()
+        count = len(self._slot_nodes)
+        if not count:
+            return 0
+        slot_mask = np.ones(count, dtype=bool)
+        if site is not None:
+            slot_mask &= self._slot_site[:count] == np.int16(site)
+        if rack is not None:
+            slot_mask &= self._slot_rack[:count] == np.int16(rack)
+        n = self.row_count
+        rows = np.flatnonzero(slot_mask[self._owner[:n]] & self._alive[:n])
+        self._kill_rows(rows)
+        return int(rows.size)
+
+    def replication_histogram(self) -> np.ndarray:
+        """Live-copy histogram of the chunk placements, O(1) (a copy).
+
+        ``hist[k]`` is the number of active placements with exactly ``k`` live
+        copies; the last bin aggregates ``>= REPLICATION_HIST_MAX``.  With a
+        target of ``block_replication`` copies, erosion shows up as mass
+        migrating below index ``block_replication``.
+        """
+        return self._replication_hist.copy()
+
+    def placements_below(self, target: int) -> int:
+        """Active placements holding fewer than ``target`` live copies, O(1)."""
+        return int(self._replication_hist[: min(target, REPLICATION_HIST_MAX + 1)].sum())
+
+    def placement_live_copies(self, placement_idx: int) -> int:
+        """Live copies currently backing one placement, O(1)."""
+        return int(self._placement_copies[placement_idx])
+
     # --------------------------------------------------------------- repair API --
     def recovery_rows(self, node: "OverlayNode") -> List[int]:
         """Rows mirroring the node's ``stored_blocks`` dict, in insertion order.
@@ -889,6 +985,15 @@ class BlockLedger:
     def chunk_recoverable(self, chunk_idx: int) -> bool:
         """Whether the chunk still has enough live blocks to decode, in O(1)."""
         return bool(self._chunk_alive[chunk_idx] >= self._chunk_required[chunk_idx])
+
+    def chunk_live_blocks(self, chunk_idx: int) -> int:
+        """Distinct placements of the chunk with a surviving copy, O(1).
+
+        The degraded-read classifier compares this against the chunk's total
+        placements: fewer live than total (but at least ``required``) means
+        the read decodes from a k-of-n subset.
+        """
+        return int(self._chunk_alive[chunk_idx])
 
     def placement_position(self, placement_idx: int) -> int:
         """The placement's index within its chunk's ``placements`` list."""
@@ -962,7 +1067,39 @@ class BlockLedger:
         after the file was registered.
         """
         placement_idx = self._chunk_placements[chunk_idx][position]
-        return self._register_copy_row(placement_idx, node, name, size, digest)
+        return self._register_copy_row(
+            placement_idx, node, name, size, digest, kind=KIND_REPLICA
+        )
+
+    def replace_replica(
+        self,
+        placement_idx: int,
+        old_node_id: int,
+        new_node: "OverlayNode",
+        name: str,
+        size: int,
+        digest: Optional[bytes] = None,
+    ) -> int:
+        """Re-point a lost neighbour-replica copy at a re-replicated block.
+
+        The replica counterpart of :meth:`replace_primary`: the dead holder's
+        row leaves the placement's reference set (released -- it can never
+        revive and double-count the copy) and the fresh copy on ``new_node``
+        joins it, restoring the placement's replication level.
+        """
+        old_slot = self._slots.get(int(old_node_id))
+        rows = self._placement_rows[placement_idx]
+        if old_slot is not None:
+            for row in rows:
+                if self._owner[row] == old_slot and not self._released[row]:
+                    if self._alive[row]:
+                        self._kill_rows(np.asarray([row], dtype=np.int64))
+                    self._released[row] = True
+                    rows.remove(row)
+                    break
+        return self._register_copy_row(
+            placement_idx, new_node, name, size, digest, kind=KIND_REPLICA
+        )
 
     def _register_copy_row(
         self,
@@ -971,6 +1108,7 @@ class BlockLedger:
         name: str,
         size: int,
         digest: Optional[bytes],
+        kind: int = KIND_PRIMARY,
     ) -> int:
         """Append a live copy to a placement, propagating threshold crossings.
 
@@ -980,12 +1118,15 @@ class BlockLedger:
         chunk_idx = int(self._placement_chunk[placement_idx])
         file_idx = int(self._chunk_file[chunk_idx])
         row = self._append_row(
-            node, name, size, file_idx, chunk_idx, placement_idx, digest,
+            node, name, size, file_idx, chunk_idx, placement_idx, digest, kind=kind,
             tenant=int(self._file_tenant[file_idx]) if file_idx >= 0 else 0,
         )
         self._placement_rows[placement_idx].append(row)
         copies = self._placement_copies
         copies[placement_idx] += 1
+        hist = self._replication_hist
+        hist[min(int(copies[placement_idx]) - 1, REPLICATION_HIST_MAX)] -= 1
+        hist[min(int(copies[placement_idx]), REPLICATION_HIST_MAX)] += 1
         if copies[placement_idx] == 1:
             alive = self._chunk_alive
             alive[chunk_idx] += 1
@@ -1169,6 +1310,7 @@ class BlockLedger:
             self._placement_chunk, self._placement_pos, self._placement_copies,
             self._chunk_required, self._chunk_alive, self._chunk_file,
             self._file_size, self._file_bad, self._file_active, self._file_tenant,
+            self._slot_site, self._slot_rack, self._replication_hist,
         )
         return {
             "row_count": self.row_count,

@@ -82,6 +82,9 @@ class FailureImpact:
     chunks_lost: int = 0
     files_damaged: int = 0
     cat_copies_restored: int = 0
+    #: Neighbour-replica copies re-created (re-replication / replica
+    #: migration), restoring the placement's replication level.
+    replicas_restored: int = 0
     #: Bytes copied out ahead of a graceful departure (handle_leave only).
     bytes_migrated: int = 0
     #: Bytes charged to the transfer scheduler for this repair (reads of the
@@ -91,6 +94,11 @@ class FailureImpact:
     #: instantaneous or when nothing had to move).
     repair_started_at: Optional[float] = None
     repair_finished_at: Optional[float] = None
+    #: Repair transfers resubmitted after a mid-flight source failure or
+    #: timeout (each retry re-plans its read from a surviving copy).
+    repair_retries: int = 0
+    #: Repair transfers abandoned after exhausting the retry budget.
+    repair_transfers_failed: int = 0
 
     @property
     def time_to_repair(self) -> Optional[float]:
@@ -118,7 +126,7 @@ class RepairPlanner:
         self.tenant_id = getattr(storage.ledger, "tenant_id", 0)
 
     # -------------------------------------------------------- classification --
-    def classify_row(self, row: int, name: str, ledger: BlockLedger):
+    def classify_row(self, row: int, name: str, ledger: BlockLedger, failed_node: NodeId):
         """Classify one ledger row of a failed node into a repair step.
 
         Returns one of::
@@ -129,6 +137,13 @@ class RepairPlanner:
             ("meta", name, size, key, digest)
             ("lost", chunk, file_name)     -- chunk below decode threshold
             ("regenerate", chunk, position, name, size, key, digest)
+            ("rereplicate", chunk, position, name, size, key, digest)
+
+        A placement row is a *primary* loss (regenerate: re-point the
+        placement at a fresh block) only when the placement's primary lived on
+        the failed node; otherwise the dead copy was a neighbour replica and
+        the repair must re-replicate it -- re-pointing the primary from a
+        replica row is exactly the erosion bug this distinction closes.
         """
         if ledger.row_group(row) >= 0 or ledger.row_tenant(row) != self.tenant_id:
             return ("skip",)
@@ -140,17 +155,15 @@ class RepairPlanner:
         chunk = ledger.chunk_object(chunk_idx)
         if not ledger.chunk_recoverable(chunk_idx):
             return ("lost", chunk, ledger.file_name(file_idx))
-        return (
-            "regenerate",
-            chunk,
-            ledger.placement_position(placement_idx),
-            name,
-            size,
-            key,
-            digest,
+        position = ledger.placement_position(placement_idx)
+        kind = (
+            "regenerate"
+            if int(chunk.placements[position].node_id) == int(failed_node)
+            else "rereplicate"
         )
+        return (kind, chunk, position, name, size, key, digest)
 
-    def classify_block(self, block_name: str, size: int):
+    def classify_block(self, block_name: str, size: int, failed_node: NodeId):
         """Seed-path counterpart of :meth:`classify_row` for one lost copy."""
         parsed = naming.parse_block_name(block_name)
         if parsed is None:
@@ -167,7 +180,12 @@ class RepairPlanner:
             return ("skip",)
         if not self.storage.chunk_is_recoverable(chunk):
             return ("lost", chunk, parsed.filename)
-        return ("regenerate", chunk, placement_index, block_name, size, None, None)
+        kind = (
+            "regenerate"
+            if int(chunk.placements[placement_index].node_id) == int(failed_node)
+            else "rereplicate"
+        )
+        return (kind, chunk, placement_index, block_name, size, None, None)
 
     # ---------------------------------------------------------- read sources --
     def regeneration_sources(self, chunk: StoredChunk, skip_position: int) -> List[OverlayNode]:
@@ -240,8 +258,21 @@ class RepairExecutor:
         self.dht = storage.dht
         self.relocate_when_full = relocate_when_full
         self.transfers = transfers
-        #: Transfer specs staged for the failure currently being processed.
-        self._staged: List[Tuple[float, Optional[int], Optional[int]]] = []
+        #: Planner consulted when a failed repair transfer re-plans its read
+        #: from a surviving copy (set by :class:`RecoveryManager`).
+        self.planner: Optional[RepairPlanner] = None
+        #: Per-transfer timeout (simulated time) applied to every repair
+        #: transfer; ``None`` (the default) preserves untimed transfers.
+        self.transfer_timeout: Optional[float] = None
+        #: How many times one repair transfer is resubmitted after a failure
+        #: or timeout before the bytes are abandoned.
+        self.max_retries: int = 3
+        #: Base delay of the exponential retry backoff (doubles per attempt).
+        self.retry_backoff: float = 1.0
+        #: Transfer specs staged for the failure currently being processed:
+        #: ``(size, src, dst, ctx)`` where ``ctx`` is ``None`` or a
+        #: ``(mode, chunk, position)`` re-planning context.
+        self._staged: List[Tuple[float, Optional[int], Optional[int], Optional[tuple]]] = []
 
     # -------------------------------------------------------------- staging --
     def begin(self, impact: FailureImpact) -> None:
@@ -251,26 +282,86 @@ class RepairExecutor:
             impact.repair_started_at = self.transfers.sim.now
 
     def finish(self, impact: FailureImpact) -> None:
-        """Submit the staged transfers and wire the completion accounting."""
+        """Submit the staged transfers and wire the completion accounting.
+
+        Each transfer that fails mid-flight (source endpoint died, bandwidth
+        cut to zero, or deadline expired) is resubmitted after an exponential
+        backoff with its read re-planned onto a surviving copy, up to
+        :attr:`max_retries` times; the repair is complete when every staged
+        byte has either drained or been abandoned.
+        """
         if self.transfers is None or not self._staged:
             self._staged = []
             return
-        pending = len(self._staged)
+        staged = self._staged
+        self._staged = []
+        state = {"pending": len(staged)}
 
-        def on_complete(_transfer, impact=impact) -> None:
-            nonlocal pending
-            pending -= 1
-            if pending == 0:
+        def settle() -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0:
                 impact.repair_finished_at = self.transfers.sim.now
 
-        specs = [(size, src, dst, on_complete) for size, src, dst in self._staged]
-        impact.repair_traffic_bytes += int(sum(size for size, _, _ in self._staged))
-        self._staged = []
-        self.transfers.submit_many(specs)
+        def submit_spec(size, src, dst, ctx, attempt) -> tuple:
+            def on_failed(transfer, size=size, dst=dst, ctx=ctx, attempt=attempt) -> None:
+                if attempt >= self.max_retries:
+                    impact.repair_transfers_failed += 1
+                    settle()
+                    return
+                impact.repair_retries += 1
+                new_src = self._replan_source(ctx, transfer.src, dst)
+                delay = self.retry_backoff * (2.0 ** attempt)
+                spec = submit_spec(size, new_src, dst, ctx, attempt + 1)
+                self.transfers.sim.schedule(
+                    delay, lambda spec=spec: self.transfers.submit_many([spec])
+                )
 
-    def _stage(self, size: float, src: Optional[int], dst: Optional[int]) -> None:
+            impact.repair_traffic_bytes += int(size)
+            return (size, src, dst, lambda _t: settle(), on_failed, self.transfer_timeout)
+
+        self.transfers.submit_many(
+            [submit_spec(size, src, dst, ctx, 0) for size, src, dst, ctx in staged]
+        )
+
+    def _stage(
+        self,
+        size: float,
+        src: Optional[int],
+        dst: Optional[int],
+        ctx: Optional[tuple] = None,
+    ) -> None:
         if self.transfers is not None:
-            self._staged.append((size, src, dst))
+            self._staged.append((size, src, dst, ctx))
+
+    def _replan_source(
+        self, ctx: Optional[tuple], failed_src: Optional[int], dst: Optional[int]
+    ) -> Optional[int]:
+        """Pick a surviving node for a retried repair read.
+
+        ``("copy", chunk, position)`` retries prefer another intact copy of
+        the *same* placement (primary or neighbour replica); ``("regen", ...)``
+        retries -- and copy retries with no intact copy left -- fall back to
+        the decode-read sources of the chunk's other placements.  ``None``
+        charges the receiver's downlink only (context-free transfers such as
+        meta restores keep their original endpoints).
+        """
+        if ctx is None:
+            return failed_src
+        mode, chunk, position = ctx
+        exclude = {x for x in (failed_src, dst) if x is not None}
+        if mode == "copy" and 0 <= position < len(chunk.placements):
+            placement = chunk.placements[position]
+            network = self.dht.network
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                if int(node_id) in exclude:
+                    continue
+                if node_id in network and network.node(node_id).has_block(placement.block_name):
+                    return int(node_id)
+        if self.planner is not None:
+            for source in self.planner.regeneration_sources(chunk, position):
+                if int(source.node_id) not in exclude:
+                    return int(source.node_id)
+        return None
 
     # ------------------------------------------------------------ regenerate --
     def apply_regeneration(
@@ -310,7 +401,12 @@ class RepairExecutor:
         )
         impact.bytes_regenerated += size
         for source in sources:
-            self._stage(size, int(source.node_id), int(new_holder.node_id))
+            self._stage(
+                size,
+                int(source.node_id),
+                int(new_holder.node_id),
+                ("regen", chunk, placement_index),
+            )
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
             if digest is None:
@@ -367,6 +463,117 @@ class RepairExecutor:
         encoded.metadata["output_blocks"] = block.index + 1
         return block
 
+    # ---------------------------------------------------------- re-replicate --
+    def apply_rereplication(
+        self,
+        chunk: StoredChunk,
+        placement_index: int,
+        block_name: str,
+        size: int,
+        failed_node: NodeId,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+        planner: Optional[RepairPlanner] = None,
+    ) -> None:
+        """Re-create a lost neighbour-replica copy (durability repair).
+
+        The primary placement is untouched; a fresh copy of the *same* block
+        is placed near the primary (the same neighbourhood the original
+        replication walk used) and swapped into ``placement.replica_nodes``
+        for the dead holder, restoring the placement's replication level.
+        The copy is read from a surviving holder of the block (one ``size``
+        read, not ``required`` decode reads); only when no intact copy is
+        left is the replica regenerated from the chunk's other placements.
+        """
+        old_placement = chunk.placements[placement_index]
+        survivors = tuple(
+            nid for nid in old_placement.replica_nodes if int(nid) != int(failed_node)
+        )
+        new_holder = self.place_replica(old_placement, block_name, size, exclude=failed_node)
+        if new_holder is None:
+            chunk.placements[placement_index] = BlockPlacement(
+                block_name=block_name,
+                node_id=old_placement.node_id,
+                size=size,
+                replica_nodes=survivors,
+            )
+            impact.bytes_dropped += size
+            return
+        chunk.placements[placement_index] = BlockPlacement(
+            block_name=block_name,
+            node_id=old_placement.node_id,
+            size=size,
+            replica_nodes=survivors + (new_holder.node_id,),
+        )
+        impact.bytes_regenerated += size
+        impact.replicas_restored += 1
+        if self.transfers is not None:
+            source = self._copy_source(
+                chunk, placement_index, exclude={int(failed_node), int(new_holder.node_id)}
+            )
+            if source is not None:
+                self._stage(
+                    size, source, int(new_holder.node_id), ("copy", chunk, placement_index)
+                )
+            elif planner is not None:
+                for src in planner.regeneration_sources(chunk, placement_index):
+                    self._stage(
+                        size,
+                        int(src.node_id),
+                        int(new_holder.node_id),
+                        ("regen", chunk, placement_index),
+                    )
+        ledger = self.storage.ledger
+        if ledger is not None and chunk.ledger_index is not None:
+            if digest is None:
+                digest = naming.key_digest(block_name)
+            ledger.replace_replica(
+                ledger.placement_for(chunk.ledger_index, placement_index),
+                int(failed_node),
+                new_holder,
+                block_name,
+                size,
+                digest,
+            )
+        if self.storage.payload_mode:
+            payloads = self.storage._block_payloads
+            for holder in (int(old_placement.node_id), *(int(nid) for nid in survivors)):
+                payload = payloads.get((holder, block_name))
+                if payload is not None:
+                    payloads[(int(new_holder.node_id), block_name)] = payload
+                    break
+            payloads.pop((int(failed_node), block_name), None)
+
+    def place_replica(
+        self, placement: BlockPlacement, block_name: str, size: int, exclude: NodeId
+    ) -> Optional[OverlayNode]:
+        """Pick a live node near the primary for a re-created replica copy.
+
+        Walks the primary's identifier-space neighbourhood -- the same nodes
+        the original replication pass considered -- skipping the primary,
+        the dead/departing holder and the surviving replicas.
+        """
+        taken = {int(placement.node_id), int(exclude)}
+        taken.update(int(nid) for nid in placement.replica_nodes)
+        for candidate in self.dht.neighbors(placement.node_id, 8):
+            if int(candidate.node_id) in taken:
+                continue
+            if candidate.store_block(block_name, size):
+                return candidate
+        return None
+
+    def _copy_source(self, chunk: StoredChunk, position: int, exclude: set) -> Optional[int]:
+        """A live holder of the placement's block a copy can be read from."""
+        placement = chunk.placements[position]
+        network = self.dht.network
+        for node_id in (placement.node_id, *placement.replica_nodes):
+            if int(node_id) in exclude:
+                continue
+            if node_id in network and network.node(node_id).has_block(placement.block_name):
+                return int(node_id)
+        return None
+
     def place_block(
         self, block_name: str, size: int, exclude: NodeId, key: Optional[int] = None
     ) -> Optional[OverlayNode]:
@@ -405,11 +612,22 @@ class RepairExecutor:
         if target.store_block(name, size):
             impact.cat_copies_restored += 1
             impact.bytes_regenerated += size
-            # The source copy (a surviving CAT replica) is not tracked per
-            # name; charge the restore to the receiver's downlink only.
-            self._stage(size, None, int(target.node_id))
+            # The restore is read from a surviving CAT replica in the name's
+            # neighbourhood, charging that node's uplink; only when no live
+            # replica is found does the charge fall back to the receiver's
+            # downlink alone.
+            self._stage(size, self._meta_source(name, target), int(target.node_id))
             if digest is not None and self.storage.ledger is not None:
                 self.storage.ledger.restore_meta_copy(target, name, size, digest)
+
+    def _meta_source(self, name: str, target: OverlayNode) -> Optional[int]:
+        """The surviving replica a meta/CAT restore copies its bytes from."""
+        if self.transfers is None:
+            return None
+        for candidate in self.dht.neighbors(target.node_id, 8):
+            if candidate.node_id != target.node_id and candidate.has_block(name):
+                return int(candidate.node_id)
+        return None
 
     # ------------------------------------------------------------- migration --
     def migrate_block(
@@ -443,7 +661,9 @@ class RepairExecutor:
             replica_nodes=old_placement.replica_nodes,
         )
         impact.bytes_migrated += size
-        self._stage(size, int(leaving.node_id), int(new_holder.node_id))
+        self._stage(
+            size, int(leaving.node_id), int(new_holder.node_id), ("copy", chunk, placement_index)
+        )
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
             if digest is None:
@@ -459,6 +679,73 @@ class RepairExecutor:
         if self.storage.payload_mode:
             payload_key = (int(leaving.node_id), block_name)
             payload = self.storage._block_payloads.pop(payload_key, None)
+            if payload is not None:
+                self.storage._block_payloads[(int(new_holder.node_id), block_name)] = payload
+        leaving.remove_block(block_name)
+
+    def migrate_replica(
+        self,
+        chunk: StoredChunk,
+        placement_index: int,
+        block_name: str,
+        size: int,
+        leaving: OverlayNode,
+        impact: FailureImpact,
+        key: Optional[int] = None,
+        digest: Optional[bytes] = None,
+    ) -> None:
+        """Copy a neighbour-replica copy off a departing node.
+
+        The migration counterpart of :meth:`apply_rereplication`: the primary
+        placement is untouched and the departing holder's slot in
+        ``placement.replica_nodes`` is re-pointed at the migrated copy, so a
+        graceful departure preserves the placement's replication level
+        instead of eroding it (or, worse, re-pointing the primary).
+        """
+        old_placement = chunk.placements[placement_index]
+        survivors = tuple(
+            nid for nid in old_placement.replica_nodes if int(nid) != int(leaving.node_id)
+        )
+        new_holder = self.place_replica(
+            old_placement, block_name, size, exclude=leaving.node_id
+        )
+        if new_holder is None:
+            chunk.placements[placement_index] = BlockPlacement(
+                block_name=block_name,
+                node_id=old_placement.node_id,
+                size=size,
+                replica_nodes=survivors,
+            )
+            impact.bytes_dropped += size
+            leaving.remove_block(block_name)
+            return
+        chunk.placements[placement_index] = BlockPlacement(
+            block_name=block_name,
+            node_id=old_placement.node_id,
+            size=size,
+            replica_nodes=survivors + (new_holder.node_id,),
+        )
+        impact.bytes_migrated += size
+        impact.replicas_restored += 1
+        self._stage(
+            size, int(leaving.node_id), int(new_holder.node_id), ("copy", chunk, placement_index)
+        )
+        ledger = self.storage.ledger
+        if ledger is not None and chunk.ledger_index is not None:
+            if digest is None:
+                digest = naming.key_digest(block_name)
+            ledger.replace_replica(
+                ledger.placement_for(chunk.ledger_index, placement_index),
+                int(leaving.node_id),
+                new_holder,
+                block_name,
+                size,
+                digest,
+            )
+        if self.storage.payload_mode:
+            payload = self.storage._block_payloads.pop(
+                (int(leaving.node_id), block_name), None
+            )
             if payload is not None:
                 self.storage._block_payloads[(int(new_holder.node_id), block_name)] = payload
         leaving.remove_block(block_name)
@@ -556,6 +843,7 @@ class RecoveryManager:
         self.transfers = transfers
         self.planner = RepairPlanner(storage)
         self.executor = RepairExecutor(storage, relocate_when_full, transfers)
+        self.executor.planner = self.planner
         self.impacts: List[FailureImpact] = []
 
     @property
@@ -633,7 +921,10 @@ class RecoveryManager:
             name = ledger.row_name(row)
             ledger_names.add(name)
             self._apply_step(
-                self.planner.classify_row(row, name, ledger), node_id, impact, damaged_files
+                self.planner.classify_row(row, name, ledger, node_id),
+                node_id,
+                impact,
+                damaged_files,
             )
         # Blocks present in the node's dict but not in the ledger (out-of-band
         # stores, copies a repair re-pointed away from) fall back to the seed
@@ -667,7 +958,12 @@ class RecoveryManager:
                 setattr(chunk, "_counted_lost", True)
             return
         _, chunk, position, name, size, key, digest = step
-        self.executor.apply_regeneration(
+        apply = (
+            self.executor.apply_rereplication
+            if kind == "rereplicate"
+            else self.executor.apply_regeneration
+        )
+        apply(
             chunk, position, name, size, failed_node, impact,
             key=key, digest=digest, planner=self.planner,
         )
@@ -682,7 +978,10 @@ class RecoveryManager:
     ) -> None:
         """Classify and apply one lost copy through the seed scalar path."""
         self._apply_step(
-            self.planner.classify_block(block_name, size), failed_node, impact, damaged_files
+            self.planner.classify_block(block_name, size, failed_node),
+            failed_node,
+            impact,
+            damaged_files,
         )
 
     # ---------------------------------------------------------------- departure --
@@ -756,16 +1055,13 @@ class RecoveryManager:
             )
             return
         chunk = ledger.chunk_object(chunk_idx)
-        self.executor.migrate_block(
-            chunk,
-            ledger.placement_position(placement_idx),
-            name,
-            size,
-            node,
-            impact,
-            key=key,
-            digest=digest,
+        position = ledger.placement_position(placement_idx)
+        migrate = (
+            self.executor.migrate_block
+            if int(chunk.placements[position].node_id) == int(node.node_id)
+            else self.executor.migrate_replica
         )
+        migrate(chunk, position, name, size, node, impact, key=key, digest=digest)
 
     def _migrate_block_scalar(
         self, block_name: str, size: int, node: OverlayNode, impact: FailureImpact
@@ -784,7 +1080,12 @@ class RecoveryManager:
         placement_index = self.planner._find_placement(chunk, block_name)
         if placement_index is None:
             return
-        self.executor.migrate_block(chunk, placement_index, block_name, size, node, impact)
+        migrate = (
+            self.executor.migrate_block
+            if int(chunk.placements[placement_index].node_id) == int(node.node_id)
+            else self.executor.migrate_replica
+        )
+        migrate(chunk, placement_index, block_name, size, node, impact)
 
     # ---------------------------------------------------------------- CAT rebuild --
     def rebuild_cat(self, filename: str, probe_limit: Optional[int] = None) -> ChunkAllocationTable:

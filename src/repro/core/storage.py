@@ -121,6 +121,14 @@ class RetrieveResult:
     lookups: int
     data: Optional[bytes] = None
     failure_reason: Optional[str] = None
+    #: Chunks decoded from a strict k-of-n subset of their blocks (some
+    #: copies were unreachable, but at least ``required`` survived).
+    chunks_degraded: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """A successful read that had to decode around missing blocks."""
+        return self.complete and self.chunks_degraded > 0
 
 
 def _resolve_ledger(dht: DHTView, vectorized: bool, ledger, tenant: Optional[str]):
@@ -189,6 +197,10 @@ class StorageSystem:
         self.store_attempts = 0
         self.store_failures = 0
         self.failed_bytes = 0
+        #: Reads that succeeded by decoding around missing blocks (k-of-n).
+        self.degraded_reads = 0
+        #: Reads that could not recover every requested chunk.
+        self.failed_reads = 0
 
     # ------------------------------------------------------------------ store --
     def store_file(self, filename: str, size: int) -> StoreResult:
@@ -541,13 +553,25 @@ class StorageSystem:
                 lookups=result.lookups,
                 data=window,
                 failure_reason=result.failure_reason,
+                chunks_degraded=result.chunks_degraded,
             )
         return result
+
+    def _chunk_live_placements(self, chunk: StoredChunk) -> int:
+        """Distinct placements of ``chunk`` with a surviving copy.
+
+        O(1) from the ledger's per-chunk live counter on the vectorized path;
+        the seed path walks the placements and per-node dicts.
+        """
+        if self.ledger is not None and chunk.ledger_index is not None:
+            return self.ledger.chunk_live_blocks(chunk.ledger_index)
+        return sum(1 for placement in chunk.placements if self._live_copies(placement) > 0)
 
     def _retrieve(self, stored: StoredFile, entries: List[CatEntry]) -> RetrieveResult:
         lookups = 1  # locating the CAT object
         blocks_fetched = 0
         recovered = 0
+        degraded_chunks = 0
         bytes_available = 0
         pieces: List[bytes] = []
         complete = True
@@ -567,6 +591,10 @@ class StorageSystem:
                     recovered += 1
                     bytes_available += chunk.size
                     blocks_fetched += min(required, len(chunk.placements))
+                    # Degraded: the decode works from a strict k-of-n subset
+                    # because some placements lost every copy.
+                    if self._chunk_live_placements(chunk) < len(chunk.placements):
+                        degraded_chunks += 1
                 else:
                     complete = False
                     failure_reason = f"chunk {entry.chunk_no} unrecoverable"
@@ -600,9 +628,15 @@ class StorageSystem:
                 continue
             recovered += 1
             bytes_available += chunk.size
+            if len(available) < len(chunk.placements):
+                degraded_chunks += 1
             pieces.append(piece)
 
         self.total_lookups += lookups
+        if not complete:
+            self.failed_reads += 1
+        elif degraded_chunks:
+            self.degraded_reads += 1
         data = b"".join(pieces) if (self.payload_mode and complete) else None
         return RetrieveResult(
             filename=stored.name,
@@ -614,6 +648,7 @@ class StorageSystem:
             lookups=lookups,
             data=data,
             failure_reason=failure_reason,
+            chunks_degraded=degraded_chunks,
         )
 
     # --------------------------------------------------------------- statistics --

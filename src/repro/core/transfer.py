@@ -51,6 +51,20 @@ unconstrained link; a transfer crossing only unconstrained links completes in
 zero simulated time.  The recovery pipeline never constructs a scheduler at
 all in its instantaneous mode, which is how the ``bandwidth=None`` paths stay
 bit-identical to the seed implementation.
+
+Failure semantics
+-----------------
+A link capacity of exactly ``0`` (set per node via
+:meth:`TransferScheduler.set_node_bandwidth`) models a *dead* endpoint.
+Submitting a transfer across a dead link fails it deterministically --
+``on_failed`` fires through the event queue at the submission's simulated
+time -- instead of parking it forever on the starved-flow path.  Killing a
+link mid-flight (``set_node_bandwidth(node, uplink=0.0, downlink=0.0)``)
+fails every active transfer crossing it, in submission order, and re-shares
+the freed capacity among the survivors.  Transfers may also carry a relative
+``timeout``; expiry fails the transfer the same way.  Failed transfers
+refund their undelivered bytes from the per-node counters, so
+``bytes_out``/``bytes_in`` always report bytes actually charged to a link.
 """
 
 from __future__ import annotations
@@ -89,11 +103,25 @@ class Transfer:
     rate: float = 0.0
     finished_at: Optional[float] = None
     on_complete: Optional[Callable[["Transfer"], None]] = field(default=None, repr=False)
+    on_failed: Optional[Callable[["Transfer"], None]] = field(default=None, repr=False)
+    deadline: Optional[float] = None
+    failed_at: Optional[float] = None
+    failure_reason: Optional[str] = None
 
     @property
     def done(self) -> bool:
         """Whether the transfer has completed."""
         return self.finished_at is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the transfer failed (dead endpoint, killed link or timeout)."""
+        return self.failed_at is not None
+
+    @property
+    def ended(self) -> bool:
+        """Whether the transfer has finished one way or the other."""
+        return self.done or self.failed
 
 
 class TransferScheduler:
@@ -137,6 +165,8 @@ class TransferScheduler:
         self.bytes_in: Dict[int, float] = {}
         #: Simulated time of the most recent completion (0.0 before any).
         self.last_completion_time = 0.0
+        self.failed_count = 0
+        self.bytes_failed = 0.0
 
     # ------------------------------------------------------------- capacities --
     def set_node_bandwidth(
@@ -145,9 +175,30 @@ class TransferScheduler:
         uplink: Optional[float] = None,
         downlink: Optional[float] = None,
     ) -> None:
-        """Override one node's link capacities (None = unconstrained)."""
-        self._uplink[int(node_id)] = uplink
-        self._downlink[int(node_id)] = downlink
+        """Override one node's link capacities.
+
+        ``None`` means unconstrained; ``0`` means the link is *dead*.  Killing
+        a link fails every active transfer crossing it (in submission order,
+        ``on_failed`` through the event queue); any other change re-shares
+        the active set's rates immediately.
+        """
+        if (uplink is not None and uplink < 0) or (downlink is not None and downlink < 0):
+            raise ValueError("per-node link capacity must be >= 0 (or None)")
+        node_id = int(node_id)
+        self._advance()
+        self._uplink[node_id] = uplink
+        self._downlink[node_id] = downlink
+        doomed = [
+            self._active[seq]
+            for seq in sorted(self._active)
+            if (self._active[seq].src == node_id and uplink == 0)
+            or (self._active[seq].dst == node_id and downlink == 0)
+        ]
+        for transfer in doomed:
+            del self._active[transfer.seq]
+            self.sim.schedule(0.0, lambda t=transfer: self._fail_transfer(t, "endpoint failed"))
+        self._reallocate()
+        self._reschedule()
 
     def uplink_of(self, node_id: int) -> Optional[float]:
         """The uplink capacity of ``node_id`` (None = unconstrained)."""
@@ -164,22 +215,23 @@ class TransferScheduler:
         src: Optional[int] = None,
         dst: Optional[int] = None,
         on_complete: Optional[Callable[[Transfer], None]] = None,
+        on_failed: Optional[Callable[[Transfer], None]] = None,
+        timeout: Optional[float] = None,
     ) -> Transfer:
         """Start moving ``size`` bytes from ``src`` to ``dst``.
 
         Returns the live :class:`Transfer`; its completion fires
         ``on_complete`` (through the event queue, at the completion's
-        simulated time).
+        simulated time).  A dead endpoint or an expired ``timeout`` fires
+        ``on_failed`` instead.
         """
-        return self.submit_many([(size, src, dst, on_complete)])[0]
+        return self.submit_many([(size, src, dst, on_complete, on_failed, timeout)])[0]
 
     def submit_many(
         self,
-        specs: Sequence[
-            Tuple[float, Optional[int], Optional[int], Optional[Callable[[Transfer], None]]]
-        ],
+        specs: Sequence[Tuple],
     ) -> List[Transfer]:
-        """Submit a batch of ``(size, src, dst, on_complete)`` transfers.
+        """Submit a batch of ``(size, src, dst, on_complete[, on_failed[, timeout]])``.
 
         One rate reallocation for the whole batch -- the way the repair
         executor charges all transfers of one failure at once.
@@ -189,9 +241,14 @@ class TransferScheduler:
         self._advance()
         transfers: List[Transfer] = []
         now = self.sim.now
-        for size, src, dst, on_complete in specs:
+        for spec in specs:
+            size, src, dst, on_complete = spec[0], spec[1], spec[2], spec[3]
+            on_failed = spec[4] if len(spec) > 4 else None
+            timeout = spec[5] if len(spec) > 5 else None
             if size < 0:
                 raise ValueError(f"negative transfer size: {size!r}")
+            if timeout is not None and timeout <= 0:
+                raise ValueError(f"transfer timeout must be positive: {timeout!r}")
             transfer = Transfer(
                 seq=next(self._seq),
                 src=None if src is None else int(src),
@@ -200,6 +257,8 @@ class TransferScheduler:
                 submitted_at=now,
                 remaining=float(size),
                 on_complete=on_complete,
+                on_failed=on_failed,
+                deadline=None if timeout is None else now + float(timeout),
             )
             self.submitted_count += 1
             self.bytes_submitted += transfer.size
@@ -207,7 +266,13 @@ class TransferScheduler:
                 self.bytes_out[transfer.src] = self.bytes_out.get(transfer.src, 0.0) + transfer.size
             if transfer.dst is not None:
                 self.bytes_in[transfer.dst] = self.bytes_in.get(transfer.dst, 0.0) + transfer.size
-            self._active[transfer.seq] = transfer
+            if self._endpoint_dead(transfer):
+                # Deterministic failure instead of an eternally starved flow.
+                self.sim.schedule(
+                    0.0, lambda t=transfer: self._fail_transfer(t, "dead endpoint")
+                )
+            else:
+                self._active[transfer.seq] = transfer
             transfers.append(transfer)
         self._reallocate()
         self._reschedule()
@@ -233,13 +298,40 @@ class TransferScheduler:
         return {
             "submitted": float(self.submitted_count),
             "completed": float(self.completed_count),
+            "failed": float(self.failed_count),
             "bytes_submitted": self.bytes_submitted,
             "bytes_completed": self.bytes_completed,
+            "bytes_failed": self.bytes_failed,
             "active": float(len(self._active)),
             "last_completion_time": self.last_completion_time,
         }
 
     # ------------------------------------------------------------- internals --
+    def _endpoint_dead(self, transfer: Transfer) -> bool:
+        """Whether either endpoint's link is dead (capacity exactly 0)."""
+        if transfer.src is not None and self.uplink_of(transfer.src) == 0:
+            return True
+        return transfer.dst is not None and self.downlink_of(transfer.dst) == 0
+
+    def _fail_transfer(self, transfer: Transfer, reason: str) -> None:
+        """Terminate ``transfer`` unsuccessfully and fire its failure callback.
+
+        The undelivered residual is refunded from the per-node byte counters
+        so they track bytes actually charged to the links.
+        """
+        if transfer.ended:
+            return
+        transfer.rate = 0.0
+        transfer.failed_at = self.sim.now
+        transfer.failure_reason = reason
+        self.failed_count += 1
+        self.bytes_failed += transfer.remaining
+        if transfer.src is not None:
+            self.bytes_out[transfer.src] -= transfer.remaining
+        if transfer.dst is not None:
+            self.bytes_in[transfer.dst] -= transfer.remaining
+        if transfer.on_failed is not None:
+            transfer.on_failed(transfer)
     def _advance(self) -> None:
         """Progress every active transfer linearly to the current time."""
         now = self.sim.now
@@ -329,6 +421,7 @@ class TransferScheduler:
             self._timer = None
         if not self._active:
             return
+        now = self.sim.now
         next_dt = math.inf
         for transfer in self._active.values():
             if transfer.remaining <= REMAINING_TOLERANCE:
@@ -339,6 +432,9 @@ class TransferScheduler:
                     next_dt = 0.0
                     break
                 next_dt = min(next_dt, transfer.remaining / transfer.rate)
+        for transfer in self._active.values():
+            if transfer.deadline is not None:
+                next_dt = min(next_dt, transfer.deadline - now)
         if math.isinf(next_dt):
             # Every remaining flow is rate-starved (a zero-capacity link);
             # nothing to schedule -- a future submit/completion may free it.
@@ -348,13 +444,13 @@ class TransferScheduler:
     def _on_timer(self) -> None:
         self._timer = None
         self._advance()
+        now = self.sim.now
         finished = [
             self._active[seq]
             for seq in sorted(self._active)
             if self._active[seq].remaining <= REMAINING_TOLERANCE
             or math.isinf(self._active[seq].rate)
         ]
-        now = self.sim.now
         for transfer in finished:
             del self._active[transfer.seq]
             transfer.remaining = 0.0
@@ -363,8 +459,20 @@ class TransferScheduler:
             self.completed_count += 1
             self.bytes_completed += transfer.size
             self.last_completion_time = now
+        # A transfer that both finishes and expires this instant counts as
+        # finished (checked above); the rest past their deadline time out.
+        expired = [
+            self._active[seq]
+            for seq in sorted(self._active)
+            if self._active[seq].deadline is not None
+            and self._active[seq].deadline <= now + 1e-12
+        ]
+        for transfer in expired:
+            del self._active[transfer.seq]
         self._reallocate()
         self._reschedule()
         for transfer in finished:
             if transfer.on_complete is not None:
                 transfer.on_complete(transfer)
+        for transfer in expired:
+            self._fail_transfer(transfer, "timeout")

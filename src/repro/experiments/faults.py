@@ -1,0 +1,325 @@
+"""Failure-domain fault panels: availability, data loss, repair under outages.
+
+The paper's robustness story (Fig 10, Table 3) is built from *independent*
+node failures.  This experiment subjects the same archive to the correlated
+events a deployment actually sees -- injected by
+:class:`~repro.sim.faults.FaultInjector` against the discrete-event kernel --
+and reports, per scenario, the four durability metrics of the robustness
+subsystem:
+
+* **availability** -- unavailable files after the event (and, where repair is
+  disabled, the degraded-read vs failed-read census of a sampled read
+  workload against the wounded archive);
+* **data loss** -- chunks and bytes that fell below the decode threshold;
+* **time-to-repair** -- per-failure repair completion times and the overall
+  repair makespan under the fair-share transfer scheduler;
+* **repair traffic** -- bytes crossing the network to re-protect the data
+  (regeneration reads plus replica re-replication copies).
+
+Scenarios, all at the paper's 10 000-node scale on one core: a whole-site
+outage (one correlated owner-domain mask over the ledger's int16 domain
+columns), a whole-rack outage (round-robin striping makes it loss-free: the
+erosion oracle), a 10 % flash-crowd mass failure with and without repair, a
+staggered rolling restart (reboots, not disk losses), and a rack outage
+repaired while a quarter of the population runs on degraded links.
+
+Run it::
+
+    python -m repro.cli faults                 # paper scale
+    python -m repro.cli faults --scale 0.1     # quick look
+    python -m repro.cli faults --smoke         # CI tier-1 smoke (seconds)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.core.transfer import TransferScheduler
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.experiments.results import TableResult
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, assign_domains
+from repro.sim.rng import RandomStreams
+from repro.workloads.capacity import CapacityConfig, generate_capacities
+from repro.workloads.filetrace import GB, MB, FileTraceConfig, generate_file_trace
+
+#: Scenario keys understood by :meth:`FaultsExperiment._run_scenario`.
+SCENARIOS = (
+    "site_outage",
+    "rack_outage",
+    "flash_crowd",
+    "flash_crowd_unrepaired",
+    "rolling_restart",
+    "degraded_rack_outage",
+)
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """Defaults for the fault-injection panels (time unit: seconds)."""
+
+    node_count: int = 10_000
+    capacity_mean: int = 45 * GB
+    capacity_std: int = 10 * GB
+    file_count: int = 10_000
+    mean_file_size: int = 243 * MB
+    std_file_size: int = 55 * MB
+    min_file_size: int = 50 * MB
+    blocks_per_chunk: int = 2
+    #: Replication target per placement; 2 exercises the re-replication path.
+    block_replication: int = 2
+    #: Failure-domain grid: ``sites x racks_per_site`` racks, round-robin
+    #: striped over the id space (a site outage downs 1/sites of the nodes).
+    sites: int = 4
+    racks_per_site: int = 4
+    #: Per-node symmetric link capacity (MB per simulated second).
+    bandwidth_mb_s: float = 8.0
+    #: Simulated seconds between consecutive per-node repair passes after a
+    #: correlated outage (all members are down before the first pass; the
+    #: staggering only bounds concurrent repair flows, not the end state).
+    repair_spacing_s: float = 5.0
+    #: Population fraction downed by the flash-crowd scenarios.
+    flash_fraction: float = 0.10
+    #: Rolling restart: node *i* of ``restart_count`` reboots at
+    #: ``i * restart_interval_s`` and returns ``restart_downtime_s`` later.
+    restart_count: int = 10
+    restart_interval_s: float = 30.0
+    restart_downtime_s: float = 60.0
+    #: Degraded-repair scenario: this fraction of the population keeps only
+    #: ``degrade_bandwidth_fraction`` of its links while a rack outage repairs.
+    degrade_node_fraction: float = 0.25
+    degrade_bandwidth_fraction: float = 0.25
+    #: Files sampled by the post-event read probe (degraded/failed census).
+    read_sample: int = 400
+    scenarios: tuple = SCENARIOS
+    seed: int = 7
+    #: Run on the array engine + columnar block ledger (domain masks need it).
+    vectorized: bool = True
+    #: Override the population-build mode independently of the pipeline mode
+    #: (None = follow ``vectorized``); identical RNG draws in both modes.
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
+
+
+#: The paper-scale configuration: 10 000 nodes, ~2.4 TB, 16 racks in 4 sites.
+PAPER_FAULTS = FaultsConfig()
+
+#: Tier-1 smoke scale: every scenario in a few seconds on one core.
+SMOKE_FAULTS = FaultsConfig(
+    node_count=160,
+    capacity_mean=400 * MB,
+    capacity_std=100 * MB,
+    file_count=240,
+    mean_file_size=10 * MB,
+    std_file_size=3 * MB,
+    min_file_size=1 * MB,
+    repair_spacing_s=0.0,
+    restart_count=5,
+    restart_interval_s=5.0,
+    restart_downtime_s=10.0,
+    read_sample=120,
+)
+
+
+@dataclass
+class FaultsResult:
+    """One row per scenario plus wall-clock timings."""
+
+    config: FaultsConfig
+    rows: List[Dict[str, float]] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def row(self, scenario: str) -> Dict[str, float]:
+        """The accounting row of one scenario."""
+        for entry in self.rows:
+            if entry["scenario"] == scenario:
+                return entry
+        raise KeyError(scenario)
+
+    def durability_table(self) -> TableResult:
+        table = TableResult(
+            title="Fault scenarios — durability "
+                  f"({self.config.block_replication}-copy target, "
+                  f"{self.config.sites}x{self.config.racks_per_site} racks)",
+            columns=["scenario", "nodes_down", "rows_killed", "replicas_restored",
+                     "regenerated_gb", "lost_gb", "chunks_lost", "availability_pct"],
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def repair_table(self) -> TableResult:
+        table = TableResult(
+            title="Fault scenarios — repair timing, traffic and read census "
+                  f"({self.config.bandwidth_mb_s:g} MB/s per-node links)",
+            columns=["scenario", "traffic_gb", "mean_ttr_s", "max_ttr_s",
+                     "makespan_s", "degraded_reads", "failed_reads", "reads_sampled"],
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+
+class FaultsExperiment:
+    """Runs the correlated-failure scenario panels (fresh deployment per cell)."""
+
+    def __init__(self, config: Optional[FaultsConfig] = None) -> None:
+        self.config = config or FaultsConfig()
+
+    def _deployment(self, streams: RandomStreams):
+        config = self.config
+        capacities = generate_capacities(
+            CapacityConfig(
+                node_count=config.node_count,
+                distribution="normal",
+                mean=config.capacity_mean,
+                std=config.capacity_std,
+            ),
+            rng=streams.fresh("capacities"),
+        )
+        network = OverlayNetwork.build(
+            config.node_count,
+            rng=streams.fresh("overlay"),
+            capacities=list(capacities),
+            routing_state=not config.resolved_fast_build(),
+        )
+        # RNG-free, so the population is byte-identical to an undomained build.
+        assign_domains(network.nodes(), sites=config.sites,
+                       racks_per_site=config.racks_per_site)
+        storage = StorageSystem(
+            DHTView(network),
+            codec=ChunkCodec(XorParityCode(group_size=2),
+                             blocks_per_chunk=config.blocks_per_chunk),
+            policy=StoragePolicy(block_replication=config.block_replication),
+            vectorized=config.vectorized,
+        )
+        trace = generate_file_trace(
+            FileTraceConfig(
+                file_count=config.file_count,
+                mean_size=config.mean_file_size,
+                std_size=config.std_file_size,
+                min_size=config.min_file_size,
+            ),
+            rng=streams.fresh("trace"),
+        )
+        for record in trace:
+            storage.store_file(record.name, record.size)
+        return network, storage
+
+    def _probe_reads(self, storage: StorageSystem) -> Dict[str, float]:
+        """Read a deterministic file sample; count degraded vs failed reads."""
+        names = sorted(storage.files)[: self.config.read_sample]
+        degraded_before = storage.degraded_reads
+        failed_before = storage.failed_reads
+        for name in names:
+            storage.retrieve_file(name)
+        return {
+            "reads_sampled": float(len(names)),
+            "degraded_reads": float(storage.degraded_reads - degraded_before),
+            "failed_reads": float(storage.failed_reads - failed_before),
+        }
+
+    def _inject(self, scenario: str, injector: FaultInjector,
+                network: OverlayNetwork) -> None:
+        config = self.config
+        if scenario == "site_outage":
+            injector.fail_domain(site=0)
+        elif scenario == "rack_outage":
+            injector.fail_domain(rack=0)
+        elif scenario == "flash_crowd":
+            injector.flash_crowd(fraction=config.flash_fraction,
+                                 rng=random.Random(config.seed))
+        elif scenario == "flash_crowd_unrepaired":
+            # No repair: the read probe censuses degraded vs failed reads
+            # against the wounded archive.
+            injector.flash_crowd(fraction=config.flash_fraction,
+                                 rng=random.Random(config.seed), repair=False)
+        elif scenario == "rolling_restart":
+            victims = [node.node_id
+                       for node in network.live_nodes()[: config.restart_count]]
+            injector.rolling_restart(victims, interval=config.restart_interval_s,
+                                     downtime=config.restart_downtime_s)
+        elif scenario == "degraded_rack_outage":
+            live = sorted(network.live_nodes(), key=lambda node: int(node.node_id))
+            count = max(1, int(len(live) * config.degrade_node_fraction))
+            stride = max(1, len(live) // count)
+            slow = [int(node.node_id) for node in live[::stride][:count]]
+            injector.degrade_nodes(slow, fraction=config.degrade_bandwidth_fraction)
+            # The outage must repair *through* the degraded links: pick the
+            # rack whose stride-selected members were just slowed.
+            injector.fail_domain(rack=1)
+        else:
+            raise ValueError(f"unknown fault scenario {scenario!r}")
+
+    def _run_scenario(self, scenario: str) -> Dict[str, float]:
+        """One fresh deployment + one injected scenario, drained to quiescence."""
+        config = self.config
+        streams = RandomStreams(config.seed)
+        cell_start = time.perf_counter()
+        network, storage = self._deployment(streams)
+        distribute_s = time.perf_counter() - cell_start
+
+        sim = Simulator()
+        rate = config.bandwidth_mb_s * MB
+        transfers = TransferScheduler(sim, uplink=rate, downlink=rate)
+        recovery = RecoveryManager(storage, transfers=transfers)
+        injector = FaultInjector(sim, network, recovery=recovery, transfers=transfers,
+                                 repair_spacing=config.repair_spacing_s)
+
+        inject_start = time.perf_counter()
+        self._inject(scenario, injector, network)
+        sim.run()  # drains staggered restarts and every repair transfer
+        inject_s = time.perf_counter() - inject_start
+
+        probe = self._probe_reads(storage)
+        events = injector.events
+        ttrs = np.asarray(recovery.repair_times(), dtype=float)
+        summary = transfers.summary()
+        unavailable = storage.unavailable_file_count()
+        total_files = max(1, len(storage.files))
+        return {
+            "scenario": scenario,
+            # Degraded nodes are slowed, not downed: count only real outages.
+            "nodes_down": float(sum(event.nodes_affected for event in events
+                                    if event.scenario != "degraded_nodes")),
+            "rows_killed": float(sum(event.rows_killed for event in events)),
+            "replicas_restored": float(sum(e.replicas_restored for e in events)),
+            "regenerated_gb": sum(e.bytes_regenerated for e in events) / GB,
+            "lost_gb": sum(e.data_bytes_lost for e in events) / GB,
+            "chunks_lost": float(sum(e.chunks_lost for e in events)),
+            "availability_pct": 100.0 * (1.0 - unavailable / total_files),
+            "traffic_gb": summary["bytes_submitted"] / GB,
+            "mean_ttr_s": float(ttrs.mean()) if ttrs.size else 0.0,
+            "max_ttr_s": float(ttrs.max()) if ttrs.size else 0.0,
+            "makespan_s": summary["last_completion_time"],
+            "transfers_failed": summary["failed"],
+            "distribute_s": distribute_s,
+            "inject_s": inject_s,
+            **probe,
+        }
+
+    def run(self) -> FaultsResult:
+        """Produce every configured scenario row (fresh deployment per cell)."""
+        result = FaultsResult(config=self.config)
+        start = time.perf_counter()
+        for scenario in self.config.scenarios:
+            result.rows.append(self._run_scenario(scenario))
+        result.timings = {
+            "total_s": time.perf_counter() - start,
+            "cells": float(len(result.rows)),
+        }
+        return result

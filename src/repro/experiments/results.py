@@ -14,7 +14,11 @@ performance trajectory recorded by the benchmark session hooks:
   join/leave churn-soak engine (10 000 nodes over simulated weeks);
 * ``BENCH_repair.json`` -- time-to-repair and repair-traffic records of the
   bandwidth-aware repair subsystem (fair-share transfer scheduler), including
-  the migration-vs-regeneration traffic ratio.
+  the migration-vs-regeneration traffic ratio;
+* ``BENCH_faults.json`` -- per-scenario durability records of the
+  failure-domain fault-injection panels (site/rack outages, flash crowd,
+  rolling restart, degraded links) with availability, data loss,
+  time-to-repair and repair traffic.
 
 ``python -m repro.cli bench --summary-only`` prints both via
 :func:`benchmark_summary`; the benchmarks themselves are run with
@@ -205,6 +209,33 @@ def repair_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def faults_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_faults.json rows as a per-scenario durability table."""
+    table = TableResult(
+        title="Fault injection (failure domains + durability-grade repair)",
+        columns=[
+            "scenario", "nodes", "nodes_down", "lost_gb", "availability_pct",
+            "traffic_gb", "mean_ttr_s", "makespan_s", "degraded_reads",
+            "failed_reads", "seconds",
+        ],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            scenario=row.get("scenario", "?"),
+            nodes=row.get("node_count", 0),
+            nodes_down=float(row.get("nodes_down", 0.0)),
+            lost_gb=float(row.get("lost_gb", 0.0)),
+            availability_pct=float(row.get("availability_pct", 0.0)),
+            traffic_gb=float(row.get("traffic_gb", 0.0)),
+            mean_ttr_s=float(row.get("mean_ttr_s", 0.0)),
+            makespan_s=float(row.get("makespan_s", 0.0)),
+            degraded_reads=float(row.get("degraded_reads", 0.0)),
+            failed_reads=float(row.get("failed_reads", 0.0)),
+            seconds=float(row.get("seconds", 0.0)),
+        )
+    return table
+
+
 def churn_benchmark_table(record: dict) -> TableResult:
     """Render the BENCH_churn.json rows as a failure-throughput table."""
     table = TableResult(
@@ -265,6 +296,9 @@ def benchmark_summary(root: Path) -> str:
     sections += _benchmark_section(root, "BENCH_soak.json", soak_benchmark_table, "soak engine")
     sections += _benchmark_section(
         root, "BENCH_repair.json", repair_benchmark_table, "repair subsystem"
+    )
+    sections += _benchmark_section(
+        root, "BENCH_faults.json", faults_benchmark_table, "fault injection"
     )
     return "\n\n".join(sections)
 

@@ -211,6 +211,9 @@ class SoakExperiment:
 
     def __init__(self, config: Optional[SoakConfig] = None) -> None:
         self.config = config or SoakConfig()
+        #: Final storage system after :meth:`run`, for post-soak oracles
+        #: (e.g. the replication-histogram no-decay assertion).
+        self.storage: Optional[StorageSystem] = None
 
     def _distribute(self, streams: RandomStreams) -> StorageSystem:
         config = self.config
@@ -253,6 +256,7 @@ class SoakExperiment:
         streams = RandomStreams(config.seed)
         phase_start = time.perf_counter()
         storage = self._distribute(streams)
+        self.storage = storage
         distribute_s = time.perf_counter() - phase_start
 
         dht = storage.dht

@@ -140,6 +140,12 @@ class OverlayNode:
     #: "a node may choose to only report a fraction of its actual available
     #: capacity per getCapacity message").
     capacity_report_fraction: float = 1.0
+    #: Failure domain: the site (machine room / campus) this node lives in and
+    #: the rack within it.  ``-1`` = unassigned (every node its own domain).
+    #: Rack ids are globally unique (``site * racks_per_site + rack``), so a
+    #: whole-rack outage is a single equality test on one column.
+    site: int = -1
+    rack: int = -1
     leaf_set: LeafSet = field(init=False)
     routing_table: RoutingTable = field(init=False)
     #: Names and sizes of blocks stored locally: {block_name: size}.

@@ -20,7 +20,8 @@ def test_no_arguments_prints_help_list(capsys):
 
 def test_parser_knows_all_experiments():
     parser = build_parser()
-    for name in ("insertion", "availability", "coding", "churn", "soak", "multicast", "condor"):
+    for name in ("insertion", "availability", "coding", "churn", "soak", "faults",
+                 "multicast", "condor"):
         args = parser.parse_args([name])
         assert args.experiment == name
         assert callable(args.func)
@@ -88,6 +89,19 @@ def test_soak_scalar_flag_skips_ledger_columns(capsys):
     assert "seed scalar path" in out
     # No ledger on the scalar path: no compaction passes, no row accounting.
     assert "compactions=0.00" in out and "peak_ledger_rows=0.00" in out
+
+
+def test_faults_smoke_runs_every_scenario(capsys):
+    """The tier-1 smoke: every fault scenario end to end in seconds."""
+    assert main(["faults", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    for scenario in ("site_outage", "rack_outage", "flash_crowd",
+                     "flash_crowd_unrepaired", "rolling_restart",
+                     "degraded_rack_outage"):
+        assert scenario in out
+    assert "durability" in out and "read census" in out
+    # The loss-free rack-outage oracle survives the CLI path end to end.
+    assert "wall time" in out
 
 
 def test_insertion_command_runs_small(capsys):

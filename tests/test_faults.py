@@ -1,0 +1,260 @@
+"""Failure-domain fault injection and durability-grade repair oracles.
+
+The load-bearing oracle: a whole-site outage injected through the ledger's
+one-mask domain kill must produce *identical* end state -- availability,
+replication histogram, placements, per-node usage -- to the equivalent
+sequence of scalar per-node failures, and with repair enabled the
+post-repair replication-level histogram must return to the configured
+target (the erosion bug the re-replication path closes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node_state import NodeArrayState
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, assign_domains
+from repro.workloads.filetrace import MB, FileTraceConfig, generate_file_trace
+
+TARGET_REPLICATION = 2
+
+
+def _deployment(seed=7, node_count=48, file_count=60, sites=3, racks_per_site=2):
+    """A vectorized deployment with failure domains and 2-way replication."""
+    rng = np.random.default_rng(seed)
+    capacities = [max(int(c), 32 * MB) for c in rng.normal(150 * MB, 30 * MB, size=node_count)]
+    network = OverlayNetwork.build(
+        node_count,
+        np.random.default_rng(seed + 1),
+        capacities=capacities,
+        routing_state=False,
+    )
+    assign_domains(network.nodes(), sites=sites, racks_per_site=racks_per_site)
+    storage = StorageSystem(
+        DHTView(network),
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(block_replication=TARGET_REPLICATION),
+        vectorized=True,
+    )
+    trace = generate_file_trace(
+        FileTraceConfig(file_count=file_count, mean_size=10 * MB, std_size=3 * MB, min_size=1 * MB),
+        rng=np.random.default_rng(seed + 2),
+    )
+    for record in trace:
+        storage.store_file(record.name, record.size)
+    return network, storage, RecoveryManager(storage)
+
+
+def _placements_snapshot(storage: StorageSystem):
+    return {
+        name: [
+            (chunk.chunk_no, [
+                (p.block_name, int(p.node_id), p.size, tuple(sorted(map(int, p.replica_nodes))))
+                for p in chunk.placements
+            ])
+            for chunk in stored.chunks
+        ]
+        for name, stored in storage.files.items()
+    }
+
+
+# ------------------------------------------------------------------ domains --
+def test_assign_domains_is_deterministic_and_rng_free():
+    rng_before = np.random.default_rng(3)
+    network = OverlayNetwork.build(24, np.random.default_rng(3), routing_state=False)
+    reference = OverlayNetwork.build(24, np.random.default_rng(3), routing_state=False)
+    assign_domains(network.nodes(), sites=2, racks_per_site=3)
+    # Identical population: domain assignment never consumes the build RNG.
+    assert [int(n.node_id) for n in network.nodes()] == [
+        int(n.node_id) for n in reference.nodes()
+    ]
+    for node in network.nodes():
+        assert 0 <= node.site < 2
+        assert node.site == node.rack // 3
+    # Deterministic: a rebuilt population gets byte-identical domains.
+    assign_domains(reference.nodes(), sites=2, racks_per_site=3)
+    assert [(n.site, n.rack) for n in network.nodes()] == [
+        (n.site, n.rack) for n in reference.nodes()
+    ]
+
+
+def test_node_array_state_exposes_domain_columns():
+    network = OverlayNetwork.build(30, np.random.default_rng(5), routing_state=False)
+    assign_domains(network.nodes(), sites=2, racks_per_site=2)
+    state = NodeArrayState(network.nodes())
+    assert state.site_array().dtype == np.int16
+    assert state.rack_array().dtype == np.int16
+    members = state.domain_members(site=1)
+    assert members and all(node.site == 1 for node in members)
+    rack_members = state.domain_members(rack=2)
+    assert rack_members and all(node.rack == 2 for node in rack_members)
+    with pytest.raises(ValueError):
+        state.domain_members()
+
+
+# --------------------------------------------------------- correlated oracle --
+def test_site_outage_mask_equals_scalar_failure_sequence():
+    """One-mask domain kill == N scalar failures, end state for end state."""
+    net_mask, st_mask, mgr_mask = _deployment(seed=7)
+    net_scalar, st_scalar, mgr_scalar = _deployment(seed=7)
+
+    injector = FaultInjector(Simulator(), net_mask, recovery=mgr_mask)
+    event = injector.fail_domain(site=0)
+    assert event.rows_killed > 0
+    assert event.nodes_affected > 0
+
+    # The equivalent scalar sequence: every member fails (per-node listener
+    # sweeps), then the same per-node repair passes in the same order.
+    members = [n for n in net_scalar.nodes() if n.alive and n.site == 0]
+    assert len(members) == event.nodes_affected
+    for node in members:
+        net_scalar.fail(node.node_id)
+    for node in members:
+        mgr_scalar.handle_failure(node.node_id)
+
+    assert st_mask.unavailable_file_count() == st_scalar.unavailable_file_count()
+    np.testing.assert_array_equal(
+        st_mask.ledger.replication_histogram(), st_scalar.ledger.replication_histogram()
+    )
+    assert _placements_snapshot(st_mask) == _placements_snapshot(st_scalar)
+    for name in st_mask.files:
+        assert st_mask.is_file_available(name) == st_scalar.is_file_available(name), name
+    usage_mask = [(int(n.node_id), n.used) for n in net_mask.live_nodes()]
+    usage_scalar = [(int(n.node_id), n.used) for n in net_scalar.live_nodes()]
+    assert usage_mask == usage_scalar
+
+
+def test_rack_outage_repair_restores_replication_target():
+    """Post-repair histogram returns to the configured target: no erosion."""
+    network, storage, manager = _deployment(seed=11)
+    ledger = storage.ledger
+    assert ledger.placements_below(TARGET_REPLICATION) == 0
+    injector = FaultInjector(Simulator(), network, recovery=manager)
+
+    event = injector.fail_domain(rack=3)
+    assert event.nodes_affected > 0
+    # Round-robin striping keeps a placement's copies in distinct racks, so a
+    # single-rack outage never kills every copy of a block: zero data loss...
+    assert event.data_bytes_lost == 0
+    assert event.replicas_restored > 0
+    # ...and repair re-replicates every eroded placement back to target.
+    assert ledger.placements_below(TARGET_REPLICATION) == 0
+    assert storage.unavailable_file_count() == 0
+
+
+def test_replica_loss_does_not_repoint_primary():
+    """Killing a replica holder re-replicates; the primary stays in place."""
+    network, storage, manager = _deployment(seed=13, file_count=20)
+    chunk = next(
+        chunk
+        for stored in storage.files.values()
+        for chunk in stored.data_chunks()
+        if chunk.placements and chunk.placements[0].replica_nodes
+    )
+    placement = chunk.placements[0]
+    primary = int(placement.node_id)
+    victim = placement.replica_nodes[0]
+    manager.handle_failure(victim)
+    after = chunk.placements[0]
+    assert int(after.node_id) == primary
+    assert int(victim) not in set(map(int, after.replica_nodes))
+    assert len(after.replica_nodes) == len(placement.replica_nodes)
+    assert storage.ledger.placements_below(TARGET_REPLICATION) == 0
+
+
+def test_staggered_repair_matches_synchronous_end_state():
+    """repair_spacing staggers the passes on the sim clock; every member is
+    already down before the first pass, so the repaired end state is
+    byte-identical to the synchronous injection."""
+    net_sync, st_sync, mgr_sync = _deployment(seed=31)
+    net_stag, st_stag, mgr_stag = _deployment(seed=31)
+
+    FaultInjector(Simulator(), net_sync, recovery=mgr_sync).fail_domain(site=1)
+
+    sim = Simulator()
+    injector = FaultInjector(sim, net_stag, recovery=mgr_stag, repair_spacing=2.0)
+    event = injector.fail_domain(site=1)
+    assert event.bytes_regenerated == 0  # nothing repaired before the clock runs
+    sim.run()
+    assert event.bytes_regenerated > 0
+
+    np.testing.assert_array_equal(
+        st_sync.ledger.replication_histogram(), st_stag.ledger.replication_histogram()
+    )
+    assert _placements_snapshot(st_sync) == _placements_snapshot(st_stag)
+    assert st_sync.unavailable_file_count() == st_stag.unavailable_file_count()
+    with pytest.raises(ValueError):
+        FaultInjector(sim, net_stag, repair_spacing=-1.0)
+
+
+# ------------------------------------------------------------ scenario smoke --
+def test_flash_crowd_fails_fraction_and_reads_degrade():
+    network, storage, manager = _deployment(seed=17)
+    live_before = len(network.live_nodes())
+    injector = FaultInjector(Simulator(), network, recovery=manager)
+
+    event = injector.flash_crowd(fraction=0.25, rng=random.Random(41), repair=False)
+    assert event.nodes_affected == max(1, int(np.ceil(live_before * 0.25)))
+    assert len(network.live_nodes()) == live_before - event.nodes_affected
+
+    # Without repair, recoverable-but-wounded chunks surface as degraded
+    # reads; unrecoverable ones as failed reads.
+    degraded = failed = 0
+    for name in storage.files:
+        result = storage.retrieve_file(name)
+        if not result.complete:
+            failed += 1
+            assert result.failure_reason is not None
+        elif result.degraded:
+            degraded += 1
+            assert result.chunks_degraded > 0
+    assert degraded > 0
+    assert storage.degraded_reads == degraded
+    assert storage.failed_reads == failed
+
+
+def test_rolling_restart_returns_nodes_with_data_intact():
+    network, storage, manager = _deployment(seed=19, file_count=30)
+    sim = Simulator()
+    injector = FaultInjector(sim, network, recovery=manager)
+    victims = [n.node_id for n in network.live_nodes()[:6]]
+
+    injector.rolling_restart(victims, interval=10.0, downtime=5.0, wipe=False)
+    sim.run(until=200.0)
+
+    assert all(network.node(v).alive for v in victims)
+    # A reboot (wipe=False) revives the rows: no file is left unavailable.
+    assert storage.unavailable_file_count() == 0
+    assert storage.ledger.placements_below(TARGET_REPLICATION) == 0
+    restarts = [e for e in injector.events if e.scenario == "rolling_restart"]
+    assert len(restarts) == len(victims)
+
+
+def test_degrade_nodes_cuts_bandwidth_via_scheduler():
+    from repro.core.transfer import TransferScheduler
+
+    network, storage, manager = _deployment(seed=23, file_count=10)
+    sim = Simulator()
+    scheduler = TransferScheduler(sim, uplink=100.0, downlink=100.0)
+    injector = FaultInjector(sim, network, recovery=manager, transfers=scheduler)
+
+    event = injector.degrade_nodes([1, 2], fraction=0.25)
+    assert event.scenario == "degraded_nodes"
+    assert scheduler.uplink_of(1) == pytest.approx(25.0)
+    assert scheduler.downlink_of(2) == pytest.approx(25.0)
+    assert scheduler.uplink_of(3) == pytest.approx(100.0)
+
+    no_scheduler = FaultInjector(sim, network, recovery=manager)
+    with pytest.raises(ValueError):
+        no_scheduler.degrade_nodes([1], fraction=0.5)

@@ -104,9 +104,8 @@ LEAVES_ONLY = replace(
     # One neighbour replica per block: even when a departing node co-locates
     # two blocks of one chunk, every placement keeps a live copy, so
     # regeneration never hits an undecodable chunk migration would have saved.
-    # (Repair does not re-replicate, so over a long enough horizon replica
-    # erosion would reintroduce the co-location loss; the 24 h / ~37-leave
-    # window stays loss-free, and the precondition below guards it.)
+    # (Repair re-replicates lost neighbour replicas, so the replication level
+    # holds at the target indefinitely; the no-decay oracle below pins it.)
     block_replication=2,
 )
 
@@ -146,6 +145,45 @@ def test_migration_soak_scalar_and_ledger_paths_sample_identical_series():
     assert scalar.counters == vector.counters
     assert scalar.recovery_totals == vector.recovery_totals
     assert vector.recovery_totals["total_migrated_bytes"] > 0.0
+
+
+#: One simulated week of full churn (failures, wiped returns, joins, leaves)
+#: at a 2-copy replication target -- the regime in which repair without
+#: re-replication silently eroded replicas before the durability-grade fix.
+WEEK_REPLICATED = replace(
+    SMALL,
+    horizon_hours=7 * 24.0,
+    block_replication=2,
+    seed=29,
+)
+
+
+def test_replication_histogram_does_not_decay_over_week_of_churn():
+    """Soak-level erosion oracle: after a sim-week of churn, every placement
+    of every still-recoverable chunk holds the full replication target --
+    only chunks that genuinely lost data may sit below it -- and the O(1)
+    incremental histogram agrees exactly with a from-scratch recount."""
+    target = WEEK_REPLICATED.block_replication
+    experiment = SoakExperiment(WEEK_REPLICATED)
+    result = experiment.run()
+    assert result.counters["failures"] > 100  # the week exercised real churn
+    storage = experiment.storage
+    ledger = storage.ledger
+    below_recount = 0
+    for stored in storage.files.values():
+        for chunk in stored.data_chunks():
+            if chunk.ledger_index is None:
+                continue
+            recoverable = storage.chunk_is_recoverable(chunk)
+            for position in range(len(chunk.placements)):
+                placement_idx = ledger.placement_for(chunk.ledger_index, position)
+                copies = ledger.placement_live_copies(placement_idx)
+                if copies < target:
+                    below_recount += 1
+                    # No erosion: an under-replicated placement is only ever
+                    # the residue of an unrecoverable (data-loss) chunk.
+                    assert not recoverable, (stored.name, chunk.chunk_no, copies)
+    assert ledger.placements_below(target) == below_recount
 
 
 def test_bandwidth_constrained_soak_keeps_state_exact_and_takes_time():

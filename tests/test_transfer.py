@@ -138,3 +138,77 @@ def test_completion_callback_runs_at_completion_time_not_submit_time():
     assert seen == []  # still in flight at t=5
     sim.run()
     assert seen == [pytest.approx(10.0)]
+
+
+# ----------------------------------------------------------- failure semantics --
+def test_submit_to_dead_endpoint_fails_deterministically():
+    """A zero-bandwidth endpoint fails the transfer instead of stalling."""
+    sim, sched = _scheduler(uplink=100.0, downlink=100.0)
+    sched.set_node_bandwidth(7, uplink=0.0, downlink=0.0)
+    failed, completed = [], []
+    dead_src = sched.submit(
+        100.0, src=7, dst=2,
+        on_complete=lambda t: completed.append(t),
+        on_failed=lambda t: failed.append((t, sim.now)),
+    )
+    assert failed == []  # nothing fires synchronously at submit
+    sim.run()
+    assert completed == []
+    assert failed == [(dead_src, pytest.approx(0.0))]
+    assert dead_src.failed and not dead_src.done
+    assert dead_src.failure_reason == "dead endpoint"
+    assert sched.idle
+    summary = sched.summary()
+    assert summary["failed"] == 1.0
+    assert summary["bytes_failed"] == pytest.approx(100.0)
+
+
+def test_midflight_endpoint_failure_fails_crossing_transfers():
+    """Cutting a node's bandwidth to zero fails its in-flight transfers."""
+    sim, sched = _scheduler(uplink=100.0, downlink=100.0)
+    failed, completed = [], []
+    doomed = sched.submit(
+        1000.0, src=1, dst=2,
+        on_complete=lambda t: completed.append(t),
+        on_failed=lambda t: failed.append(sim.now),
+    )
+    survivor = sched.submit(300.0, src=3, dst=4, on_complete=lambda t: completed.append(t))
+    sim.schedule(2.0, lambda: sched.set_node_bandwidth(1, uplink=0.0, downlink=0.0))
+    sim.run()
+    assert failed == [pytest.approx(2.0)]
+    assert doomed.failed
+    # The undelivered residual is refunded: the ledger keeps only the 200
+    # bytes that actually crossed the link before the failure.
+    assert sched.bytes_out.get(1, 0.0) == pytest.approx(200.0)
+    assert sched.summary()["bytes_failed"] == pytest.approx(800.0)
+    assert completed == [survivor]
+    assert survivor.finished_at == pytest.approx(3.0)
+
+
+def test_bandwidth_reset_during_active_transfer_reshapes_rate():
+    """set_node_bandwidth on a live transfer re-shares rates going forward."""
+    sim, sched = _scheduler(uplink=100.0, downlink=None)
+    transfer = sched.submit(400.0, src=1, dst=2)
+    assert transfer.rate == pytest.approx(100.0)
+    # After 2 units (200 bytes moved) the uplink is halved: the remaining
+    # 200 bytes drain at 50 B/s and finish at t = 2 + 4 = 6.
+    sim.schedule(2.0, lambda: sched.set_node_bandwidth(1, uplink=50.0, downlink=None))
+    sim.run()
+    assert transfer.done
+    assert transfer.finished_at == pytest.approx(6.0)
+    assert sched.bytes_out[1] == pytest.approx(400.0)
+
+
+def test_transfer_timeout_fails_via_on_failed():
+    sim, sched = _scheduler(uplink=10.0)
+    failed = []
+    slow = sched.submit(
+        1000.0, src=1, dst=2, on_failed=lambda t: failed.append(sim.now), timeout=5.0
+    )
+    ok = sched.submit(20.0, src=3, dst=4)
+    sim.run()
+    assert failed == [pytest.approx(5.0)]
+    assert slow.failed and slow.failure_reason == "timeout"
+    assert ok.done
+    with pytest.raises(ValueError):
+        sched.submit(10.0, src=1, dst=2, timeout=0.0)
