@@ -28,7 +28,13 @@ from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, Avai
 from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
-from repro.experiments.faults import PAPER_FAULTS, SMOKE_FAULTS, FaultsExperiment
+from repro.experiments.faults import (
+    FINITE_CORE_FAULTS,
+    PAPER_FAULTS,
+    SMOKE_FAULTS,
+    SMOKE_FINITE_CORE,
+    FaultsExperiment,
+)
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
@@ -188,10 +194,11 @@ def _run_faults(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     if args.smoke:
-        config = replace(SMOKE_FAULTS, seed=args.seed)
+        config = replace(SMOKE_FINITE_CORE if args.oversub else SMOKE_FAULTS,
+                         seed=args.seed)
     else:
         config = replace(
-            PAPER_FAULTS,
+            FINITE_CORE_FAULTS if args.oversub else PAPER_FAULTS,
             node_count=max(2, int(round(args.nodes * args.scale))),
             file_count=max(1, int(round(args.files * args.scale))),
             flash_fraction=args.flash_pct / 100.0,
@@ -200,15 +207,22 @@ def _run_faults(args: argparse.Namespace) -> int:
             racks_per_site=args.racks_per_site,
             seed=args.seed,
         )
+    if args.oversub:
+        config = replace(config, oversubscription=args.oversub)
     start = time.perf_counter()
     result = FaultsExperiment(config).run()
     elapsed = time.perf_counter() - start
     print(result.durability_table().format(float_format="{:,.2f}"))
     print()
     print(result.repair_table().format(float_format="{:,.2f}"))
+    if args.oversub:
+        print()
+        print(result.topology_table().format(float_format="{:,.2f}"))
+    core = (f"{args.oversub:g}:1 oversubscribed core" if args.oversub
+            else "access links only")
     print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
           f"{config.sites}x{config.racks_per_site} racks, "
-          f"{config.block_replication}-copy target)")
+          f"{config.block_replication}-copy target, {core})")
     return 0
 
 
@@ -389,6 +403,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiply nodes and files by this factor (e.g. 0.1)")
     faults.add_argument("--smoke", action="store_true",
                         help="run the fixed tier-1 smoke configuration (seconds)")
+    faults.add_argument("--oversub", type=float, default=None, metavar="RATIO",
+                        help="finite two-stage core: trunks carry the members' "
+                             "aggregate access bandwidth / RATIO (adds the "
+                             "recovery-storm panel and the topology table)")
     faults.add_argument("--seed", type=int, default=PAPER_FAULTS.seed)
     faults.set_defaults(func=_run_faults)
 

@@ -62,7 +62,7 @@ from repro.core import naming
 from repro.core.block_ledger import BlockLedger
 from repro.core.cat import ChunkAllocationTable
 from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk, StoredFile
-from repro.core.transfer import TransferScheduler
+from repro.core.transfer import TransferPacer, TransferScheduler
 from repro.overlay.ids import NodeId
 from repro.overlay.node import OverlayNode
 
@@ -124,6 +124,29 @@ class RepairPlanner:
         #: Tenant whose chunk rows this planner repairs (0 for a private
         #: ledger; shared multi-tenant ledgers tag rows per tenant).
         self.tenant_id = getattr(storage.ledger, "tenant_id", 0)
+        #: Transfer scheduler consulted for congestion-aware source ranking;
+        #: ranking activates only when it also carries a topology, so the
+        #: access-only and instantaneous paths keep the seed selection order.
+        self.transfers: Optional[TransferScheduler] = None
+
+    def _rank_sources(self, candidates: list, early_stop: Optional[int] = None) -> list:
+        """Stable-sort read-source candidates by outbound path congestion.
+
+        Candidates whose uplink/rack/site stages are saturated sort last, so
+        a repair read prefers copies reachable without crossing a hot trunk.
+        The sort is stable and gated on an attached topology: with no
+        topology (or an unconstrained one, where every congestion is 0) the
+        original placement order is preserved exactly -- the infinite-core
+        oracle's selection guarantee.
+        """
+        transfers = self.transfers
+        if transfers is None or transfers.topology is None or len(candidates) <= 1:
+            return candidates if early_stop is None else candidates[:early_stop]
+        ranked = sorted(
+            candidates,
+            key=lambda node: transfers.source_congestion(int(node.node_id)),
+        )
+        return ranked if early_stop is None else ranked[:early_stop]
 
     # -------------------------------------------------------- classification --
     def classify_row(self, row: int, name: str, ledger: BlockLedger, failed_node: NodeId):
@@ -194,8 +217,11 @@ class RepairPlanner:
         One surviving copy per placement (the decoder needs ``required``
         distinct blocks of the chunk), skipping the placement being repaired.
         Only consulted when a transfer scheduler is charging repair traffic.
+        With a topology attached the candidates are congestion-ranked (least
+        saturated outbound path first) before truncation to ``required``.
         """
         required = self.storage.codec.spec().required_blocks()
+        rank = self.transfers is not None and self.transfers.topology is not None
         sources: List[OverlayNode] = []
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
@@ -207,9 +233,9 @@ class RepairPlanner:
                 owner = ledger.live_copy_owner(placement_idx)
                 if owner is not None:
                     sources.append(owner)
-                    if len(sources) >= required:
+                    if not rank and len(sources) >= required:
                         break
-            return sources
+            return self._rank_sources(sources, required)
         network = self.dht.network
         for position, placement in enumerate(chunk.placements):
             if position == skip_position:
@@ -218,9 +244,9 @@ class RepairPlanner:
                 if node_id in network and network.node(node_id).has_block(placement.block_name):
                     sources.append(network.node(node_id))
                     break
-            if len(sources) >= required:
+            if not rank and len(sources) >= required:
                 break
-        return sources
+        return self._rank_sources(sources, required)
 
     @staticmethod
     def _find_chunk(stored: StoredFile, chunk_no: int) -> Optional[StoredChunk]:
@@ -269,6 +295,14 @@ class RepairExecutor:
         self.max_retries: int = 3
         #: Base delay of the exponential retry backoff (doubles per attempt).
         self.retry_backoff: float = 1.0
+        #: Fair-share weight of repair transfers (< 1.0 de-prioritises repair
+        #: below weight-1.0 foreground traffic on every shared link).
+        self.repair_weight: float = 1.0
+        #: Optional admission controller: repair submissions beyond its
+        #: bounded in-flight window are queued (never dropped) and drain as
+        #: completions free slots -- the recovery-storm backpressure valve.
+        #: ``None`` submits directly (the seed behaviour).
+        self.pacer: Optional[TransferPacer] = None
         #: Transfer specs staged for the failure currently being processed:
         #: ``(size, src, dst, ctx)`` where ``ctx`` is ``None`` or a
         #: ``(mode, chunk, position)`` re-planning context.
@@ -313,15 +347,29 @@ class RepairExecutor:
                 delay = self.retry_backoff * (2.0 ** attempt)
                 spec = submit_spec(size, new_src, dst, ctx, attempt + 1)
                 self.transfers.sim.schedule(
-                    delay, lambda spec=spec: self.transfers.submit_many([spec])
+                    delay, lambda spec=spec: self._submit([spec])
                 )
 
             impact.repair_traffic_bytes += int(size)
             return (size, src, dst, lambda _t: settle(), on_failed, self.transfer_timeout)
 
-        self.transfers.submit_many(
+        self._submit(
             [submit_spec(size, src, dst, ctx, 0) for size, src, dst, ctx in staged]
         )
+
+    def _submit(self, specs: List[tuple]) -> None:
+        """Route repair specs through the admission window (when configured).
+
+        Without a pacer the specs go straight to the scheduler tagged with
+        the repair weight class -- weight 1.0 is arithmetically the unweighted
+        seed path, so the default stays bit-identical.
+        """
+        if self.pacer is not None:
+            self.pacer.submit_many(specs)
+        else:
+            self.transfers.submit_many(
+                [spec + (self.repair_weight,) for spec in specs]
+            )
 
     def _stage(
         self,
@@ -350,13 +398,9 @@ class RepairExecutor:
         mode, chunk, position = ctx
         exclude = {x for x in (failed_src, dst) if x is not None}
         if mode == "copy" and 0 <= position < len(chunk.placements):
-            placement = chunk.placements[position]
-            network = self.dht.network
-            for node_id in (placement.node_id, *placement.replica_nodes):
-                if int(node_id) in exclude:
-                    continue
-                if node_id in network and network.node(node_id).has_block(placement.block_name):
-                    return int(node_id)
+            source = self._copy_source(chunk, position, exclude)
+            if source is not None:
+                return source
         if self.planner is not None:
             for source in self.planner.regeneration_sources(chunk, position):
                 if int(source.node_id) not in exclude:
@@ -564,15 +608,27 @@ class RepairExecutor:
         return None
 
     def _copy_source(self, chunk: StoredChunk, position: int, exclude: set) -> Optional[int]:
-        """A live holder of the placement's block a copy can be read from."""
+        """A live holder of the placement's block a copy can be read from.
+
+        With a topology attached, the least congested holder (outbound path)
+        wins; ties -- and the no-topology path -- keep the primary-first
+        placement order.
+        """
         placement = chunk.placements[position]
         network = self.dht.network
+        candidates: List[int] = []
         for node_id in (placement.node_id, *placement.replica_nodes):
             if int(node_id) in exclude:
                 continue
             if node_id in network and network.node(node_id).has_block(placement.block_name):
-                return int(node_id)
-        return None
+                if self.transfers is None or self.transfers.topology is None:
+                    return int(node_id)
+                candidates.append(int(node_id))
+        if not candidates:
+            return None
+        # min() keeps the first of tied candidates, so zero congestion
+        # everywhere reproduces the placement-order pick exactly.
+        return min(candidates, key=self.transfers.source_congestion)
 
     def place_block(
         self, block_name: str, size: int, exclude: NodeId, key: Optional[int] = None
@@ -621,13 +677,22 @@ class RepairExecutor:
                 self.storage.ledger.restore_meta_copy(target, name, size, digest)
 
     def _meta_source(self, name: str, target: OverlayNode) -> Optional[int]:
-        """The surviving replica a meta/CAT restore copies its bytes from."""
+        """The surviving replica a meta/CAT restore copies its bytes from.
+
+        Congestion-ranked like the block reads: with a topology attached the
+        least loaded surviving replica serves the restore.
+        """
         if self.transfers is None:
             return None
+        candidates: List[int] = []
         for candidate in self.dht.neighbors(target.node_id, 8):
             if candidate.node_id != target.node_id and candidate.has_block(name):
-                return int(candidate.node_id)
-        return None
+                if self.transfers.topology is None:
+                    return int(candidate.node_id)
+                candidates.append(int(candidate.node_id))
+        if not candidates:
+            return None
+        return min(candidates, key=self.transfers.source_congestion)
 
     # ------------------------------------------------------------- migration --
     def migrate_block(
@@ -835,6 +900,8 @@ class RecoveryManager:
         storage: StorageSystem,
         relocate_when_full: bool = True,
         transfers: Optional[TransferScheduler] = None,
+        repair_window: Optional[int] = None,
+        repair_weight: float = 1.0,
     ) -> None:
         self.storage = storage
         self.dht = storage.dht
@@ -842,8 +909,20 @@ class RecoveryManager:
         #: repair instantaneous -- the preserved seed behaviour.
         self.transfers = transfers
         self.planner = RepairPlanner(storage)
+        self.planner.transfers = transfers
         self.executor = RepairExecutor(storage, relocate_when_full, transfers)
         self.executor.planner = self.planner
+        self.executor.repair_weight = repair_weight
+        #: Repair QoS knobs: ``repair_window`` bounds in-flight repair
+        #: transfers (overflow queues FIFO -- backpressure, not drops) and
+        #: ``repair_weight`` is the repair class's fair-share weight; the
+        #: defaults (no window, weight 1.0) are the seed behaviour.
+        self.pacer: Optional[TransferPacer] = None
+        if transfers is not None and repair_window is not None:
+            self.pacer = TransferPacer(
+                transfers, max_in_flight=repair_window, weight=repair_weight
+            )
+            self.executor.pacer = self.pacer
         self.impacts: List[FailureImpact] = []
 
     @property

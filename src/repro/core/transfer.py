@@ -8,27 +8,60 @@ simulated time), and moving ``B`` bytes between two participants becomes a
 :class:`Transfer` whose completion time emerges from how the contended links
 are shared.
 
-Fair-share model (progressive filling)
---------------------------------------
+Two-stage network model
+-----------------------
+A real archive's recovery storm does not die at the access links -- it dies in
+the oversubscribed core.  With a :class:`NetworkTopology` attached, every
+transfer traverses up to three stages, keyed off the failure-domain grid
+(:attr:`repro.overlay.node.OverlayNode.site` / ``rack``):
+
+1. the source's **access uplink** (per-node, as before);
+2. zero or more shared **trunk links**: the source rack's aggregation uplink,
+   the source site's transit uplink, the destination site's transit downlink
+   and the destination rack's aggregation downlink -- intra-rack transfers
+   cross no trunk, intra-site transfers cross only the two rack aggregation
+   trunks, inter-site transfers cross all four;
+3. the destination's **access downlink**.
+
+Max-min fair share is computed over *all* constrained links of every active
+flow, so a 4:1-oversubscribed site trunk, not the per-node links, sets the
+saturation point under correlated load.  Each transfer is also assigned a
+**latency class** (``intra_rack`` / ``intra_site`` / ``inter_site``): the
+class's propagation latency delays the flow's activation, during which it
+consumes no bandwidth.  A trunk capacity of ``None`` means the stage is
+unconstrained and a latency of ``0`` removes the activation delay -- with
+unbounded trunks and a single zero-latency class the schedule is
+*bit-identical* to the access-only model (the infinite-core oracle in
+``tests/test_topology.py``).
+
+Fair-share model (weighted progressive filling)
+-----------------------------------------------
 At any instant the set of active transfers is assigned rates by *progressive
-filling* (max-min fairness over a fluid-flow network, Bertsekas & Gallager):
+filling* (weighted max-min fairness over a fluid-flow network, Bertsekas &
+Gallager):
 
 1. every transfer starts unfrozen with rate 0; every finite link starts with
    its full capacity;
-2. the link whose equal split ``capacity / unfrozen_flows`` is smallest is the
-   bottleneck: all its unfrozen flows are frozen at that share, and the share
-   is subtracted from the capacity of every other link those flows cross;
+2. the link whose fill level ``capacity / unfrozen_weight`` is smallest is
+   the bottleneck: all its unfrozen flows are frozen at ``level x weight``,
+   and each frozen rate is subtracted from the capacity of every other link
+   the flow crosses;
 3. repeat until every flow is frozen (flows crossing no finite link get an
    infinite rate, i.e. complete in zero simulated time).
 
-A transfer crosses at most two links -- its source's uplink and its
-destination's downlink -- so the filling runs in ``O(F log F)`` per
-reallocation using a lazy min-heap over link shares.  Rates are recomputed
-only when the active set changes (a submission or a completion batch), and
-between recomputations every transfer progresses linearly, which is what lets
-the scheduler ride the discrete-event kernel of :mod:`repro.sim.engine`: the
-next completion is a single scheduled callback that is cancelled and
-re-scheduled whenever the allocation changes.
+Weights are the priority-class mechanism: a repair flow of weight ``w < 1``
+contending with a weight-1 foreground flow on a shared link is held to
+``w/(1+w)`` of it, so re-replication storms cannot starve foreground
+store/retrieve traffic.  All-equal weights reduce to the plain max-min model
+with byte-identical arithmetic.
+
+A transfer crosses at most six links, so the filling runs in ``O(F log F)``
+per reallocation using a lazy min-heap over link fill levels.  Rates are
+recomputed only when the active set changes (a submission, activation or
+completion batch), and between recomputations every transfer progresses
+linearly, which is what lets the scheduler ride the discrete-event kernel of
+:mod:`repro.sim.engine`: the next completion is a single scheduled callback
+that is cancelled and re-scheduled whenever the allocation changes.
 
 Determinism guarantees
 ----------------------
@@ -37,11 +70,11 @@ The schedule is a pure function of the submission sequence:
 * transfers are totally ordered by their submission sequence number, and
   every iteration order (active set, link membership, freeze order) follows
   it;
-* bottleneck ties are broken by the link key ``(direction, node id)``, never
-  by hash or insertion order of a set;
+* bottleneck ties are broken by the link key ``(stage, id)``, never by hash
+  or insertion order of a set;
 * no wall clock and no RNG: two runs that submit the same transfers at the
   same simulated times produce identical rates, identical completion times
-  and identical per-node byte accounting;
+  and identical per-node and per-trunk byte accounting;
 * completion uses an absolute residual tolerance (:data:`REMAINING_TOLERANCE`
   bytes, far below any block size) so float rounding can neither stall a
   transfer nor complete it early by an observable amount.
@@ -54,17 +87,29 @@ bit-identical to the seed implementation.
 
 Failure semantics
 -----------------
-A link capacity of exactly ``0`` (set per node via
-:meth:`TransferScheduler.set_node_bandwidth`) models a *dead* endpoint.
+A link capacity of exactly ``0`` models a *dead* stage: a per-node link via
+:meth:`TransferScheduler.set_node_bandwidth` (a dead endpoint), a trunk via
+:meth:`TransferScheduler.set_trunk_bandwidth` (a partitioned rack or site).
 Submitting a transfer across a dead link fails it deterministically --
 ``on_failed`` fires through the event queue at the submission's simulated
 time -- instead of parking it forever on the starved-flow path.  Killing a
-link mid-flight (``set_node_bandwidth(node, uplink=0.0, downlink=0.0)``)
-fails every active transfer crossing it, in submission order, and re-shares
-the freed capacity among the survivors.  Transfers may also carry a relative
-``timeout``; expiry fails the transfer the same way.  Failed transfers
-refund their undelivered bytes from the per-node counters, so
-``bytes_out``/``bytes_in`` always report bytes actually charged to a link.
+link mid-flight fails every active transfer crossing it, in submission order,
+and re-shares the freed capacity among the survivors; a transfer still inside
+its latency window is failed at activation time.  Transfers may also carry a
+relative ``timeout``; expiry fails the transfer the same way.  Failed
+transfers refund their undelivered bytes from the per-node and per-trunk
+counters, so ``bytes_out``/``bytes_in``/``trunk_bytes`` always report bytes
+actually charged to a link.
+
+Admission control
+-----------------
+:class:`TransferPacer` sits in front of the scheduler for one traffic class:
+it admits at most ``max_in_flight`` transfers at a time and parks the rest in
+a FIFO backlog (queue, don't drop), draining as completions free window
+slots.  This is the recovery-storm survival mechanism: a whole-site outage
+stages tens of thousands of repair flows, and the pacer bounds how many
+contend on the fair-share model at once while ``peak_queue_depth`` records
+how deep the storm backlog ran.
 """
 
 from __future__ import annotations
@@ -72,17 +117,302 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 
 #: Residual bytes below which a transfer counts as complete (see module docs).
 REMAINING_TOLERANCE = 1e-3
 
-#: Link-key direction tags (uplink of the source, downlink of the destination).
+#: Residual fair-share weight below which a link counts as fully frozen.
+_WEIGHT_TOLERANCE = 1e-9
+
+#: Link-key stage tags.  Access links (uplink of the source, downlink of the
+#: destination) keep the seed values so link-key tie-breaks are unchanged;
+#: trunk stages sort after them.
 _UP = 0
 _DOWN = 1
+_RACK_UP = 2
+_RACK_DOWN = 3
+_SITE_UP = 4
+_SITE_DOWN = 5
+
+_STAGE_NAMES = {
+    _UP: "uplink",
+    _DOWN: "downlink",
+    _RACK_UP: "rack:up",
+    _RACK_DOWN: "rack:down",
+    _SITE_UP: "site:up",
+    _SITE_DOWN: "site:down",
+}
+
+#: The latency classes of the two-stage model, nearest first.
+LATENCY_CLASSES = ("intra_rack", "intra_site", "inter_site")
+
+#: Sentinel for "leave this capacity unchanged" (``None`` means unconstrained,
+#: so it cannot double as the no-op default -- see set_node_bandwidth).
+_KEEP = object()
+
+
+def _validate_capacity(value: Optional[float], what: str, allow_zero: bool) -> None:
+    if value is None:
+        return
+    if value < 0 or (value == 0 and not allow_zero):
+        bound = ">= 0" if allow_zero else "positive"
+        raise ValueError(f"{what} capacity must be {bound} (or None): {value!r}")
+
+
+class NetworkTopology:
+    """Failure-domain topology: rack/site trunk capacities and latency classes.
+
+    Maps node ids to the site/rack grid laid down by
+    :func:`repro.sim.faults.assign_domains` and derives, per transfer, the
+    shared trunk links its path crosses and its propagation latency class.
+    Capacities are bytes per simulated time unit; ``None`` = unconstrained
+    (the default -- an unconfigured topology adds no constraints at all).
+
+    Trunk capacities have class-wide defaults (``rack_uplink`` et al.) plus
+    per-domain overrides (:meth:`set_rack_trunk` / :meth:`set_site_trunk`);
+    an override of exactly ``0`` models a partitioned trunk.  When the
+    topology is attached to a live :class:`TransferScheduler`, change trunk
+    capacities through :meth:`TransferScheduler.set_trunk_bandwidth` so
+    in-flight transfers are re-shared (or deterministically failed).
+
+    An endpoint outside the grid (``site``/``rack`` of ``-1``, or a ``None``
+    node id such as a meta restore's unmodelled source) counts as "the
+    network at large": its transfers reach the known endpoint through that
+    endpoint's rack and site trunks at inter-site latency.
+    """
+
+    def __init__(
+        self,
+        rack_uplink: Optional[float] = None,
+        rack_downlink: Optional[float] = None,
+        site_uplink: Optional[float] = None,
+        site_downlink: Optional[float] = None,
+        intra_rack_latency: float = 0.0,
+        intra_site_latency: float = 0.0,
+        inter_site_latency: float = 0.0,
+    ) -> None:
+        for value, what in (
+            (rack_uplink, "rack trunk uplink"),
+            (rack_downlink, "rack trunk downlink"),
+            (site_uplink, "site trunk uplink"),
+            (site_downlink, "site trunk downlink"),
+        ):
+            _validate_capacity(value, what, allow_zero=False)
+        latencies = (intra_rack_latency, intra_site_latency, inter_site_latency)
+        if any(latency < 0 for latency in latencies):
+            raise ValueError("latencies must be >= 0")
+        self.rack_uplink = rack_uplink
+        self.rack_downlink = rack_downlink
+        self.site_uplink = site_uplink
+        self.site_downlink = site_downlink
+        self._latency = {
+            "intra_rack": float(intra_rack_latency),
+            "intra_site": float(intra_site_latency),
+            "inter_site": float(inter_site_latency),
+        }
+        self._site_of: Dict[int, int] = {}
+        self._rack_of: Dict[int, int] = {}
+        #: Per-domain capacity overrides keyed by trunk link key.
+        self._overrides: Dict[Tuple[int, int], Optional[float]] = {}
+
+    # -------------------------------------------------------------- building --
+    @classmethod
+    def from_nodes(cls, nodes: Iterable, **kwargs) -> "NetworkTopology":
+        """A topology whose node->domain maps mirror ``node.site``/``node.rack``."""
+        topology = cls(**kwargs)
+        topology.refresh(nodes)
+        return topology
+
+    def refresh(self, nodes: Iterable) -> None:
+        """Re-sync the node->domain maps (after churn or a domain re-layout)."""
+        self._site_of.clear()
+        self._rack_of.clear()
+        for node in nodes:
+            node_id = int(node.node_id)
+            if node.site >= 0:
+                self._site_of[node_id] = int(node.site)
+            if node.rack >= 0:
+                self._rack_of[node_id] = int(node.rack)
+
+    # ------------------------------------------------------------ capacities --
+    def set_rack_trunk(self, rack: int, uplink=_KEEP, downlink=_KEEP) -> None:
+        """Override one rack's aggregation trunk (``0`` = partitioned)."""
+        if uplink is not _KEEP:
+            _validate_capacity(uplink, "rack trunk uplink", allow_zero=True)
+            self._overrides[(_RACK_UP, int(rack))] = uplink
+        if downlink is not _KEEP:
+            _validate_capacity(downlink, "rack trunk downlink", allow_zero=True)
+            self._overrides[(_RACK_DOWN, int(rack))] = downlink
+
+    def set_site_trunk(self, site: int, uplink=_KEEP, downlink=_KEEP) -> None:
+        """Override one site's transit trunk (``0`` = partitioned)."""
+        if uplink is not _KEEP:
+            _validate_capacity(uplink, "site trunk uplink", allow_zero=True)
+            self._overrides[(_SITE_UP, int(site))] = uplink
+        if downlink is not _KEEP:
+            _validate_capacity(downlink, "site trunk downlink", allow_zero=True)
+            self._overrides[(_SITE_DOWN, int(site))] = downlink
+
+    def capacity_of(self, key: Tuple[int, int]) -> Optional[float]:
+        """The capacity of one trunk link key (``None`` = unconstrained)."""
+        if key in self._overrides:
+            return self._overrides[key]
+        stage = key[0]
+        if stage == _RACK_UP:
+            return self.rack_uplink
+        if stage == _RACK_DOWN:
+            return self.rack_downlink
+        if stage == _SITE_UP:
+            return self.site_uplink
+        if stage == _SITE_DOWN:
+            return self.site_downlink
+        raise KeyError(f"not a trunk link key: {key!r}")
+
+    def trunk_capacity(
+        self, site: Optional[int] = None, rack: Optional[int] = None
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """One domain's effective ``(uplink, downlink)`` trunk capacities."""
+        if (site is None) == (rack is None):
+            raise ValueError("specify exactly one of site= or rack=")
+        if rack is not None:
+            return (
+                self.capacity_of((_RACK_UP, int(rack))),
+                self.capacity_of((_RACK_DOWN, int(rack))),
+            )
+        return (
+            self.capacity_of((_SITE_UP, int(site))),
+            self.capacity_of((_SITE_DOWN, int(site))),
+        )
+
+    # ----------------------------------------------------------------- paths --
+    def site_of(self, node_id: Optional[int]) -> Optional[int]:
+        """The site of a node (``None`` = outside the modelled grid)."""
+        return None if node_id is None else self._site_of.get(int(node_id))
+
+    def rack_of(self, node_id: Optional[int]) -> Optional[int]:
+        """The (globally unique) rack of a node (``None`` = outside the grid)."""
+        return None if node_id is None else self._rack_of.get(int(node_id))
+
+    def trunk_links(
+        self, src: Optional[int], dst: Optional[int]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """The shared trunk link keys a ``src -> dst`` transfer crosses.
+
+        Ordered source-side out (rack aggregation, site transit) then
+        destination-side in, which is also the physical traversal order.
+        """
+        src_rack = self.rack_of(src)
+        dst_rack = self.rack_of(dst)
+        if src_rack is not None and src_rack == dst_rack:
+            return ()
+        src_site = self.site_of(src)
+        dst_site = self.site_of(dst)
+        cross_site = src_site is None or dst_site is None or src_site != dst_site
+        keys: List[Tuple[int, int]] = []
+        if src_rack is not None:
+            keys.append((_RACK_UP, src_rack))
+        if cross_site and src_site is not None:
+            keys.append((_SITE_UP, src_site))
+        if cross_site and dst_site is not None:
+            keys.append((_SITE_DOWN, dst_site))
+        if dst_rack is not None:
+            keys.append((_RACK_DOWN, dst_rack))
+        return tuple(keys)
+
+    def source_links(self, src: Optional[int]) -> Tuple[Tuple[int, int], ...]:
+        """The source-side trunk keys of flows leaving ``src``'s rack."""
+        keys: List[Tuple[int, int]] = []
+        rack = self.rack_of(src)
+        if rack is not None:
+            keys.append((_RACK_UP, rack))
+        site = self.site_of(src)
+        if site is not None:
+            keys.append((_SITE_UP, site))
+        return tuple(keys)
+
+    def latency_class(
+        self, src: Optional[int], dst: Optional[int]
+    ) -> Optional[str]:
+        """``intra_rack``/``intra_site``/``inter_site`` (None = unmodelled)."""
+        src_rack = self.rack_of(src)
+        dst_rack = self.rack_of(dst)
+        if src_rack is not None and src_rack == dst_rack:
+            return "intra_rack"
+        src_site = self.site_of(src)
+        dst_site = self.site_of(dst)
+        if src_site is None and dst_site is None:
+            return None
+        if src_site is not None and src_site == dst_site:
+            return "intra_site"
+        return "inter_site"
+
+    def latency_between(self, src: Optional[int], dst: Optional[int]) -> float:
+        """The propagation latency of the pair's latency class."""
+        cls = self.latency_class(src, dst)
+        return 0.0 if cls is None else self._latency[cls]
+
+    def class_latency(self, cls: str) -> float:
+        """The configured latency of one named class."""
+        return self._latency[cls]
+
+    @property
+    def constrained(self) -> bool:
+        """Whether any trunk stage actually has a finite capacity."""
+        defaults = (self.rack_uplink, self.rack_downlink,
+                    self.site_uplink, self.site_downlink)
+        return any(c is not None for c in defaults) or any(
+            c is not None for c in self._overrides.values()
+        )
+
+
+def oversubscribed_topology(
+    nodes: Iterable,
+    access_bandwidth: float,
+    oversubscription: float,
+    site_oversubscription: Optional[float] = None,
+    **latencies: float,
+) -> NetworkTopology:
+    """Derive a two-stage oversubscribed core from a domained population.
+
+    Each rack's aggregation trunk carries ``members x access_bandwidth /
+    oversubscription`` (both directions); each site's transit trunk carries
+    the sum of its racks' trunk capacities divided by the site ratio (which
+    defaults to the same ratio, i.e. ``ratio^2`` end to end across sites --
+    the classic leaf/spine oversubscription ladder).  A 1:1 ratio reproduces
+    a non-blocking core; ``assign_domains``'s round-robin striping makes all
+    racks the same size +-1 node.
+    """
+    if access_bandwidth <= 0:
+        raise ValueError("access_bandwidth must be positive")
+    if oversubscription < 1.0:
+        raise ValueError("oversubscription ratio must be >= 1")
+    site_ratio = oversubscription if site_oversubscription is None else site_oversubscription
+    if site_ratio < 1.0:
+        raise ValueError("site oversubscription ratio must be >= 1")
+    topology = NetworkTopology(**latencies)
+    topology.refresh(nodes)
+    rack_members: Dict[int, int] = {}
+    site_racks: Dict[int, set] = {}
+    for node in nodes:
+        if node.rack < 0:
+            continue
+        rack_members[int(node.rack)] = rack_members.get(int(node.rack), 0) + 1
+        if node.site >= 0:
+            site_racks.setdefault(int(node.site), set()).add(int(node.rack))
+    rack_cap: Dict[int, float] = {}
+    for rack in sorted(rack_members):
+        capacity = rack_members[rack] * access_bandwidth / oversubscription
+        rack_cap[rack] = capacity
+        topology.set_rack_trunk(rack, uplink=capacity, downlink=capacity)
+    for site in sorted(site_racks):
+        capacity = sum(rack_cap[rack] for rack in sorted(site_racks[site])) / site_ratio
+        topology.set_site_trunk(site, uplink=capacity, downlink=capacity)
+    return topology
 
 
 @dataclass
@@ -107,6 +437,12 @@ class Transfer:
     deadline: Optional[float] = None
     failed_at: Optional[float] = None
     failure_reason: Optional[str] = None
+    #: Fair-share weight (priority class); 1.0 is the foreground class.
+    weight: float = 1.0
+    #: Propagation latency of the path's latency class (activation delay).
+    latency: float = 0.0
+    #: Shared trunk link keys the path crosses (frozen at submission).
+    trunk_links: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def done(self) -> bool:
@@ -115,7 +451,7 @@ class Transfer:
 
     @property
     def failed(self) -> bool:
-        """Whether the transfer failed (dead endpoint, killed link or timeout)."""
+        """Whether the transfer failed (dead link, partitioned trunk, timeout)."""
         return self.failed_at is not None
 
     @property
@@ -132,9 +468,14 @@ class TransferScheduler:
     sim:
         The :class:`~repro.sim.engine.Simulator` driving virtual time.
     uplink / downlink:
-        Default per-node link capacities in bytes per simulated time unit
-        (``None`` = unconstrained).  :meth:`set_node_bandwidth` overrides
-        them per node.
+        Default per-node access link capacities in bytes per simulated time
+        unit (``None`` = unconstrained).  :meth:`set_node_bandwidth`
+        overrides them per node.
+    topology:
+        Optional :class:`NetworkTopology`.  When attached, every transfer
+        additionally crosses its path's trunk links and is delayed by its
+        latency class; with unbounded trunks and zero latencies the schedule
+        is bit-identical to the access-only model.
     """
 
     def __init__(
@@ -142,20 +483,24 @@ class TransferScheduler:
         sim: Simulator,
         uplink: Optional[float] = None,
         downlink: Optional[float] = None,
+        topology: Optional[NetworkTopology] = None,
     ) -> None:
-        if uplink is not None and uplink <= 0:
-            raise ValueError("uplink capacity must be positive (or None)")
-        if downlink is not None and downlink <= 0:
-            raise ValueError("downlink capacity must be positive (or None)")
+        _validate_capacity(uplink, "uplink", allow_zero=False)
+        _validate_capacity(downlink, "downlink", allow_zero=False)
         self.sim = sim
         self.default_uplink = uplink
         self.default_downlink = downlink
+        self.topology = topology
         self._uplink: Dict[int, Optional[float]] = {}
         self._downlink: Dict[int, Optional[float]] = {}
         self._active: Dict[int, Transfer] = {}
+        #: Transfers inside their latency window (submitted, not yet active).
+        self._pending: Dict[int, Transfer] = {}
         self._seq = itertools.count()
         self._last_update = sim.now
         self._timer = None
+        #: Sum of active-flow weights per link key (congestion signal).
+        self._link_load: Dict[Tuple[int, int], float] = {}
         # -- accounting ------------------------------------------------------
         self.bytes_submitted = 0.0
         self.bytes_completed = 0.0
@@ -163,6 +508,9 @@ class TransferScheduler:
         self.submitted_count = 0
         self.bytes_out: Dict[int, float] = {}
         self.bytes_in: Dict[int, float] = {}
+        #: Bytes charged per trunk link key (refunded on failure, like the
+        #: per-node counters) -- the trunk-utilization panel reads this.
+        self.trunk_bytes: Dict[Tuple[int, int], float] = {}
         #: Simulated time of the most recent completion (0.0 before any).
         self.last_completion_time = 0.0
         self.failed_count = 0
@@ -172,40 +520,87 @@ class TransferScheduler:
     def set_node_bandwidth(
         self,
         node_id: int,
-        uplink: Optional[float] = None,
-        downlink: Optional[float] = None,
+        uplink=_KEEP,
+        downlink=_KEEP,
     ) -> None:
-        """Override one node's link capacities.
+        """Override one node's access link capacities.
 
-        ``None`` means unconstrained; ``0`` means the link is *dead*.  Killing
-        a link fails every active transfer crossing it (in submission order,
-        ``on_failed`` through the event queue); any other change re-shares
-        the active set's rates immediately.
+        ``None`` means unconstrained; ``0`` means the link is *dead*; an
+        omitted direction keeps its current override (so repeated
+        single-direction changes on the same node never silently reset the
+        other direction to the default).  Killing a link fails every active
+        transfer crossing it (in submission order, ``on_failed`` through the
+        event queue); any other change re-shares the active set's rates
+        immediately.  Transfers still inside their latency window are failed
+        at activation time instead.
         """
-        if (uplink is not None and uplink < 0) or (downlink is not None and downlink < 0):
-            raise ValueError("per-node link capacity must be >= 0 (or None)")
         node_id = int(node_id)
         self._advance()
-        self._uplink[node_id] = uplink
-        self._downlink[node_id] = downlink
+        if uplink is not _KEEP:
+            _validate_capacity(uplink, "per-node uplink", allow_zero=True)
+            self._uplink[node_id] = uplink
+        if downlink is not _KEEP:
+            _validate_capacity(downlink, "per-node downlink", allow_zero=True)
+            self._downlink[node_id] = downlink
+        dead_up = self.uplink_of(node_id) == 0
+        dead_down = self.downlink_of(node_id) == 0
         doomed = [
             self._active[seq]
             for seq in sorted(self._active)
-            if (self._active[seq].src == node_id and uplink == 0)
-            or (self._active[seq].dst == node_id and downlink == 0)
+            if (dead_up and self._active[seq].src == node_id)
+            or (dead_down and self._active[seq].dst == node_id)
         ]
         for transfer in doomed:
-            del self._active[transfer.seq]
+            self._drop_active(transfer)
             self.sim.schedule(0.0, lambda t=transfer: self._fail_transfer(t, "endpoint failed"))
         self._reallocate()
         self._reschedule()
 
+    def set_trunk_bandwidth(
+        self,
+        site: Optional[int] = None,
+        rack: Optional[int] = None,
+        uplink=_KEEP,
+        downlink=_KEEP,
+    ) -> None:
+        """Change one trunk's capacity mid-flight (``0`` = partitioned).
+
+        The trunk counterpart of :meth:`set_node_bandwidth`: updates the
+        attached topology, fails every active transfer whose frozen path
+        crosses a now-dead trunk (in submission order, through the event
+        queue) and re-shares the survivors.
+        """
+        if self.topology is None:
+            raise ValueError("set_trunk_bandwidth requires an attached topology")
+        if (site is None) == (rack is None):
+            raise ValueError("specify exactly one of site= or rack=")
+        self._advance()
+        if rack is not None:
+            self.topology.set_rack_trunk(int(rack), uplink=uplink, downlink=downlink)
+        else:
+            self.topology.set_site_trunk(int(site), uplink=uplink, downlink=downlink)
+        doomed = [
+            self._active[seq]
+            for seq in sorted(self._active)
+            if any(
+                self.topology.capacity_of(key) == 0
+                for key in self._active[seq].trunk_links
+            )
+        ]
+        for transfer in doomed:
+            self._drop_active(transfer)
+            self.sim.schedule(
+                0.0, lambda t=transfer: self._fail_transfer(t, "partitioned trunk")
+            )
+        self._reallocate()
+        self._reschedule()
+
     def uplink_of(self, node_id: int) -> Optional[float]:
-        """The uplink capacity of ``node_id`` (None = unconstrained)."""
+        """The access uplink capacity of ``node_id`` (None = unconstrained)."""
         return self._uplink.get(int(node_id), self.default_uplink)
 
     def downlink_of(self, node_id: int) -> Optional[float]:
-        """The downlink capacity of ``node_id`` (None = unconstrained)."""
+        """The access downlink capacity of ``node_id`` (None = unconstrained)."""
         return self._downlink.get(int(node_id), self.default_downlink)
 
     # ------------------------------------------------------------- submission --
@@ -217,21 +612,23 @@ class TransferScheduler:
         on_complete: Optional[Callable[[Transfer], None]] = None,
         on_failed: Optional[Callable[[Transfer], None]] = None,
         timeout: Optional[float] = None,
+        weight: float = 1.0,
     ) -> Transfer:
         """Start moving ``size`` bytes from ``src`` to ``dst``.
 
         Returns the live :class:`Transfer`; its completion fires
         ``on_complete`` (through the event queue, at the completion's
-        simulated time).  A dead endpoint or an expired ``timeout`` fires
-        ``on_failed`` instead.
+        simulated time).  A dead link, a partitioned trunk or an expired
+        ``timeout`` fires ``on_failed`` instead.  ``weight`` is the flow's
+        fair-share priority class (1.0 = foreground).
         """
-        return self.submit_many([(size, src, dst, on_complete, on_failed, timeout)])[0]
+        return self.submit_many([(size, src, dst, on_complete, on_failed, timeout, weight)])[0]
 
     def submit_many(
         self,
         specs: Sequence[Tuple],
     ) -> List[Transfer]:
-        """Submit a batch of ``(size, src, dst, on_complete[, on_failed[, timeout]])``.
+        """Submit a batch of ``(size, src, dst, on_complete[, on_failed[, timeout[, weight]]])``.
 
         One rate reallocation for the whole batch -- the way the repair
         executor charges all transfers of one failure at once.
@@ -245,20 +642,33 @@ class TransferScheduler:
             size, src, dst, on_complete = spec[0], spec[1], spec[2], spec[3]
             on_failed = spec[4] if len(spec) > 4 else None
             timeout = spec[5] if len(spec) > 5 else None
+            weight = spec[6] if len(spec) > 6 else 1.0
             if size < 0:
                 raise ValueError(f"negative transfer size: {size!r}")
             if timeout is not None and timeout <= 0:
                 raise ValueError(f"transfer timeout must be positive: {timeout!r}")
+            if weight <= 0:
+                raise ValueError(f"transfer weight must be positive: {weight!r}")
+            src = None if src is None else int(src)
+            dst = None if dst is None else int(dst)
+            latency = 0.0
+            trunk_links: Tuple[Tuple[int, int], ...] = ()
+            if self.topology is not None:
+                latency = self.topology.latency_between(src, dst)
+                trunk_links = self.topology.trunk_links(src, dst)
             transfer = Transfer(
                 seq=next(self._seq),
-                src=None if src is None else int(src),
-                dst=None if dst is None else int(dst),
+                src=src,
+                dst=dst,
                 size=float(size),
                 submitted_at=now,
                 remaining=float(size),
                 on_complete=on_complete,
                 on_failed=on_failed,
                 deadline=None if timeout is None else now + float(timeout),
+                weight=float(weight),
+                latency=latency,
+                trunk_links=trunk_links,
             )
             self.submitted_count += 1
             self.bytes_submitted += transfer.size
@@ -266,13 +676,27 @@ class TransferScheduler:
                 self.bytes_out[transfer.src] = self.bytes_out.get(transfer.src, 0.0) + transfer.size
             if transfer.dst is not None:
                 self.bytes_in[transfer.dst] = self.bytes_in.get(transfer.dst, 0.0) + transfer.size
-            if self._endpoint_dead(transfer):
+            for key in transfer.trunk_links:
+                self.trunk_bytes[key] = self.trunk_bytes.get(key, 0.0) + transfer.size
+            reason = self._dead_reason(transfer)
+            if reason is not None:
                 # Deterministic failure instead of an eternally starved flow.
                 self.sim.schedule(
-                    0.0, lambda t=transfer: self._fail_transfer(t, "dead endpoint")
+                    0.0, lambda t=transfer, r=reason: self._fail_transfer(t, r)
+                )
+            elif transfer.deadline is not None and transfer.deadline <= now + transfer.latency:
+                # The deadline expires inside the latency window.
+                self.sim.schedule(
+                    transfer.deadline - now,
+                    lambda t=transfer: self._fail_transfer(t, "timeout"),
+                )
+            elif transfer.latency > 0.0:
+                self._pending[transfer.seq] = transfer
+                self.sim.schedule(
+                    transfer.latency, lambda s=transfer.seq: self._activate(s)
                 )
             else:
-                self._active[transfer.seq] = transfer
+                self._add_active(transfer)
             transfers.append(transfer)
         self._reallocate()
         self._reschedule()
@@ -281,13 +705,13 @@ class TransferScheduler:
     # ---------------------------------------------------------------- queries --
     @property
     def active_count(self) -> int:
-        """Number of transfers currently in flight."""
+        """Number of transfers currently consuming bandwidth."""
         return len(self._active)
 
     @property
     def idle(self) -> bool:
-        """Whether no transfer is in flight."""
-        return not self._active
+        """Whether no transfer is in flight (active or inside its latency)."""
+        return not self._active and not self._pending
 
     def active_transfers(self) -> List[Transfer]:
         """The in-flight transfers in submission order."""
@@ -302,25 +726,136 @@ class TransferScheduler:
             "bytes_submitted": self.bytes_submitted,
             "bytes_completed": self.bytes_completed,
             "bytes_failed": self.bytes_failed,
-            "active": float(len(self._active)),
+            "active": float(len(self._active) + len(self._pending)),
             "last_completion_time": self.last_completion_time,
         }
 
+    # ------------------------------------------------------------- congestion --
+    def link_congestion(self, key: Tuple[int, int]) -> float:
+        """Active weight over capacity of one link (0 when unconstrained)."""
+        capacity = self._key_capacity(key)
+        if capacity is None:
+            return 0.0
+        if capacity <= 0:
+            return math.inf
+        return self._link_load.get(key, 0.0) / capacity
+
+    def path_congestion(self, src: Optional[int], dst: Optional[int]) -> float:
+        """Summed congestion over every link a ``src -> dst`` flow would cross.
+
+        The congestion-aware repair planner ranks candidate read sources by
+        this signal: a source whose path crosses a saturated trunk scores
+        higher and is picked last.  Dead links score infinite.
+        """
+        keys: List[Tuple[int, int]] = []
+        if src is not None:
+            keys.append((_UP, int(src)))
+        if self.topology is not None:
+            keys.extend(self.topology.trunk_links(src, dst))
+        if dst is not None:
+            keys.append((_DOWN, int(dst)))
+        return sum(self.link_congestion(key) for key in keys)
+
+    def source_congestion(self, src: Optional[int]) -> float:
+        """Congestion over a source's outbound stages (uplink + trunks).
+
+        The destination-free variant of :meth:`path_congestion`, for ranking
+        read sources before the destination of the repair copy is known.
+        """
+        if src is None:
+            return 0.0
+        keys: List[Tuple[int, int]] = [(_UP, int(src))]
+        if self.topology is not None:
+            keys.extend(self.topology.source_links(src))
+        return sum(self.link_congestion(key) for key in keys)
+
+    def trunk_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-trunk charged bytes and capacity, keyed by human-readable name.
+
+        Capacity ``-1`` marks an unconstrained trunk.  Utilization over an
+        interval is ``bytes / (capacity x interval)`` -- computed by the
+        experiment, which knows the storm's makespan.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for key in sorted(self.trunk_bytes):
+            stage, domain = key
+            name = _STAGE_NAMES[stage].replace(":", f"{domain}:")
+            capacity = self.topology.capacity_of(key) if self.topology is not None else None
+            out[name] = {
+                "bytes": self.trunk_bytes[key],
+                "capacity": -1.0 if capacity is None else float(capacity),
+            }
+        return out
+
     # ------------------------------------------------------------- internals --
-    def _endpoint_dead(self, transfer: Transfer) -> bool:
-        """Whether either endpoint's link is dead (capacity exactly 0)."""
+    def _key_capacity(self, key: Tuple[int, int]) -> Optional[float]:
+        stage, ident = key
+        if stage == _UP:
+            return self.uplink_of(ident)
+        if stage == _DOWN:
+            return self.downlink_of(ident)
+        if self.topology is None:
+            return None
+        return self.topology.capacity_of(key)
+
+    def _load_keys(self, transfer: Transfer) -> List[Tuple[int, int]]:
+        keys: List[Tuple[int, int]] = []
+        if transfer.src is not None:
+            keys.append((_UP, transfer.src))
+        if transfer.dst is not None:
+            keys.append((_DOWN, transfer.dst))
+        keys.extend(transfer.trunk_links)
+        return keys
+
+    def _add_active(self, transfer: Transfer) -> None:
+        self._active[transfer.seq] = transfer
+        for key in self._load_keys(transfer):
+            self._link_load[key] = self._link_load.get(key, 0.0) + transfer.weight
+
+    def _drop_active(self, transfer: Transfer) -> None:
+        del self._active[transfer.seq]
+        for key in self._load_keys(transfer):
+            remaining = self._link_load.get(key, 0.0) - transfer.weight
+            if remaining <= _WEIGHT_TOLERANCE:
+                self._link_load.pop(key, None)
+            else:
+                self._link_load[key] = remaining
+
+    def _dead_reason(self, transfer: Transfer) -> Optional[str]:
+        """Why the transfer cannot run (a dead stage on its path), if at all."""
         if transfer.src is not None and self.uplink_of(transfer.src) == 0:
-            return True
-        return transfer.dst is not None and self.downlink_of(transfer.dst) == 0
+            return "dead endpoint"
+        if transfer.dst is not None and self.downlink_of(transfer.dst) == 0:
+            return "dead endpoint"
+        for key in transfer.trunk_links:
+            if self.topology.capacity_of(key) == 0:
+                return "partitioned trunk"
+        return None
+
+    def _activate(self, seq: int) -> None:
+        """End one transfer's latency window and admit it to the active set."""
+        transfer = self._pending.pop(seq, None)
+        if transfer is None or transfer.ended:
+            return
+        self._advance()
+        reason = self._dead_reason(transfer)
+        if reason is not None:
+            # The path died while the flow was still propagating.
+            self._fail_transfer(transfer, reason)
+        else:
+            self._add_active(transfer)
+        self._reallocate()
+        self._reschedule()
 
     def _fail_transfer(self, transfer: Transfer, reason: str) -> None:
         """Terminate ``transfer`` unsuccessfully and fire its failure callback.
 
-        The undelivered residual is refunded from the per-node byte counters
-        so they track bytes actually charged to the links.
+        The undelivered residual is refunded from the per-node and per-trunk
+        byte counters so they track bytes actually charged to the links.
         """
         if transfer.ended:
             return
+        self._pending.pop(transfer.seq, None)
         transfer.rate = 0.0
         transfer.failed_at = self.sim.now
         transfer.failure_reason = reason
@@ -330,8 +865,11 @@ class TransferScheduler:
             self.bytes_out[transfer.src] -= transfer.remaining
         if transfer.dst is not None:
             self.bytes_in[transfer.dst] -= transfer.remaining
+        for key in transfer.trunk_links:
+            self.trunk_bytes[key] -= transfer.remaining
         if transfer.on_failed is not None:
             transfer.on_failed(transfer)
+
     def _advance(self) -> None:
         """Progress every active transfer linearly to the current time."""
         now = self.sim.now
@@ -345,7 +883,7 @@ class TransferScheduler:
         self._last_update = now
 
     def _reallocate(self) -> None:
-        """Progressive filling: assign max-min fair rates to the active set."""
+        """Weighted progressive filling over the active set's constrained links."""
         if not self._active:
             return
         # Build the link constraint graph in submission order.
@@ -373,13 +911,22 @@ class TransferScheduler:
                         link_members[key] = []
                     link_members[key].append(transfer)
                     keys.append(key)
+            for key in transfer.trunk_links:
+                capacity = self.topology.capacity_of(key)
+                if capacity is not None:
+                    if key not in link_cap:
+                        link_cap[key] = float(capacity)
+                        link_members[key] = []
+                    link_members[key].append(transfer)
+                    keys.append(key)
             flow_links[transfer.seq] = keys
             transfer.rate = math.inf if not keys else 0.0
-        # Lazy min-heap over (share, link key, version): stale entries are
-        # skipped by comparing versions, so each link update is O(log L).
+        # Lazy min-heap over (fill level, link key, version): stale entries
+        # are skipped by comparing versions, so each link update is O(log L).
         version: Dict[Tuple[int, int], int] = {key: 0 for key in link_cap}
-        unfrozen: Dict[Tuple[int, int], int] = {
-            key: len(members) for key, members in link_members.items()
+        unfrozen: Dict[Tuple[int, int], float] = {
+            key: float(sum(member.weight for member in members))
+            for key, members in link_members.items()
         }
         heap: List[Tuple[float, Tuple[int, int], int]] = [
             (link_cap[key] / unfrozen[key], key, 0) for key in sorted(link_cap)
@@ -387,22 +934,23 @@ class TransferScheduler:
         heapq.heapify(heap)
         frozen: Dict[int, float] = {}
         while heap:
-            share, key, stamp = heapq.heappop(heap)
-            if version[key] != stamp or unfrozen[key] == 0:
+            level, key, stamp = heapq.heappop(heap)
+            if version[key] != stamp or unfrozen[key] <= _WEIGHT_TOLERANCE:
                 continue
             # Freeze every still-unfrozen flow on the bottleneck link.
             for transfer in link_members[key]:
                 if transfer.seq in frozen:
                     continue
-                frozen[transfer.seq] = share
-                transfer.rate = share
+                rate = level * transfer.weight
+                frozen[transfer.seq] = rate
+                transfer.rate = rate
                 for other in flow_links[transfer.seq]:
                     if other == key:
                         continue
-                    link_cap[other] -= share
-                    unfrozen[other] -= 1
+                    link_cap[other] -= rate
+                    unfrozen[other] -= transfer.weight
                     version[other] += 1
-                    if unfrozen[other] > 0:
+                    if unfrozen[other] > _WEIGHT_TOLERANCE:
                         heapq.heappush(
                             heap,
                             (
@@ -411,7 +959,7 @@ class TransferScheduler:
                                 version[other],
                             ),
                         )
-            unfrozen[key] = 0
+            unfrozen[key] = 0.0
             version[key] += 1
 
     def _reschedule(self) -> None:
@@ -452,7 +1000,7 @@ class TransferScheduler:
             or math.isinf(self._active[seq].rate)
         ]
         for transfer in finished:
-            del self._active[transfer.seq]
+            self._drop_active(transfer)
             transfer.remaining = 0.0
             transfer.rate = 0.0
             transfer.finished_at = now
@@ -468,7 +1016,7 @@ class TransferScheduler:
             and self._active[seq].deadline <= now + 1e-12
         ]
         for transfer in expired:
-            del self._active[transfer.seq]
+            self._drop_active(transfer)
         self._reallocate()
         self._reschedule()
         for transfer in finished:
@@ -476,3 +1024,120 @@ class TransferScheduler:
                 transfer.on_complete(transfer)
         for transfer in expired:
             self._fail_transfer(transfer, "timeout")
+
+
+class TransferPacer:
+    """Admission control for one traffic class: a bounded in-flight window.
+
+    Submissions beyond ``max_in_flight`` are parked in a FIFO backlog --
+    queued, never dropped -- and admitted as completions (or failures) free
+    window slots, each submission tagged with the class's fair-share
+    ``weight``.  ``max_in_flight=None`` is a pass-through: one batched
+    ``submit_many`` with no window, which keeps the instantaneous and
+    unpaced-repair paths byte-identical.
+
+    The pacer is what lets a recovery storm survive an oversubscribed core:
+    instead of dumping 10^5 repair flows onto the fair-share model at once
+    (each getting a vanishing share and pinning every trunk at saturation for
+    the whole storm), a bounded window drains the backlog at the core's
+    actual service rate while ``peak_queue_depth`` records how deep the storm
+    ran.
+    """
+
+    def __init__(
+        self,
+        scheduler: TransferScheduler,
+        max_in_flight: Optional[int] = None,
+        weight: float = 1.0,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 (or None)")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.scheduler = scheduler
+        self.max_in_flight = max_in_flight
+        self.weight = float(weight)
+        self._backlog: Deque[Tuple] = deque()
+        self.in_flight = 0
+        self.queued_total = 0
+        self.peak_queue_depth = 0
+        self.peak_in_flight = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers currently waiting for a window slot."""
+        return len(self._backlog)
+
+    @property
+    def idle(self) -> bool:
+        """Whether the pacer holds no admitted or queued work."""
+        return self.in_flight == 0 and not self._backlog
+
+    def submit(
+        self,
+        size: float,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        on_failed: Optional[Callable[[Transfer], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Queue one transfer for admission (see :meth:`submit_many`)."""
+        self.submit_many([(size, src, dst, on_complete, on_failed, timeout)])
+
+    def submit_many(self, specs: Sequence[Tuple]) -> None:
+        """Admit up to the window, backlog the rest (FIFO, in spec order).
+
+        Unlike :meth:`TransferScheduler.submit_many` no :class:`Transfer`
+        objects are returned -- a spec past the window has no transfer yet.
+        Completion/failure callbacks fire exactly as they would unpaced.
+        """
+        for spec in specs:
+            self._backlog.append(self._wrap(spec))
+        self.queued_total += len(specs)
+        self._drain()
+
+    def summary(self) -> Dict[str, float]:
+        """Queue-depth/backpressure accounting (the storm-survival panel)."""
+        return {
+            "queued": float(self.queued_total),
+            "backlog": float(len(self._backlog)),
+            "in_flight": float(self.in_flight),
+            "peak_queue_depth": float(self.peak_queue_depth),
+            "peak_in_flight": float(self.peak_in_flight),
+        }
+
+    # ------------------------------------------------------------- internals --
+    def _wrap(self, spec: Tuple) -> Tuple:
+        size, src, dst, on_complete = spec[0], spec[1], spec[2], spec[3]
+        on_failed = spec[4] if len(spec) > 4 else None
+        timeout = spec[5] if len(spec) > 5 else None
+
+        def settled(callback, transfer):
+            self.in_flight -= 1
+            if callback is not None:
+                callback(transfer)
+            self._drain()
+
+        return (
+            size,
+            src,
+            dst,
+            lambda t, cb=on_complete: settled(cb, t),
+            lambda t, cb=on_failed: settled(cb, t),
+            timeout,
+            self.weight,
+        )
+
+    def _drain(self) -> None:
+        batch: List[Tuple] = []
+        while self._backlog and (
+            self.max_in_flight is None
+            or self.in_flight + len(batch) < self.max_in_flight
+        ):
+            batch.append(self._backlog.popleft())
+        if batch:
+            self.in_flight += len(batch)
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            self.scheduler.submit_many(batch)
+        self.peak_queue_depth = max(self.peak_queue_depth, len(self._backlog))

@@ -23,9 +23,20 @@ erosion oracle), a 10 % flash-crowd mass failure with and without repair, a
 staggered rolling restart (reboots, not disk losses), and a rack outage
 repaired while a quarter of the population runs on degraded links.
 
+With ``oversubscription`` set, every panel re-runs behind the two-stage core
+model (:func:`repro.core.transfer.oversubscribed_topology`): repair flows
+contend on rack-aggregation and site-transit trunks carrying the members'
+aggregate access bandwidth divided by the ratio, repair submissions pass a
+bounded admission window (``repair_window``, overflow queued FIFO) at a
+fair-share ``repair_weight`` below foreground traffic, and the extra
+``storm_site_outage`` panel measures recovery-storm isolation: foreground
+retrieve probes ride through a whole-site outage and report their p95
+latency beside the storm's peak queue depth and trunk utilization.
+
 Run it::
 
-    python -m repro.cli faults                 # paper scale
+    python -m repro.cli faults                 # paper scale, access-only
+    python -m repro.cli faults --oversub 4     # 4:1 oversubscribed core
     python -m repro.cli faults --scale 0.1     # quick look
     python -m repro.cli faults --smoke         # CI tier-1 smoke (seconds)
 """
@@ -34,7 +45,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -42,7 +53,7 @@ import numpy as np
 from repro.core.policies import StoragePolicy
 from repro.core.recovery import RecoveryManager
 from repro.core.storage import StorageSystem
-from repro.core.transfer import TransferScheduler
+from repro.core.transfer import TransferScheduler, oversubscribed_topology
 from repro.erasure.chunk_codec import ChunkCodec
 from repro.erasure.xor_code import XorParityCode
 from repro.experiments.results import TableResult
@@ -63,6 +74,10 @@ SCENARIOS = (
     "rolling_restart",
     "degraded_rack_outage",
 )
+
+#: The finite-core panel set: the six base panels plus the recovery-storm
+#: isolation panel (whole-site outage with foreground retrieve probes).
+FINITE_CORE_SCENARIOS = SCENARIOS + ("storm_site_outage",)
 
 
 @dataclass(frozen=True)
@@ -102,6 +117,25 @@ class FaultsConfig:
     degrade_bandwidth_fraction: float = 0.25
     #: Files sampled by the post-event read probe (degraded/failed census).
     read_sample: int = 400
+    #: Two-stage core model: when set, rack/site trunks carry the members'
+    #: aggregate access bandwidth divided by this ratio (4.0 = the classic
+    #: 4:1 oversubscribed aggregation layer); ``None`` = access links only,
+    #: bit-identical to the pre-topology panels.
+    oversubscription: Optional[float] = None
+    #: Latency classes (simulated seconds), applied with the core model.
+    intra_rack_latency_s: float = 0.0
+    intra_site_latency_s: float = 0.0
+    inter_site_latency_s: float = 0.0
+    #: Repair QoS knobs: bounded in-flight repair window (``None`` =
+    #: unbounded, the seed behaviour; overflow queues FIFO -- backpressure,
+    #: never drops) and the repair class's fair-share weight (< 1.0 keeps
+    #: re-replication below foreground traffic on every shared link).
+    repair_window: Optional[int] = None
+    repair_weight: float = 1.0
+    #: Foreground retrieve probes issued during ``storm_site_outage`` (one
+    #: block read each, weight 1.0), reported as a p95 latency.
+    foreground_reads: int = 200
+    foreground_period_s: float = 2.0
     scenarios: tuple = SCENARIOS
     seed: int = 7
     #: Run on the array engine + columnar block ledger (domain masks need it).
@@ -118,6 +152,17 @@ class FaultsConfig:
 #: The paper-scale configuration: 10 000 nodes, ~2.4 TB, 16 racks in 4 sites.
 PAPER_FAULTS = FaultsConfig()
 
+#: Paper scale behind a 4:1 oversubscribed two-stage core: all six panels
+#: re-run with finite trunks plus the recovery-storm isolation panel, repair
+#: paced through a 64-transfer admission window at half foreground weight.
+FINITE_CORE_FAULTS = replace(
+    PAPER_FAULTS,
+    oversubscription=4.0,
+    repair_window=64,
+    repair_weight=0.5,
+    scenarios=FINITE_CORE_SCENARIOS,
+)
+
 #: Tier-1 smoke scale: every scenario in a few seconds on one core.
 SMOKE_FAULTS = FaultsConfig(
     node_count=160,
@@ -132,6 +177,18 @@ SMOKE_FAULTS = FaultsConfig(
     restart_interval_s=5.0,
     restart_downtime_s=10.0,
     read_sample=120,
+)
+
+#: Smoke scale behind the finite core (the ``faults --smoke --oversub 4``
+#: CI variant): every finite-core panel in a few seconds.
+SMOKE_FINITE_CORE = replace(
+    SMOKE_FAULTS,
+    oversubscription=4.0,
+    repair_window=16,
+    repair_weight=0.5,
+    foreground_reads=40,
+    foreground_period_s=0.5,
+    scenarios=FINITE_CORE_SCENARIOS,
 )
 
 
@@ -168,6 +225,21 @@ class FaultsResult:
                   f"({self.config.bandwidth_mb_s:g} MB/s per-node links)",
             columns=["scenario", "traffic_gb", "mean_ttr_s", "max_ttr_s",
                      "makespan_s", "degraded_reads", "failed_reads", "reads_sampled"],
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def topology_table(self) -> TableResult:
+        """The two-stage-core panel: trunk load, storm backlog, isolation."""
+        config = self.config
+        window = "unbounded" if config.repair_window is None else str(config.repair_window)
+        table = TableResult(
+            title="Fault scenarios — two-stage core "
+                  f"({config.oversubscription or 0:g}:1 oversubscription, "
+                  f"repair window {window}, weight {config.repair_weight:g})",
+            columns=["scenario", "oversub", "trunk_util_pct", "storm_queue_peak",
+                     "foreground_reads_done", "foreground_p95_s", "makespan_s"],
         )
         for row in self.rows:
             table.add_row(**{column: row[column] for column in table.columns})
@@ -236,7 +308,7 @@ class FaultsExperiment:
     def _inject(self, scenario: str, injector: FaultInjector,
                 network: OverlayNetwork) -> None:
         config = self.config
-        if scenario == "site_outage":
+        if scenario in ("site_outage", "storm_site_outage"):
             injector.fail_domain(site=0)
         elif scenario == "rack_outage":
             injector.fail_domain(rack=0)
@@ -265,6 +337,48 @@ class FaultsExperiment:
         else:
             raise ValueError(f"unknown fault scenario {scenario!r}")
 
+    def _schedule_foreground_reads(self, storage, network, transfers, sim) -> List[float]:
+        """Foreground retrieve probes riding through the storm at weight 1.0.
+
+        Each probe reads one real stored block (a live holder of a sampled
+        file's first placement) to a live client node; the filled list of
+        completion latencies feeds the panel's p95.  Deterministic: sorted
+        file names, stride-picked clients, no RNG.
+        """
+        config = self.config
+        durations: List[float] = []
+        if config.foreground_reads <= 0:
+            return durations
+        live = sorted(network.live_nodes(), key=lambda node: int(node.node_id))
+        names = sorted(storage.files)
+        if not live or not names:
+            return durations
+
+        def issue(index: int) -> None:
+            stored = storage.files[names[index % len(names)]]
+            if not stored.chunks or not stored.chunks[0].placements:
+                return
+            placement = stored.chunks[0].placements[0]
+            src = None
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                if node_id in network and network.node(node_id).alive:
+                    src = int(node_id)
+                    break
+            client = live[(index * 13 + 1) % len(live)]
+            if src is None or not client.alive or src == int(client.node_id):
+                return  # every copy died with the site, or the client did
+            submitted = sim.now
+            transfers.submit(
+                float(placement.size),
+                src=src,
+                dst=int(client.node_id),
+                on_complete=lambda t: durations.append(t.finished_at - submitted),
+            )
+
+        for index in range(config.foreground_reads):
+            sim.schedule(index * config.foreground_period_s, lambda i=index: issue(i))
+        return durations
+
     def _run_scenario(self, scenario: str) -> Dict[str, float]:
         """One fresh deployment + one injected scenario, drained to quiescence."""
         config = self.config
@@ -275,12 +389,28 @@ class FaultsExperiment:
 
         sim = Simulator()
         rate = config.bandwidth_mb_s * MB
-        transfers = TransferScheduler(sim, uplink=rate, downlink=rate)
-        recovery = RecoveryManager(storage, transfers=transfers)
+        topology = None
+        if config.oversubscription is not None:
+            topology = oversubscribed_topology(
+                network.nodes(),
+                access_bandwidth=rate,
+                oversubscription=config.oversubscription,
+                intra_rack_latency=config.intra_rack_latency_s,
+                intra_site_latency=config.intra_site_latency_s,
+                inter_site_latency=config.inter_site_latency_s,
+            )
+        transfers = TransferScheduler(sim, uplink=rate, downlink=rate,
+                                      topology=topology)
+        recovery = RecoveryManager(storage, transfers=transfers,
+                                   repair_window=config.repair_window,
+                                   repair_weight=config.repair_weight)
         injector = FaultInjector(sim, network, recovery=recovery, transfers=transfers,
                                  repair_spacing=config.repair_spacing_s)
 
         inject_start = time.perf_counter()
+        durations: List[float] = []
+        if scenario == "storm_site_outage":
+            durations = self._schedule_foreground_reads(storage, network, transfers, sim)
         self._inject(scenario, injector, network)
         sim.run()  # drains staggered restarts and every repair transfer
         inject_s = time.perf_counter() - inject_start
@@ -291,6 +421,8 @@ class FaultsExperiment:
         summary = transfers.summary()
         unavailable = storage.unavailable_file_count()
         total_files = max(1, len(storage.files))
+        histogram = storage.ledger.replication_histogram()
+        under_target = float(histogram[1:config.block_replication].sum())
         return {
             "scenario": scenario,
             # Degraded nodes are slowed, not downed: count only real outages.
@@ -307,10 +439,61 @@ class FaultsExperiment:
             "max_ttr_s": float(ttrs.max()) if ttrs.size else 0.0,
             "makespan_s": summary["last_completion_time"],
             "transfers_failed": summary["failed"],
+            # Rows left alive but below the replication target after repair
+            # (0 = the histogram is back to target for every survivor).
+            "under_target_rows": under_target,
+            # -- two-stage core panels (all 0 on the access-only model) ------
+            "oversub": float(config.oversubscription or 0.0),
+            "trunk_util_pct": self._peak_trunk_utilization(
+                transfers, summary["last_completion_time"]
+            ),
+            "storm_queue_peak": (
+                float(recovery.pacer.peak_queue_depth) if recovery.pacer else 0.0
+            ),
+            "foreground_reads_done": float(len(durations)),
+            "foreground_p95_s": (
+                float(np.percentile(np.asarray(durations), 95)) if durations else 0.0
+            ),
             "distribute_s": distribute_s,
             "inject_s": inject_s,
             **probe,
         }
+
+    @staticmethod
+    def _peak_trunk_utilization(transfers: TransferScheduler, makespan: float) -> float:
+        """The busiest finite trunk's bytes over capacity x makespan, in %."""
+        if makespan <= 0:
+            return 0.0
+        peak = 0.0
+        for entry in transfers.trunk_summary().values():
+            if entry["capacity"] > 0:
+                peak = max(peak, 100.0 * entry["bytes"] / (entry["capacity"] * makespan))
+        return peak
+
+    def oversubscription_sweep(self, ratios=(1.0, 2.0, 4.0, 8.0)) -> List[Dict[str, float]]:
+        """Time-to-repair of one whole-site outage vs the core's ratio.
+
+        Each ratio re-runs the ``site_outage`` cell on a fresh deployment
+        with trunks carrying ``aggregate access / ratio``; the 1.0 row is the
+        non-blocking core.  The TTR growth with the ratio is the panel
+        recorded as ``ttr_vs_oversubscription`` in ``BENCH_faults.json``.
+        """
+        rows: List[Dict[str, float]] = []
+        for ratio in ratios:
+            cell = FaultsExperiment(
+                replace(self.config, oversubscription=float(ratio),
+                        scenarios=("site_outage",))
+            )
+            row = cell._run_scenario("site_outage")
+            rows.append({
+                "oversub": float(ratio),
+                "mean_ttr_s": row["mean_ttr_s"],
+                "max_ttr_s": row["max_ttr_s"],
+                "makespan_s": row["makespan_s"],
+                "trunk_util_pct": row["trunk_util_pct"],
+                "traffic_gb": row["traffic_gb"],
+            })
+        return rows
 
     def run(self) -> FaultsResult:
         """Produce every configured scenario row (fresh deployment per cell)."""

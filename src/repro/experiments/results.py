@@ -210,13 +210,19 @@ def repair_benchmark_table(record: dict) -> TableResult:
 
 
 def faults_benchmark_table(record: dict) -> TableResult:
-    """Render the BENCH_faults.json rows as a per-scenario durability table."""
+    """Render the BENCH_faults.json rows as a per-scenario durability table.
+
+    The topology columns (core oversubscription ratio, peak trunk
+    utilization, storm queue depth, foreground p95) are 0 on access-only
+    rows and populated on the finite-core and TTR-vs-oversubscription rows.
+    """
     table = TableResult(
         title="Fault injection (failure domains + durability-grade repair)",
         columns=[
             "scenario", "nodes", "nodes_down", "lost_gb", "availability_pct",
             "traffic_gb", "mean_ttr_s", "makespan_s", "degraded_reads",
-            "failed_reads", "seconds",
+            "failed_reads", "oversub", "trunk_util_pct", "storm_queue_peak",
+            "foreground_p95_s", "seconds",
         ],
     )
     for row in record.get("results", []):
@@ -231,6 +237,10 @@ def faults_benchmark_table(record: dict) -> TableResult:
             makespan_s=float(row.get("makespan_s", 0.0)),
             degraded_reads=float(row.get("degraded_reads", 0.0)),
             failed_reads=float(row.get("failed_reads", 0.0)),
+            oversub=float(row.get("oversub", 0.0)),
+            trunk_util_pct=float(row.get("trunk_util_pct", 0.0)),
+            storm_queue_peak=float(row.get("storm_queue_peak", 0.0)),
+            foreground_p95_s=float(row.get("foreground_p95_s", 0.0)),
             seconds=float(row.get("seconds", 0.0)),
         )
     return table

@@ -13,9 +13,12 @@ discrete-event kernel of :mod:`repro.sim.engine`:
   or whole-rack outage kills every affected row with **one** owner-domain
   mask rather than N scalar per-node sweeps;
 * the :class:`FaultInjector` composes scenarios -- domain outages,
-  flash-crowd mass failure, staggered rolling restarts, and slow/degraded
+  flash-crowd mass failure, staggered rolling restarts, slow/degraded
   nodes (bandwidth cut through
-  :meth:`repro.core.transfer.TransferScheduler.set_node_bandwidth`) -- either
+  :meth:`repro.core.transfer.TransferScheduler.set_node_bandwidth`) and
+  degraded/partitioned core trunks (capacity cut through
+  :meth:`~repro.core.transfer.TransferScheduler.set_trunk_bandwidth` against
+  the attached :class:`~repro.core.transfer.NetworkTopology`) -- either
   immediately or scheduled on the simulator clock;
 * when a :class:`~repro.core.recovery.RecoveryManager` is attached every
   outage is followed by the durability-grade repair pass (regeneration plus
@@ -342,7 +345,82 @@ class FaultInjector:
         self.events.append(event)
         return event
 
+    # ---------------------------------------------------------- trunk faults --
+    def degrade_trunk(
+        self,
+        site: Optional[int] = None,
+        rack: Optional[int] = None,
+        fraction: float = 0.0,
+    ) -> FaultEvent:
+        """Degrade (or partition) one domain's shared trunk to ``fraction``.
+
+        Requires a transfer scheduler with an attached
+        :class:`~repro.core.transfer.NetworkTopology`.  The domain's trunk
+        capacities (both directions) are scaled to ``fraction`` of their
+        *current* value through
+        :meth:`~repro.core.transfer.TransferScheduler.set_trunk_bandwidth`;
+        ``fraction=0`` partitions the domain off the core, which
+        deterministically fails every in-flight transfer crossing the trunk
+        (repair transfers then retry re-planned onto surviving paths).  The
+        event records the old capacities so a later
+        :meth:`restore_trunk` -- or a scheduled repair of the cut -- can undo
+        the fault exactly.
+        """
+        if self.transfers is None or self.transfers.topology is None:
+            raise ValueError("degrade_trunk requires a scheduler with a topology")
+        if fraction < 0:
+            raise ValueError("fraction must be >= 0")
+        topology = self.transfers.topology
+        uplink, downlink = topology.trunk_capacity(site=site, rack=rack)
+        self.transfers.set_trunk_bandwidth(
+            site=site,
+            rack=rack,
+            uplink=None if uplink is None else uplink * fraction,
+            downlink=None if downlink is None else downlink * fraction,
+        )
+        event = FaultEvent(
+            scenario="trunk_partition" if fraction == 0 else "degraded_trunk",
+            at=self.sim.now,
+            nodes_affected=len(self._domain_members(site, rack)),
+            details={
+                "site": site,
+                "rack": rack,
+                "fraction": fraction,
+                "uplink_before": uplink,
+                "downlink_before": downlink,
+            },
+        )
+        self.events.append(event)
+        return event
+
+    def restore_trunk(self, event: FaultEvent) -> None:
+        """Undo a :meth:`degrade_trunk` fault (the cable is spliced back)."""
+        details = event.details
+        self.transfers.set_trunk_bandwidth(
+            site=details["site"],
+            rack=details["rack"],
+            uplink=details["uplink_before"],
+            downlink=details["downlink_before"],
+        )
+
     # ------------------------------------------------------------ scheduling --
+    def schedule_trunk_degradation(
+        self,
+        delay: float,
+        site: Optional[int] = None,
+        rack: Optional[int] = None,
+        fraction: float = 0.0,
+        duration: Optional[float] = None,
+    ):
+        """Queue a trunk degradation; with ``duration`` the cut heals itself."""
+
+        def inject() -> None:
+            event = self.degrade_trunk(site=site, rack=rack, fraction=fraction)
+            if duration is not None:
+                self.sim.schedule(duration, lambda: self.restore_trunk(event))
+
+        return self.sim.schedule(delay, inject)
+
     def schedule_site_outage(self, delay: float, site: int, repair: bool = True):
         """Queue a whole-site outage ``delay`` from now on the sim clock."""
         return self.sim.schedule(delay, lambda: self.fail_domain(site=site, repair=repair))

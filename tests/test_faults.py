@@ -30,7 +30,8 @@ from repro.workloads.filetrace import MB, FileTraceConfig, generate_file_trace
 TARGET_REPLICATION = 2
 
 
-def _deployment(seed=7, node_count=48, file_count=60, sites=3, racks_per_site=2):
+def _deployment(seed=7, node_count=48, file_count=60, sites=3, racks_per_site=2,
+                assign_before=True):
     """A vectorized deployment with failure domains and 2-way replication."""
     rng = np.random.default_rng(seed)
     capacities = [max(int(c), 32 * MB) for c in rng.normal(150 * MB, 30 * MB, size=node_count)]
@@ -40,7 +41,8 @@ def _deployment(seed=7, node_count=48, file_count=60, sites=3, racks_per_site=2)
         capacities=capacities,
         routing_state=False,
     )
-    assign_domains(network.nodes(), sites=sites, racks_per_site=racks_per_site)
+    if assign_before:
+        assign_domains(network.nodes(), sites=sites, racks_per_site=racks_per_site)
     storage = StorageSystem(
         DHTView(network),
         codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
@@ -258,3 +260,208 @@ def test_degrade_nodes_cuts_bandwidth_via_scheduler():
     no_scheduler = FaultInjector(sim, network, recovery=manager)
     with pytest.raises(ValueError):
         no_scheduler.degrade_nodes([1], fraction=0.5)
+
+
+# -------------------------------------------------- assign_domains edge cases --
+def test_assign_domains_uneven_population_stays_balanced():
+    """Node counts not divisible by the rack count stripe within one node."""
+    network = OverlayNetwork.build(10, np.random.default_rng(2), routing_state=False)
+    assign_domains(network.nodes(), sites=3, racks_per_site=1)
+    sizes = {}
+    for node in network.nodes():
+        assert node.rack == node.site  # one rack per site: ids coincide
+        sizes[node.rack] = sizes.get(node.rack, 0) + 1
+    assert sorted(sizes) == [0, 1, 2]  # every rack is populated
+    assert max(sizes.values()) - min(sizes.values()) <= 1
+    assert sizes == {0: 4, 1: 3, 2: 3}  # 10 nodes round-robin over 3 racks
+
+
+def test_assign_domains_single_site_topology():
+    network = OverlayNetwork.build(9, np.random.default_rng(4), routing_state=False)
+    assign_domains(network.nodes(), sites=1, racks_per_site=4)
+    assert all(node.site == 0 for node in network.nodes())
+    assert sorted({node.rack for node in network.nodes()}) == [0, 1, 2, 3]
+    # Degenerate 1x1 grid: everything in the single rack.
+    assign_domains(network.nodes(), sites=1, racks_per_site=1)
+    assert all((node.site, node.rack) == (0, 0) for node in network.nodes())
+    with pytest.raises(ValueError):
+        assign_domains(network.nodes(), sites=0, racks_per_site=1)
+
+
+def test_refresh_domains_matches_from_scratch_assignment():
+    """Domains laid over a populated ledger == domains assigned at build."""
+    _, st_before, _ = _deployment(seed=29)
+    net_after, st_after, _ = _deployment(seed=29, assign_before=False)
+    st_before.ledger._flush_pending()
+    st_after.ledger._flush_pending()
+    # The late deployment stored every file with undomained nodes...
+    assert st_after.ledger.fail_domain(site=0) == 0  # columns still -1
+    assign_domains(net_after.nodes(), sites=3, racks_per_site=2)
+    st_after.ledger.refresh_domains()
+    # ...and one refresh re-syncs the slot columns to from-scratch parity.
+    np.testing.assert_array_equal(
+        st_before.ledger._slot_site[: len(st_before.ledger._slot_nodes)],
+        st_after.ledger._slot_site[: len(st_after.ledger._slot_nodes)],
+    )
+    np.testing.assert_array_equal(
+        st_before.ledger._slot_rack[: len(st_before.ledger._slot_nodes)],
+        st_after.ledger._slot_rack[: len(st_after.ledger._slot_nodes)],
+    )
+
+
+def test_domain_mask_after_churn_matches_scalar_sequence():
+    """refresh_domains keeps the one-mask kill exact after churn + re-layout."""
+    net_a, st_a, mgr_a = _deployment(seed=37)
+    net_b, st_b, mgr_b = _deployment(seed=37)
+    # Identical churn on both twins: one failure, one graceful leave.
+    for net, mgr in ((net_a, mgr_a), (net_b, mgr_b)):
+        victim = next(n for n in net.live_nodes() if n.site == 2)
+        mgr.handle_failure(victim.node_id)
+        leaver = next(n for n in net.live_nodes() if n.rack == 1)
+        mgr.handle_leave(leaver.node_id)
+    # Re-layout the grid over the survivors, then refresh the slot columns.
+    for net, st in ((net_a, st_a), (net_b, st_b)):
+        assign_domains(net.live_nodes(), sites=2, racks_per_site=3)
+        st.ledger.refresh_domains()
+    event = FaultInjector(Simulator(), net_a, recovery=mgr_a).fail_domain(site=0)
+    assert event.rows_killed > 0
+    members = [n for n in net_b.live_nodes() if n.site == 0]
+    assert len(members) == event.nodes_affected
+    for node in members:
+        net_b.fail(node.node_id)
+    for node in members:
+        mgr_b.handle_failure(node.node_id)
+    np.testing.assert_array_equal(
+        st_a.ledger.replication_histogram(), st_b.ledger.replication_histogram()
+    )
+    assert _placements_snapshot(st_a) == _placements_snapshot(st_b)
+    assert st_a.unavailable_file_count() == st_b.unavailable_file_count()
+
+
+# ------------------------------------------------- two-stage network oracles --
+def _site_outage_with_scheduler(seed, node_count, topology_factory):
+    """One site outage repaired over a transfer scheduler; full end state."""
+    from repro.core.transfer import TransferScheduler
+
+    network, storage, _ = _deployment(seed=seed, node_count=node_count)
+    sim = Simulator()
+    topology = topology_factory(network)
+    transfers = TransferScheduler(sim, uplink=64 * MB, downlink=64 * MB,
+                                  topology=topology)
+    manager = RecoveryManager(storage, transfers=transfers)
+    injector = FaultInjector(sim, network, recovery=manager, transfers=transfers,
+                             repair_spacing=1.0)
+    event = injector.fail_domain(site=0)
+    sim.run()
+    return {
+        "placements": _placements_snapshot(storage),
+        "histogram": storage.ledger.replication_histogram().tolist(),
+        "unavailable": storage.unavailable_file_count(),
+        "summary": transfers.summary(),
+        "bytes_out": transfers.bytes_out,
+        "bytes_in": transfers.bytes_in,
+        "ttr": event.time_to_repair,
+        "traffic": event.repair_traffic_bytes,
+        "usage": [(int(n.node_id), n.used) for n in network.live_nodes()],
+    }
+
+
+@pytest.mark.parametrize("node_count", [48, 96])
+def test_repair_infinite_core_oracle(node_count):
+    """The tentpole oracle, repair pipeline included: an attached topology
+    with unbounded trunks and one zero-latency class leaves every schedule,
+    byte count and repaired end state identical to the access-only model."""
+    from repro.core.transfer import NetworkTopology
+
+    access_only = _site_outage_with_scheduler(43, node_count, lambda net: None)
+    infinite_core = _site_outage_with_scheduler(
+        43, node_count, lambda net: NetworkTopology.from_nodes(net.nodes())
+    )
+    assert infinite_core == access_only
+
+
+def test_composed_timing_faults_match_instantaneous_sequence():
+    """Satellite oracle: degraded links + trunk partition + per-transfer
+    timeouts overlapping a rolling restart and a rack outage leave the ledger
+    in the same end state as the equivalent sequence with the bandwidth
+    overlay stripped (the staggered==synchronous oracle, composed)."""
+    from repro.core.transfer import TransferScheduler, oversubscribed_topology
+
+    def run(with_overlay):
+        network, storage, _ = _deployment(seed=53)
+        sim = Simulator()
+        transfers = None
+        if with_overlay:
+            topology = oversubscribed_topology(
+                network.nodes(), access_bandwidth=8 * MB, oversubscription=4.0,
+                inter_site_latency=0.05,
+            )
+            transfers = TransferScheduler(sim, uplink=8 * MB, downlink=8 * MB,
+                                          topology=topology)
+        manager = RecoveryManager(storage, transfers=transfers,
+                                  repair_window=8 if with_overlay else None,
+                                  repair_weight=0.5 if with_overlay else 1.0)
+        if with_overlay:
+            manager.executor.transfer_timeout = 3.0
+            manager.executor.retry_backoff = 0.5
+        injector = FaultInjector(sim, network, recovery=manager,
+                                 transfers=transfers)
+        victims = [n.node_id for n in network.live_nodes()[:4]]
+        injector.rolling_restart(victims, interval=3.0, downtime=5.0)
+        if with_overlay:
+            live = [int(n.node_id) for n in network.live_nodes()[:12]]
+            sim.schedule(2.0, lambda: injector.degrade_nodes(live, fraction=0.25))
+            sim.schedule(7.0, lambda: injector.degrade_trunk(rack=1, fraction=0.0))
+        sim.schedule(4.0, lambda: injector.fail_domain(rack=3))
+        sim.run()
+        return {
+            "placements": _placements_snapshot(storage),
+            "histogram": storage.ledger.replication_histogram().tolist(),
+            "unavailable": storage.unavailable_file_count(),
+            "usage": [(int(n.node_id), n.used) for n in network.live_nodes()],
+        }
+
+    assert run(True) == run(False)
+
+
+def test_recovery_storm_survives_oversubscribed_core():
+    """Tier-1 storm isolation: a whole-site outage behind a 4:1 core with a
+    bounded repair window completes repair (histogram back to target for the
+    survivors) while backpressure, not drops, absorbs the storm."""
+    from repro.core.transfer import TransferScheduler, oversubscribed_topology
+
+    network, storage, _ = _deployment(seed=59)
+    sim = Simulator()
+    topology = oversubscribed_topology(network.nodes(), access_bandwidth=8 * MB,
+                                       oversubscription=4.0)
+    transfers = TransferScheduler(sim, uplink=8 * MB, downlink=8 * MB,
+                                  topology=topology)
+    manager = RecoveryManager(storage, transfers=transfers,
+                              repair_window=8, repair_weight=0.5)
+    injector = FaultInjector(sim, network, recovery=manager, transfers=transfers,
+                             repair_spacing=1.0)
+    injector.fail_domain(site=0)
+    sim.run()
+    pacer = manager.pacer
+    assert pacer is not None
+    assert pacer.idle  # every queued repair transfer drained: nothing dropped
+    assert pacer.peak_in_flight <= 8
+    assert pacer.peak_queue_depth > 0  # the storm actually queued
+    assert transfers.idle
+    # Repair completed to exactly the depth instantaneous repair reaches:
+    # the congested core delays the storm but strands nothing extra.
+    base_net, base_storage, base_manager = _deployment(seed=59)
+    base_sim = Simulator()
+    base_injector = FaultInjector(base_sim, base_net, recovery=base_manager,
+                                  repair_spacing=1.0)
+    base_injector.fail_domain(site=0)
+    base_sim.run()
+    np.testing.assert_array_equal(
+        storage.ledger.replication_histogram(),
+        base_storage.ledger.replication_histogram(),
+    )
+    # The core actually constrained the storm: finite trunks carried bytes.
+    assert any(
+        entry["capacity"] > 0 and entry["bytes"] > 0
+        for entry in transfers.trunk_summary().values()
+    )
