@@ -57,6 +57,12 @@ BENCH_FAULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 #: Rows accumulated by ``test_bench_faults.py`` during the session.
 _FAULTS_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the tenant QoS-isolation benchmark writes its trajectory record.
+BENCH_TENANTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_tenants.json"
+
+#: Rows accumulated by ``test_bench_tenants.py`` during the session.
+_TENANTS_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -108,6 +114,12 @@ def faults_bench_results() -> dict:
     return _FAULTS_RESULTS
 
 
+@pytest.fixture(scope="session")
+def tenants_bench_results() -> dict:
+    """Session accumulator for tenant QoS-isolation rows (written at exit)."""
+    return _TENANTS_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -131,6 +143,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_REPAIR_PATH.write_text(json.dumps(_REPAIR_RESULTS, indent=2) + "\n")
     if _FAULTS_RESULTS["results"] and _FAULTS_RESULTS["speedups"]:
         BENCH_FAULTS_PATH.write_text(json.dumps(_FAULTS_RESULTS, indent=2) + "\n")
+    if _TENANTS_RESULTS["results"] and _TENANTS_RESULTS["speedups"]:
+        BENCH_TENANTS_PATH.write_text(json.dumps(_TENANTS_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

@@ -27,6 +27,7 @@ from repro import (
     VaryingChunkBackend,
     WholeFileBackend,
 )
+from repro.core.block_ledger import BlockLedger
 from repro.grid.bigcopy import submit_and_run_bigcopy
 from repro.grid.machines import build_condor_pool_nodes
 
@@ -35,7 +36,12 @@ GB = 1 << 30
 
 
 def fresh_backends(seed: int):
-    """Build one pool per scheme so each run starts from empty disks."""
+    """Build one pool per scheme so each run starts from empty disks.
+
+    The varying-chunk store runs as an explicit ``condor`` tenant of a
+    multi-tenant block ledger -- the production shape of the paper's archive,
+    where the grid's staging traffic is one tenant among several.
+    """
     cost = TransferCostModel()
 
     whole_network, whole_machines = build_condor_pool_nodes(32, seed=seed)
@@ -47,14 +53,16 @@ def fresh_backends(seed: int):
     )
 
     varying_network, varying_machines = build_condor_pool_nodes(32, seed=seed)
-    varying_backend = VaryingChunkBackend(
-        StorageSystem(
-            DHTView(varying_network),
-            codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
-            policy=StoragePolicy(max_consecutive_zero_chunks=64),
-        )
+    varying_ledger = BlockLedger(varying_network)
+    varying_store = StorageSystem(
+        DHTView(varying_network),
+        codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
+        policy=StoragePolicy(max_consecutive_zero_chunks=64),
+        ledger=varying_ledger,
+        tenant="condor",
     )
-    return cost, [
+    varying_backend = VaryingChunkBackend(varying_store)
+    return cost, varying_store, [
         ("whole file", WholeFileBackend(whole_target), whole_machines),
         ("fixed 4 MB chunks", fixed_backend, fixed_machines),
         ("varying chunks", varying_backend, varying_machines),
@@ -63,9 +71,10 @@ def fresh_backends(seed: int):
 
 def main() -> None:
     print(f"{'size':>8s}  {'whole file':>12s}  {'fixed chunks':>14s}  {'varying chunks':>15s}")
+    varying_store = None
     for size_gb in (1, 2, 4, 8, 16, 32):
         row = [f"{size_gb:6d}GB"]
-        cost, backends = fresh_backends(seed=size_gb)
+        cost, varying_store, backends = fresh_backends(seed=size_gb)
         for label, backend, machines in backends:
             pool = CondorPool(machines=machines)
             try:
@@ -77,6 +86,11 @@ def main() -> None:
                 cell = "      N/A"
             row.append(cell)
         print(f"{row[0]:>8s}  {row[1]:>12s}  {row[2]:>14s}  {row[3]:>15s}")
+    aggregates = varying_store.ledger.base.tenant_aggregates(varying_store.store_tenant)
+    print(
+        f"\ncondor tenant ledger (last run): {aggregates['active_files']} files, "
+        f"{aggregates['stored_data_bytes'] / GB:.1f} GB on the shared multi-tenant ledger"
+    )
     print(
         "\nwhole-file placement stops working once the copy exceeds the largest single\n"
         "contribution (15 GB); variable-size chunks keep the overhead of chunked storage small."

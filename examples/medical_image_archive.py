@@ -27,6 +27,7 @@ from repro import (
     StoragePolicy,
     StorageSystem,
 )
+from repro.core.block_ledger import BlockLedger
 from repro.workloads.capacity import CapacityConfig, generate_capacities
 from repro.workloads.filetrace import FileTraceConfig, generate_file_trace
 
@@ -74,7 +75,8 @@ def compare_placement_schemes(seed: int = 7) -> None:
             store = CfsStore(dht, block_size=4 * MB, retries_per_block=3)
             insert = lambda record: store.store_file(record.name, record.size).success  # noqa: E731
         else:
-            store = StorageSystem(dht, policy=StoragePolicy())
+            store = StorageSystem(dht, policy=StoragePolicy(),
+                                  ledger=BlockLedger(network), tenant="radiology")
             insert = lambda record: store.store_file(record.name, record.size).success  # noqa: E731
         failures = sum(0 if insert(record) else 1 for record in trace)
         results[label] = (failures, dht.utilization())
@@ -88,30 +90,51 @@ def compare_placement_schemes(seed: int = 7) -> None:
 
 
 def overnight_churn_drill(seed: int = 8) -> None:
-    """Protect the archive with Reed-Solomon striping and ride out churn."""
+    """Two departments share one pool and one ledger; churn hits both tenants.
+
+    Radiology and cardiology archive onto the same desktops as distinct
+    tenants of one multi-tenant block ledger: each department sees only its
+    own namespace and repairs only its own rows, while the shared ledger
+    answers per-tenant availability and footprint in O(1).
+    """
     network = build_pool(seed)
     dht = DHTView(network)
-    archive = StorageSystem(
-        dht,
-        codec=ChunkCodec(ReedSolomonCode(parity_blocks=2), blocks_per_chunk=4),
-        policy=StoragePolicy(),
-    )
-    trace = days_studies(seed).subset(150)
-    stored = [record.name for record in trace if archive.store_file(record.name, record.size).success]
-    print(f"\nchurn drill: {len(stored)} studies archived with (4+2) Reed-Solomon striping")
+    ledger = BlockLedger(network)
+    departments = {
+        name: StorageSystem(
+            dht,
+            codec=ChunkCodec(ReedSolomonCode(parity_blocks=2), blocks_per_chunk=4),
+            policy=StoragePolicy(),
+            ledger=ledger,
+            tenant=name,
+        )
+        for name in ("radiology", "cardiology")
+    }
+    stored = {}
+    for offset, (name, archive) in enumerate(departments.items()):
+        trace = days_studies(seed + offset).subset(75)
+        stored[name] = [record.name for record in trace
+                        if archive.store_file(record.name, record.size).success]
+    print(f"\nchurn drill: {sum(map(len, stored.values()))} studies archived by "
+          f"{len(departments)} departments with (4+2) Reed-Solomon striping")
 
-    recovery = RecoveryManager(archive)
+    managers = {name: RecoveryManager(archive) for name, archive in departments.items()}
     rng = np.random.default_rng(seed)
     overnight_failures = rng.choice(network.live_ids(), size=12, replace=False)
     regenerated = 0
     for node_id in overnight_failures:
-        impact = recovery.handle_failure(node_id)
-        regenerated += impact.bytes_regenerated
-    available = sum(1 for name in stored if archive.is_file_available(name))
-    print(
-        f"  12 desktops failed overnight; {regenerated / GB:.2f} GB regenerated; "
-        f"{available}/{len(stored)} studies still fully available"
-    )
+        for recovery in managers.values():
+            regenerated += recovery.handle_failure(node_id).bytes_regenerated
+    for name, archive in departments.items():
+        aggregates = ledger.tenant_aggregates(archive.store_tenant)
+        available = sum(1 for file in stored[name] if archive.is_file_available(file))
+        print(
+            f"  {name:10s} {available}/{len(stored[name])} studies fully available; "
+            f"tenant footprint {aggregates['stored_data_bytes'] / GB:.2f} GB, "
+            f"{aggregates['unavailable_files']} unavailable"
+        )
+    print(f"  12 desktops failed overnight; {regenerated / GB:.2f} GB regenerated "
+          f"across both tenants on the shared ledger")
 
 
 if __name__ == "__main__":

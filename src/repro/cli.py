@@ -40,6 +40,7 @@ from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
 from repro.experiments.soak import PAPER_SOAK, SoakExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
+from repro.experiments.tenants import PAPER_TENANTS, SMOKE_TENANTS, TenantsExperiment
 from repro.workloads.filetrace import GB, MB
 
 
@@ -223,6 +224,41 @@ def _run_faults(args: argparse.Namespace) -> int:
     print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, {config.file_count} files, "
           f"{config.sites}x{config.racks_per_site} racks, "
           f"{config.block_replication}-copy target, {core})")
+    return 0
+
+
+def _run_tenants(args: argparse.Namespace) -> int:
+    """Per-tenant QoS isolation panels at the paper's scale (10 000 nodes) by default."""
+    import time
+    from dataclasses import replace
+
+    if args.smoke:
+        config = replace(SMOKE_TENANTS, seed=args.seed)
+    else:
+        config = replace(
+            PAPER_TENANTS,
+            node_count=max(2, int(round(args.nodes * args.scale))),
+            archive_files=max(1, int(round(args.files * args.scale))),
+            bandwidth_mb_s=args.bandwidth,
+            seed=args.seed,
+        )
+    if args.oversub is not None:
+        config = replace(config, oversubscription=args.oversub or None)
+    if args.no_isolation:
+        config = replace(config, storm_tenant_weight=1.0, storm_tenant_cap_mb_s=None)
+    start = time.perf_counter()
+    result = TenantsExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    print(result.isolation_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.slo_table().format(float_format="{:,.2f}"))
+    summary = result.isolation_summary()
+    print("isolation summary: "
+          + ", ".join(f"{key}={value:,.2f}" for key, value in summary.items()))
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, "
+          f"{config.archive_files} archive files, "
+          f"{config.oversubscription or 0:g}:1 core, "
+          f"storm weight {config.storm_tenant_weight:g})")
     return 0
 
 
@@ -410,6 +446,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=PAPER_FAULTS.seed)
     faults.set_defaults(func=_run_faults)
 
+    tenants = subparsers.add_parser(
+        "tenants", help="per-tenant QoS isolation: the noisy-neighbor storm suite "
+                        "(paper scale: 10 000 nodes, 4 tenants, 4:1 core)"
+    )
+    tenants.add_argument("--nodes", type=int, default=PAPER_TENANTS.node_count)
+    tenants.add_argument("--files", type=int, default=PAPER_TENANTS.archive_files,
+                         help="archive-tenant corpus size (files)")
+    tenants.add_argument("--bandwidth", type=float, default=PAPER_TENANTS.bandwidth_mb_s,
+                         help="per-node link capacity in MB per simulated second")
+    tenants.add_argument("--scale", type=float, default=1.0,
+                         help="multiply nodes and archive files by this factor")
+    tenants.add_argument("--oversub", type=float, default=None, metavar="RATIO",
+                         help="two-stage core oversubscription ratio "
+                              "(default 4:1; 0 = access links only)")
+    tenants.add_argument("--no-isolation", action="store_true",
+                         help="drop the storm tenant's weight/cap in every "
+                              "scenario (storm_isolated degenerates to open)")
+    tenants.add_argument("--smoke", action="store_true",
+                         help="run the fixed tier-1 smoke configuration (seconds)")
+    tenants.add_argument("--seed", type=int, default=PAPER_TENANTS.seed)
+    tenants.set_defaults(func=_run_tenants)
+
     coding = subparsers.add_parser("coding", help="Table 2")
     coding.add_argument("--chunk-mb", type=float, default=1.0)
     coding.add_argument("--blocks", type=int, default=512)
@@ -450,7 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list or args.experiment is None:
         print(
             "Available experiments: insertion, availability, fig10, coding, churn, "
-            "table3, soak, repair, faults, multicast, condor, bench"
+            "table3, soak, repair, faults, tenants, multicast, condor, bench"
         )
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func

@@ -222,6 +222,11 @@ class BlockLedger:
         """The tenant a raw (un-viewed) ledger operates as: the default, 0."""
         return 0
 
+    @property
+    def multi_tenant(self) -> bool:
+        """Whether any tenant beyond the default 0 has been registered."""
+        return self._multi_tenant
+
     def ensure_tenant(self, name: str) -> int:
         """Create (or look up) the tenant id for ``name``.
 

@@ -55,14 +55,14 @@ paper and the bandwidth-aware repair experiment report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import naming
-from repro.core.block_ledger import BlockLedger
+from repro.core.block_ledger import BlockLedger, TenantLedgerView
 from repro.core.cat import ChunkAllocationTable
 from repro.core.storage import BlockPlacement, StorageSystem, StoredChunk, StoredFile
-from repro.core.transfer import TransferPacer, TransferScheduler
+from repro.core.transfer import TransferPacer, TransferScheduler, TransferSpec
 from repro.overlay.ids import NodeId
 from repro.overlay.node import OverlayNode
 
@@ -303,10 +303,18 @@ class RepairExecutor:
         #: completions free slots -- the recovery-storm backpressure valve.
         #: ``None`` submits directly (the seed behaviour).
         self.pacer: Optional[TransferPacer] = None
+        #: Tenant tag charged to this executor's repair transfers (``None`` =
+        #: untagged, the single-tenant default).  A store built on a
+        #: :class:`~repro.core.block_ledger.TenantLedgerView` repairs under
+        #: its own tenant; cross-tenant migrations pass the row's tenant
+        #: explicitly.
+        self.tenant: Optional[int] = None
         #: Transfer specs staged for the failure currently being processed:
-        #: ``(size, src, dst, ctx)`` where ``ctx`` is ``None`` or a
+        #: ``(size, src, dst, ctx, tenant)`` where ``ctx`` is ``None`` or a
         #: ``(mode, chunk, position)`` re-planning context.
-        self._staged: List[Tuple[float, Optional[int], Optional[int], Optional[tuple]]] = []
+        self._staged: List[
+            Tuple[float, Optional[int], Optional[int], Optional[tuple], Optional[int]]
+        ] = []
 
     # -------------------------------------------------------------- staging --
     def begin(self, impact: FailureImpact) -> None:
@@ -336,8 +344,10 @@ class RepairExecutor:
             if state["pending"] == 0:
                 impact.repair_finished_at = self.transfers.sim.now
 
-        def submit_spec(size, src, dst, ctx, attempt) -> tuple:
-            def on_failed(transfer, size=size, dst=dst, ctx=ctx, attempt=attempt) -> None:
+        def submit_spec(size, src, dst, ctx, tenant, attempt) -> TransferSpec:
+            def on_failed(
+                transfer, size=size, dst=dst, ctx=ctx, tenant=tenant, attempt=attempt
+            ) -> None:
                 if attempt >= self.max_retries:
                     impact.repair_transfers_failed += 1
                     settle()
@@ -345,30 +355,40 @@ class RepairExecutor:
                 impact.repair_retries += 1
                 new_src = self._replan_source(ctx, transfer.src, dst)
                 delay = self.retry_backoff * (2.0 ** attempt)
-                spec = submit_spec(size, new_src, dst, ctx, attempt + 1)
+                spec = submit_spec(size, new_src, dst, ctx, tenant, attempt + 1)
                 self.transfers.sim.schedule(
                     delay, lambda spec=spec: self._submit([spec])
                 )
 
             impact.repair_traffic_bytes += int(size)
-            return (size, src, dst, lambda _t: settle(), on_failed, self.transfer_timeout)
+            return TransferSpec(
+                size, src, dst,
+                on_complete=lambda _t: settle(),
+                on_failed=on_failed,
+                timeout=self.transfer_timeout,
+                tenant=tenant,
+            )
 
         self._submit(
-            [submit_spec(size, src, dst, ctx, 0) for size, src, dst, ctx in staged]
+            [
+                submit_spec(size, src, dst, ctx, tenant, 0)
+                for size, src, dst, ctx, tenant in staged
+            ]
         )
 
-    def _submit(self, specs: List[tuple]) -> None:
+    def _submit(self, specs: List[TransferSpec]) -> None:
         """Route repair specs through the admission window (when configured).
 
         Without a pacer the specs go straight to the scheduler tagged with
         the repair weight class -- weight 1.0 is arithmetically the unweighted
-        seed path, so the default stays bit-identical.
+        seed path, so the default stays bit-identical.  The tenant tag rides
+        through either route.
         """
         if self.pacer is not None:
             self.pacer.submit_many(specs)
         else:
             self.transfers.submit_many(
-                [spec + (self.repair_weight,) for spec in specs]
+                [replace(spec, weight=self.repair_weight) for spec in specs]
             )
 
     def _stage(
@@ -377,9 +397,12 @@ class RepairExecutor:
         src: Optional[int],
         dst: Optional[int],
         ctx: Optional[tuple] = None,
+        tenant: Optional[int] = None,
     ) -> None:
         if self.transfers is not None:
-            self._staged.append((size, src, dst, ctx))
+            self._staged.append(
+                (size, src, dst, ctx, self.tenant if tenant is None else tenant)
+            )
 
     def _replan_source(
         self, ctx: Optional[tuple], failed_src: Optional[int], dst: Optional[int]
@@ -705,6 +728,7 @@ class RepairExecutor:
         impact: FailureImpact,
         key: Optional[int] = None,
         digest: Optional[bytes] = None,
+        tenant: Optional[int] = None,
     ) -> None:
         """Copy one encoded block off a departing node before it leaves.
 
@@ -712,7 +736,8 @@ class RepairExecutor:
         (``size`` bytes over the departing node's uplink) -- no surviving
         blocks are read and no fresh check block is minted.  The placement is
         re-pointed at the node now responsible for the name, exactly where the
-        regeneration path would have re-created it.
+        regeneration path would have re-created it.  ``tenant`` charges the
+        copy to the row's tenant (``None`` = the executor's own).
         """
         new_holder = self.place_block(block_name, size, exclude=leaving.node_id, key=key)
         if new_holder is None:
@@ -727,7 +752,8 @@ class RepairExecutor:
         )
         impact.bytes_migrated += size
         self._stage(
-            size, int(leaving.node_id), int(new_holder.node_id), ("copy", chunk, placement_index)
+            size, int(leaving.node_id), int(new_holder.node_id),
+            ("copy", chunk, placement_index), tenant,
         )
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
@@ -758,6 +784,7 @@ class RepairExecutor:
         impact: FailureImpact,
         key: Optional[int] = None,
         digest: Optional[bytes] = None,
+        tenant: Optional[int] = None,
     ) -> None:
         """Copy a neighbour-replica copy off a departing node.
 
@@ -793,7 +820,8 @@ class RepairExecutor:
         impact.bytes_migrated += size
         impact.replicas_restored += 1
         self._stage(
-            size, int(leaving.node_id), int(new_holder.node_id), ("copy", chunk, placement_index)
+            size, int(leaving.node_id), int(new_holder.node_id),
+            ("copy", chunk, placement_index), tenant,
         )
         ledger = self.storage.ledger
         if ledger is not None and chunk.ledger_index is not None:
@@ -838,7 +866,7 @@ class RepairExecutor:
         if not target.has_block(name) and target.store_block(name, size):
             impact.cat_copies_restored += 1
             impact.bytes_migrated += size
-            self._stage(size, int(leaving.node_id), int(target.node_id))
+            self._stage(size, int(leaving.node_id), int(target.node_id), tenant=tenant)
             ledger = self.storage.ledger
             if digest is not None and ledger is not None:
                 if tenant is None:
@@ -860,6 +888,7 @@ class RepairExecutor:
         leaving: OverlayNode,
         impact: FailureImpact,
         ledger: BlockLedger,
+        tenant: Optional[int] = None,
     ) -> None:
         """Copy one baseline (PAST/CFS) replica-group row off a departing node.
 
@@ -885,7 +914,7 @@ class RepairExecutor:
                     break
         if placed is not None:
             impact.bytes_migrated += size
-            self._stage(size, int(leaving.node_id), int(placed.node_id))
+            self._stage(size, int(leaving.node_id), int(placed.node_id), tenant=tenant)
             ledger.migrate_group_row(row, placed)
         else:
             impact.bytes_dropped += size
@@ -913,6 +942,10 @@ class RecoveryManager:
         self.executor = RepairExecutor(storage, relocate_when_full, transfers)
         self.executor.planner = self.planner
         self.executor.repair_weight = repair_weight
+        # A tenant-scoped store repairs under its own tenant tag; a private
+        # (or raw shared) ledger stays untagged -- the untagged QoS oracle.
+        if isinstance(storage.ledger, TenantLedgerView):
+            self.executor.tenant = storage.ledger.tenant_id
         #: Repair QoS knobs: ``repair_window`` bounds in-flight repair
         #: transfers (overflow queues FIFO -- backpressure, not drops) and
         #: ``repair_weight`` is the repair class's fair-share weight; the
@@ -1110,10 +1143,15 @@ class RecoveryManager:
     def _apply_migration_row(
         self, row: int, name: str, node: OverlayNode, impact: FailureImpact, ledger: BlockLedger
     ) -> None:
+        # The transfer tag follows the *row's* tenant (a departure migrates
+        # every tenant's copies through one executor); a single-tenant ledger
+        # stays untagged so the untagged oracle holds end to end.
+        row_tenant = ledger.row_tenant(row) if ledger.multi_tenant else None
         if ledger.row_group(row) >= 0:
             # Baseline replica-group copy (any tenant): representation-free move.
             self.executor.migrate_group_row(
-                row, name, int(ledger.row_fields(row)[3]), node, impact, ledger
+                row, name, int(ledger.row_fields(row)[3]), node, impact, ledger,
+                tenant=row_tenant,
             )
             return
         # Chunk and meta rows migrate regardless of tenant: the departure is
@@ -1130,7 +1168,7 @@ class RecoveryManager:
         if placement_idx < 0:
             self.executor.migrate_meta(
                 name, size, node, impact, key=key, digest=digest,
-                tenant=ledger.row_tenant(row),
+                tenant=ledger.row_tenant(row) if ledger.multi_tenant else None,
             )
             return
         chunk = ledger.chunk_object(chunk_idx)
@@ -1140,7 +1178,10 @@ class RecoveryManager:
             if int(chunk.placements[position].node_id) == int(node.node_id)
             else self.executor.migrate_replica
         )
-        migrate(chunk, position, name, size, node, impact, key=key, digest=digest)
+        migrate(
+            chunk, position, name, size, node, impact, key=key, digest=digest,
+            tenant=row_tenant,
+        )
 
     def _migrate_block_scalar(
         self, block_name: str, size: int, node: OverlayNode, impact: FailureImpact

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core import naming
-from repro.core.block_ledger import BlockLedger
+from repro.core.block_ledger import BlockLedger, TenantLedgerView
 from repro.core.capacity import CapacityProbe, ProbeResult
 from repro.core.cat import CatEntry, ChunkAllocationTable
 from repro.core.chunker import Chunker
@@ -187,6 +187,12 @@ class StorageSystem:
         #: A private ledger's namespace is exactly ``self.files``; only a
         #: shared ledger needs the pre-flight name check before placing.
         self._ledger_shared = ledger is not None and self.ledger is not None
+        #: Optional transfer fabric for charging data movement (see
+        #: :meth:`attach_transfers`).  ``None`` (the default) keeps stores and
+        #: retrieves instantaneous, exactly as before.
+        self.transfers = None
+        self._transfer_client: Optional[int] = None
+        self._transfer_observer = None
         self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
         self._probe_chunk = self.probe.probe_chunk_fast if vectorized else self.probe.probe_chunk
         self.chunker = Chunker(self.probe, self.codec, self.policy)
@@ -201,6 +207,46 @@ class StorageSystem:
         self.degraded_reads = 0
         #: Reads that could not recover every requested chunk.
         self.failed_reads = 0
+
+    @property
+    def store_tenant(self) -> Optional[int]:
+        """The tenant this store moves bytes for (``None`` when untagged).
+
+        Derived from the ledger handle: a store built on a
+        :class:`~repro.core.block_ledger.TenantLedgerView` charges every
+        transfer it submits to that tenant; a private or raw shared ledger
+        leaves transfers untagged, preserving the single-tenant scheduler
+        oracle bit-for-bit.
+        """
+        if isinstance(self.ledger, TenantLedgerView):
+            return self.ledger.tenant_id
+        return None
+
+    def attach_transfers(self, scheduler, client: Optional[int] = None,
+                         observer=None) -> None:
+        """Charge this store's data movement to a transfer scheduler.
+
+        Once attached, every placed copy (block, replica, CAT copy) and every
+        capacity-mode chunk read submits a transfer tagged with
+        :attr:`store_tenant` -- ``client`` is the flat node id the ingest and
+        read traffic terminates at (``None`` models an external client outside
+        the overlay's access links).  ``observer``, when given, is called with
+        each charged transfer on completion (SLO probes measure the store's
+        *own* data movement without picking up repair traffic that shares the
+        tenant tag).  Placement decisions, results and lookup counts are
+        unchanged; only the transfer fabric sees the new load.
+        """
+        self.transfers = scheduler
+        self._transfer_client = client
+        self._transfer_observer = observer
+
+    def _charge(self, size: float, src: Optional[int], dst: Optional[int]) -> None:
+        """Submit one tenant-tagged charging transfer (no-op when detached)."""
+        if self.transfers is None or size <= 0:
+            return
+        self.transfers.submit(float(size), src, dst,
+                              on_complete=self._transfer_observer,
+                              tenant=self.store_tenant)
 
     # ------------------------------------------------------------------ store --
     def store_file(self, filename: str, size: int) -> StoreResult:
@@ -351,6 +397,11 @@ class StorageSystem:
                 block_name=name, node_id=node.node_id, size=block_size, replica_nodes=replica_ids
             )
             placements.append(placement)
+            # Ingest charging: the client uploads the primary copy; neighbour
+            # replicas are pushed onward by the primary holder.
+            self._charge(block_size, self._transfer_client, int(node.node_id))
+            for replica_id in replica_ids:
+                self._charge(block_size, int(node.node_id), int(replica_id))
             if payloads is not None:
                 self._block_payloads[(int(node.node_id), name)] = payloads[index]
                 for replica_id in replica_ids:
@@ -398,10 +449,12 @@ class StorageSystem:
         serialized = cat.serialize().encode("utf-8") if self.payload_mode else None
 
         def finalize(name: str, node: OverlayNode) -> List[BlockPlacement]:
+            self._charge(size, self._transfer_client, int(node.node_id))
             replica_ids = []
             for neighbor in self.dht.neighbors(node.node_id, self.policy.cat_replication - 1):
                 if neighbor.store_block(name, size):
                     replica_ids.append(neighbor.node_id)
+                    self._charge(size, int(node.node_id), int(neighbor.node_id))
                     if serialized is not None:
                         self._block_payloads[(int(neighbor.node_id), name)] = serialized
             if serialized is not None:
@@ -591,6 +644,12 @@ class StorageSystem:
                     recovered += 1
                     bytes_available += chunk.size
                     blocks_fetched += min(required, len(chunk.placements))
+                    # Read charging: one decoded chunk's worth of traffic
+                    # drains from a holder to the client.
+                    if chunk.placements:
+                        self._charge(
+                            chunk.size, int(chunk.placements[0].node_id), self._transfer_client
+                        )
                     # Degraded: the decode works from a strict k-of-n subset
                     # because some placements lost every copy.
                     if self._chunk_live_placements(chunk) < len(chunk.placements):

@@ -55,6 +55,30 @@ contending with a weight-1 foreground flow on a shared link is held to
 store/retrieve traffic.  All-equal weights reduce to the plain max-min model
 with byte-identical arithmetic.
 
+Per-tenant QoS isolation
+------------------------
+Every transfer may carry an optional integer ``tenant`` tag (the
+:class:`~repro.core.block_ledger.BlockLedger` tenant id of the store it
+serves).  Two isolation mechanisms layer on the weighted filling:
+
+* **per-tenant fair-share weights** (:meth:`TransferScheduler.set_tenant_weight`):
+  a tenant's flows share one weight class -- the tenant weight multiplies into
+  each flow's own weight at submission time, so a weight-0.25 tenant's storm
+  is held to a quarter-share on every contended link;
+* **hard per-tenant bandwidth caps** (:meth:`TransferScheduler.set_tenant_cap`):
+  a capped tenant's flows all cross one *virtual tenant link* ``(6, tenant)``
+  of that capacity in the progressive filling, so the tenant's aggregate rate
+  can never exceed the cap even on an otherwise idle fabric (a cap of ``0``
+  blackholes the tenant with the usual deterministic failure semantics).
+
+Per-tenant byte/backlog accounting is surfaced by
+:meth:`TransferScheduler.tenant_summary`.  The load-bearing oracle
+(``tests/test_tenant_qos.py``): with every tenant at weight 1.0 and no caps,
+tagged scheduling is *bit-identical* -- schedule, byte counts, end state -- to
+the untagged scheduler, because the tenant weight only multiplies in when it
+differs from 1.0 and the virtual link only enters the constraint graph when a
+finite cap exists.
+
 A transfer crosses at most six links, so the filling runs in ``O(F log F)``
 per reallocation using a lazy min-heap over link fill levels.  Rates are
 recomputed only when the active set changes (a submission, activation or
@@ -118,7 +142,7 @@ import heapq
 import itertools
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
@@ -131,13 +155,15 @@ _WEIGHT_TOLERANCE = 1e-9
 
 #: Link-key stage tags.  Access links (uplink of the source, downlink of the
 #: destination) keep the seed values so link-key tie-breaks are unchanged;
-#: trunk stages sort after them.
+#: trunk stages sort after them, and the virtual per-tenant cap links sort
+#: after every physical stage.
 _UP = 0
 _DOWN = 1
 _RACK_UP = 2
 _RACK_DOWN = 3
 _SITE_UP = 4
 _SITE_DOWN = 5
+_TENANT = 6
 
 _STAGE_NAMES = {
     _UP: "uplink",
@@ -146,6 +172,7 @@ _STAGE_NAMES = {
     _RACK_DOWN: "rack:down",
     _SITE_UP: "site:up",
     _SITE_DOWN: "site:down",
+    _TENANT: "tenant",
 }
 
 #: The latency classes of the two-stage model, nearest first.
@@ -415,6 +442,35 @@ def oversubscribed_topology(
     return topology
 
 
+@dataclass(frozen=True)
+class TransferSpec:
+    """One submission of the batch API (:meth:`TransferScheduler.submit_many`).
+
+    The positional-tuple form ``(size, src, dst, on_complete[, on_failed[,
+    timeout[, weight[, tenant]]]])`` is still accepted everywhere a spec is --
+    the fields below are exactly that tuple's positions -- but the dataclass
+    is the canonical shape now that the spec carries eight fields.
+    """
+
+    size: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    on_complete: Optional[Callable[["Transfer"], None]] = None
+    on_failed: Optional[Callable[["Transfer"], None]] = None
+    timeout: Optional[float] = None
+    #: Fair-share weight (priority class); 1.0 is the foreground class.
+    weight: float = 1.0
+    #: Tenant id the movement is charged to (``None`` = untagged).
+    tenant: Optional[int] = None
+
+    @classmethod
+    def coerce(cls, spec: "TransferSpec | Tuple") -> "TransferSpec":
+        """Accept a spec as-is, or adapt the legacy positional tuple."""
+        if isinstance(spec, cls):
+            return spec
+        return cls(*spec)
+
+
 @dataclass
 class Transfer:
     """One in-flight (or finished) bulk data movement between two nodes.
@@ -438,11 +494,14 @@ class Transfer:
     failed_at: Optional[float] = None
     failure_reason: Optional[str] = None
     #: Fair-share weight (priority class); 1.0 is the foreground class.
+    #: Already includes the tenant's class weight, folded in at submission.
     weight: float = 1.0
     #: Propagation latency of the path's latency class (activation delay).
     latency: float = 0.0
     #: Shared trunk link keys the path crosses (frozen at submission).
     trunk_links: Tuple[Tuple[int, int], ...] = ()
+    #: Tenant id the movement is charged to (``None`` = untagged).
+    tenant: Optional[int] = None
 
     @property
     def done(self) -> bool:
@@ -501,6 +560,12 @@ class TransferScheduler:
         self._timer = None
         #: Sum of active-flow weights per link key (congestion signal).
         self._link_load: Dict[Tuple[int, int], float] = {}
+        #: Per-tenant fair-share class weights (folded in at submission).
+        self._tenant_weight: Dict[int, float] = {}
+        #: Per-tenant hard caps: the virtual link capacities (None = uncapped).
+        self._tenant_cap: Dict[int, Optional[float]] = {}
+        #: Per-tenant byte/flow accounting (see :meth:`tenant_summary`).
+        self._tenant_stats: Dict[int, Dict[str, float]] = {}
         # -- accounting ------------------------------------------------------
         self.bytes_submitted = 0.0
         self.bytes_completed = 0.0
@@ -595,6 +660,59 @@ class TransferScheduler:
         self._reallocate()
         self._reschedule()
 
+    def set_tenant_weight(self, tenant: int, weight: float) -> None:
+        """Assign one tenant's fair-share class weight (1.0 = foreground).
+
+        The tenant weight multiplies into each flow's own weight *at
+        submission time* -- flows already in flight keep the class they were
+        admitted under, exactly like a flow's own ``weight``.  A weight of
+        1.0 (the default) is arithmetically absent, which is what keeps the
+        all-tenants-weight-1 schedule bit-identical to the untagged one.
+        """
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be positive: {weight!r}")
+        self._tenant_weight[int(tenant)] = float(weight)
+
+    def set_tenant_cap(self, tenant: int, cap: Optional[float]) -> None:
+        """Set (or clear) one tenant's hard aggregate bandwidth cap.
+
+        The cap is modeled as a *virtual per-tenant link* of that capacity
+        crossed by every one of the tenant's flows, so the progressive
+        filling bounds the tenant's total rate without disturbing how other
+        tenants share the physical links.  ``None`` removes the cap; ``0``
+        blackholes the tenant: active flows fail deterministically (in
+        submission order, through the event queue, like a dead access link)
+        and new submissions fail at submission time.
+        """
+        _validate_capacity(cap, "tenant cap", allow_zero=True)
+        tenant = int(tenant)
+        self._advance()
+        if cap is None:
+            self._tenant_cap.pop(tenant, None)
+        else:
+            self._tenant_cap[tenant] = float(cap)
+        if cap == 0:
+            doomed = [
+                self._active[seq]
+                for seq in sorted(self._active)
+                if self._active[seq].tenant == tenant
+            ]
+            for transfer in doomed:
+                self._drop_active(transfer)
+                self.sim.schedule(
+                    0.0, lambda t=transfer: self._fail_transfer(t, "tenant blackholed")
+                )
+        self._reallocate()
+        self._reschedule()
+
+    def tenant_weight_of(self, tenant: int) -> float:
+        """The fair-share class weight of one tenant (1.0 = default)."""
+        return self._tenant_weight.get(int(tenant), 1.0)
+
+    def tenant_cap_of(self, tenant: int) -> Optional[float]:
+        """The hard aggregate cap of one tenant (``None`` = uncapped)."""
+        return self._tenant_cap.get(int(tenant))
+
     def uplink_of(self, node_id: int) -> Optional[float]:
         """The access uplink capacity of ``node_id`` (None = unconstrained)."""
         return self._uplink.get(int(node_id), self.default_uplink)
@@ -613,6 +731,7 @@ class TransferScheduler:
         on_failed: Optional[Callable[[Transfer], None]] = None,
         timeout: Optional[float] = None,
         weight: float = 1.0,
+        tenant: Optional[int] = None,
     ) -> Transfer:
         """Start moving ``size`` bytes from ``src`` to ``dst``.
 
@@ -620,15 +739,18 @@ class TransferScheduler:
         ``on_complete`` (through the event queue, at the completion's
         simulated time).  A dead link, a partitioned trunk or an expired
         ``timeout`` fires ``on_failed`` instead.  ``weight`` is the flow's
-        fair-share priority class (1.0 = foreground).
+        fair-share priority class (1.0 = foreground); ``tenant`` charges the
+        movement to one tenant's accounting, class weight and cap.
         """
-        return self.submit_many([(size, src, dst, on_complete, on_failed, timeout, weight)])[0]
+        return self.submit_many(
+            [TransferSpec(size, src, dst, on_complete, on_failed, timeout, weight, tenant)]
+        )[0]
 
     def submit_many(
         self,
-        specs: Sequence[Tuple],
+        specs: Sequence["TransferSpec | Tuple"],
     ) -> List[Transfer]:
-        """Submit a batch of ``(size, src, dst, on_complete[, on_failed[, timeout[, weight]]])``.
+        """Submit a batch of :class:`TransferSpec` (or legacy positional tuples).
 
         One rate reallocation for the whole batch -- the way the repair
         executor charges all transfers of one failure at once.
@@ -638,19 +760,24 @@ class TransferScheduler:
         self._advance()
         transfers: List[Transfer] = []
         now = self.sim.now
-        for spec in specs:
-            size, src, dst, on_complete = spec[0], spec[1], spec[2], spec[3]
-            on_failed = spec[4] if len(spec) > 4 else None
-            timeout = spec[5] if len(spec) > 5 else None
-            weight = spec[6] if len(spec) > 6 else 1.0
+        for raw in specs:
+            spec = TransferSpec.coerce(raw)
+            size, weight, timeout = spec.size, spec.weight, spec.timeout
             if size < 0:
                 raise ValueError(f"negative transfer size: {size!r}")
             if timeout is not None and timeout <= 0:
                 raise ValueError(f"transfer timeout must be positive: {timeout!r}")
             if weight <= 0:
                 raise ValueError(f"transfer weight must be positive: {weight!r}")
-            src = None if src is None else int(src)
-            dst = None if dst is None else int(dst)
+            src = None if spec.src is None else int(spec.src)
+            dst = None if spec.dst is None else int(spec.dst)
+            tenant = None if spec.tenant is None else int(spec.tenant)
+            if tenant is not None:
+                # The tenant's class weight folds into the flow's weight; the
+                # 1.0 default stays arithmetically absent (the QoS oracle).
+                tenant_weight = self._tenant_weight.get(tenant, 1.0)
+                if tenant_weight != 1.0:
+                    weight = weight * tenant_weight
             latency = 0.0
             trunk_links: Tuple[Tuple[int, int], ...] = ()
             if self.topology is not None:
@@ -663,12 +790,13 @@ class TransferScheduler:
                 size=float(size),
                 submitted_at=now,
                 remaining=float(size),
-                on_complete=on_complete,
-                on_failed=on_failed,
+                on_complete=spec.on_complete,
+                on_failed=spec.on_failed,
                 deadline=None if timeout is None else now + float(timeout),
                 weight=float(weight),
                 latency=latency,
                 trunk_links=trunk_links,
+                tenant=tenant,
             )
             self.submitted_count += 1
             self.bytes_submitted += transfer.size
@@ -678,6 +806,10 @@ class TransferScheduler:
                 self.bytes_in[transfer.dst] = self.bytes_in.get(transfer.dst, 0.0) + transfer.size
             for key in transfer.trunk_links:
                 self.trunk_bytes[key] = self.trunk_bytes.get(key, 0.0) + transfer.size
+            if tenant is not None:
+                stats = self._tenant_stat(tenant)
+                stats["submitted"] += 1.0
+                stats["bytes_submitted"] += transfer.size
             reason = self._dead_reason(transfer)
             if reason is not None:
                 # Deterministic failure instead of an eternally starved flow.
@@ -787,13 +919,76 @@ class TransferScheduler:
             }
         return out
 
+    def tenant_summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-tenant byte/flow accounting, QoS settings and live backlog.
+
+        One row per tenant that has submitted traffic or carries a configured
+        weight/cap: submitted/completed/failed flow counts and bytes (failure
+        refunds mirror the global counters), the in-flight flow count
+        (``active``, including latency-window flows) and their undelivered
+        bytes (``backlog_bytes``), and the tenant's current class ``weight``
+        and ``cap`` (``-1`` = uncapped).  The per-tenant SLO reports are
+        assembled from this plus the ledger's per-tenant O(1) aggregates.
+        """
+        self._advance()
+        in_flight: Dict[int, Tuple[int, float]] = {}
+        for pool in (self._active, self._pending):
+            for transfer in pool.values():
+                if transfer.tenant is None:
+                    continue
+                count, backlog = in_flight.get(transfer.tenant, (0, 0.0))
+                in_flight[transfer.tenant] = (count + 1, backlog + transfer.remaining)
+        tenants = (
+            set(self._tenant_stats)
+            | set(self._tenant_weight)
+            | set(self._tenant_cap)
+            | set(in_flight)
+        )
+        out: Dict[int, Dict[str, float]] = {}
+        for tenant in sorted(tenants):
+            stats = self._tenant_stats.get(tenant)
+            row = dict(stats) if stats is not None else {
+                "submitted": 0.0,
+                "completed": 0.0,
+                "failed": 0.0,
+                "bytes_submitted": 0.0,
+                "bytes_completed": 0.0,
+                "bytes_failed": 0.0,
+                "last_completion_time": 0.0,
+            }
+            count, backlog = in_flight.get(tenant, (0, 0.0))
+            cap = self._tenant_cap.get(tenant)
+            row["active"] = float(count)
+            row["backlog_bytes"] = backlog
+            row["weight"] = self._tenant_weight.get(tenant, 1.0)
+            row["cap"] = -1.0 if cap is None else float(cap)
+            out[tenant] = row
+        return out
+
     # ------------------------------------------------------------- internals --
+    def _tenant_stat(self, tenant: int) -> Dict[str, float]:
+        stats = self._tenant_stats.get(tenant)
+        if stats is None:
+            stats = {
+                "submitted": 0.0,
+                "completed": 0.0,
+                "failed": 0.0,
+                "bytes_submitted": 0.0,
+                "bytes_completed": 0.0,
+                "bytes_failed": 0.0,
+                "last_completion_time": 0.0,
+            }
+            self._tenant_stats[tenant] = stats
+        return stats
+
     def _key_capacity(self, key: Tuple[int, int]) -> Optional[float]:
         stage, ident = key
         if stage == _UP:
             return self.uplink_of(ident)
         if stage == _DOWN:
             return self.downlink_of(ident)
+        if stage == _TENANT:
+            return self._tenant_cap.get(ident)
         if self.topology is None:
             return None
         return self.topology.capacity_of(key)
@@ -805,6 +1000,11 @@ class TransferScheduler:
         if transfer.dst is not None:
             keys.append((_DOWN, transfer.dst))
         keys.extend(transfer.trunk_links)
+        if transfer.tenant is not None:
+            # Unconditional (cap or not) so add/drop stay symmetric across
+            # mid-flight set_tenant_cap changes; an uncapped tenant link has
+            # capacity None and never constrains anything.
+            keys.append((_TENANT, transfer.tenant))
         return keys
 
     def _add_active(self, transfer: Transfer) -> None:
@@ -830,6 +1030,8 @@ class TransferScheduler:
         for key in transfer.trunk_links:
             if self.topology.capacity_of(key) == 0:
                 return "partitioned trunk"
+        if transfer.tenant is not None and self._tenant_cap.get(transfer.tenant) == 0:
+            return "tenant blackholed"
         return None
 
     def _activate(self, seq: int) -> None:
@@ -861,6 +1063,10 @@ class TransferScheduler:
         transfer.failure_reason = reason
         self.failed_count += 1
         self.bytes_failed += transfer.remaining
+        if transfer.tenant is not None:
+            stats = self._tenant_stat(transfer.tenant)
+            stats["failed"] += 1.0
+            stats["bytes_failed"] += transfer.remaining
         if transfer.src is not None:
             self.bytes_out[transfer.src] -= transfer.remaining
         if transfer.dst is not None:
@@ -914,6 +1120,15 @@ class TransferScheduler:
             for key in transfer.trunk_links:
                 capacity = self.topology.capacity_of(key)
                 if capacity is not None:
+                    if key not in link_cap:
+                        link_cap[key] = float(capacity)
+                        link_members[key] = []
+                    link_members[key].append(transfer)
+                    keys.append(key)
+            if transfer.tenant is not None:
+                capacity = self._tenant_cap.get(transfer.tenant)
+                if capacity is not None:
+                    key = (_TENANT, transfer.tenant)
                     if key not in link_cap:
                         link_cap[key] = float(capacity)
                         link_members[key] = []
@@ -1007,6 +1222,11 @@ class TransferScheduler:
             self.completed_count += 1
             self.bytes_completed += transfer.size
             self.last_completion_time = now
+            if transfer.tenant is not None:
+                stats = self._tenant_stat(transfer.tenant)
+                stats["completed"] += 1.0
+                stats["bytes_completed"] += transfer.size
+                stats["last_completion_time"] = now
         # A transfer that both finishes and expires this instant counts as
         # finished (checked above); the rest past their deadline time out.
         expired = [
@@ -1057,7 +1277,7 @@ class TransferPacer:
         self.scheduler = scheduler
         self.max_in_flight = max_in_flight
         self.weight = float(weight)
-        self._backlog: Deque[Tuple] = deque()
+        self._backlog: Deque[TransferSpec] = deque()
         self.in_flight = 0
         self.queued_total = 0
         self.peak_queue_depth = 0
@@ -1081,11 +1301,14 @@ class TransferPacer:
         on_complete: Optional[Callable[[Transfer], None]] = None,
         on_failed: Optional[Callable[[Transfer], None]] = None,
         timeout: Optional[float] = None,
+        tenant: Optional[int] = None,
     ) -> None:
         """Queue one transfer for admission (see :meth:`submit_many`)."""
-        self.submit_many([(size, src, dst, on_complete, on_failed, timeout)])
+        self.submit_many(
+            [TransferSpec(size, src, dst, on_complete, on_failed, timeout, tenant=tenant)]
+        )
 
-    def submit_many(self, specs: Sequence[Tuple]) -> None:
+    def submit_many(self, specs: Sequence["TransferSpec | Tuple"]) -> None:
         """Admit up to the window, backlog the rest (FIFO, in spec order).
 
         Unlike :meth:`TransferScheduler.submit_many` no :class:`Transfer`
@@ -1108,10 +1331,8 @@ class TransferPacer:
         }
 
     # ------------------------------------------------------------- internals --
-    def _wrap(self, spec: Tuple) -> Tuple:
-        size, src, dst, on_complete = spec[0], spec[1], spec[2], spec[3]
-        on_failed = spec[4] if len(spec) > 4 else None
-        timeout = spec[5] if len(spec) > 5 else None
+    def _wrap(self, spec: "TransferSpec | Tuple") -> TransferSpec:
+        spec = TransferSpec.coerce(spec)
 
         def settled(callback, transfer):
             self.in_flight -= 1
@@ -1119,18 +1340,17 @@ class TransferPacer:
                 callback(transfer)
             self._drain()
 
-        return (
-            size,
-            src,
-            dst,
-            lambda t, cb=on_complete: settled(cb, t),
-            lambda t, cb=on_failed: settled(cb, t),
-            timeout,
-            self.weight,
+        # The pacer *is* a traffic class: its weight replaces the spec's.
+        # The tenant tag (and timeout) ride through untouched.
+        return replace(
+            spec,
+            on_complete=lambda t, cb=spec.on_complete: settled(cb, t),
+            on_failed=lambda t, cb=spec.on_failed: settled(cb, t),
+            weight=self.weight,
         )
 
     def _drain(self) -> None:
-        batch: List[Tuple] = []
+        batch: List[TransferSpec] = []
         while self._backlog and (
             self.max_in_flight is None
             or self.in_flight + len(batch) < self.max_in_flight

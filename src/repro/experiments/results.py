@@ -18,7 +18,11 @@ performance trajectory recorded by the benchmark session hooks:
 * ``BENCH_faults.json`` -- per-scenario durability records of the
   failure-domain fault-injection panels (site/rack outages, flash crowd,
   rolling restart, degraded links) with availability, data loss,
-  time-to-repair and repair traffic.
+  time-to-repair and repair traffic;
+* ``BENCH_tenants.json`` -- the per-tenant QoS isolation records of the
+  noisy-neighbor storm suite: the victim tenant's ingest throughput and
+  retrieve p95 with isolation on vs off while the archive tenant's
+  site-outage repair drains, plus the per-tenant SLO rows.
 
 ``python -m repro.cli bench --summary-only`` prints both via
 :func:`benchmark_summary`; the benchmarks themselves are run with
@@ -246,6 +250,40 @@ def faults_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def tenants_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_tenants.json rows as a QoS isolation table.
+
+    Flagship rows (tenant ``-``) carry the victim's ingest/probe SLOs and
+    the storm's repair totals; the ``*-slo-*`` rows carry each tenant's
+    availability and bytes-moved accounting from the shared ledger/fabric.
+    """
+    table = TableResult(
+        title="Tenant QoS isolation (noisy-neighbor storm suite)",
+        columns=[
+            "scenario", "nodes", "tenant", "ingest_mb_s", "ingest_slowdown_x",
+            "probe_p95_s", "repair_gb", "availability_pct", "moved_gb",
+            "backlog_gb", "storm_queue_peak", "trunk_util_pct", "seconds",
+        ],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            scenario=row.get("scenario", "?"),
+            nodes=row.get("node_count", 0),
+            tenant=row.get("tenant", "-"),
+            ingest_mb_s=float(row.get("ingest_mb_s", 0.0)),
+            ingest_slowdown_x=float(row.get("ingest_slowdown_x", 0.0)),
+            probe_p95_s=float(row.get("probe_p95_s", 0.0)),
+            repair_gb=float(row.get("repair_gb", 0.0)),
+            availability_pct=float(row.get("availability_pct", 0.0)),
+            moved_gb=float(row.get("moved_gb", 0.0)),
+            backlog_gb=float(row.get("backlog_gb", 0.0)),
+            storm_queue_peak=float(row.get("storm_queue_peak", 0.0)),
+            trunk_util_pct=float(row.get("trunk_util_pct", 0.0)),
+            seconds=float(row.get("seconds", 0.0)),
+        )
+    return table
+
+
 def churn_benchmark_table(record: dict) -> TableResult:
     """Render the BENCH_churn.json rows as a failure-throughput table."""
     table = TableResult(
@@ -309,6 +347,9 @@ def benchmark_summary(root: Path) -> str:
     )
     sections += _benchmark_section(
         root, "BENCH_faults.json", faults_benchmark_table, "fault injection"
+    )
+    sections += _benchmark_section(
+        root, "BENCH_tenants.json", tenants_benchmark_table, "tenant QoS isolation"
     )
     return "\n\n".join(sections)
 

@@ -1,0 +1,530 @@
+"""Per-tenant QoS isolation panels: the noisy-neighbor storm suite.
+
+Four tenants share one overlay, one multi-tenant block ledger and one
+transfer fabric behind an oversubscribed two-stage core:
+
+* ``archive`` -- the paper's 10 000-node archive corpus, pre-stored; its
+  whole-site outage is the *storm*: a repair burst re-protecting every row
+  the site held;
+* ``medimg``  -- a medical-image archive tenant ingesting per-study frame
+  batches (:class:`~repro.workloads.tenants.MedicalIngestProfile`) with
+  foreground retrieve probes -- the *victim* whose SLOs must hold;
+* ``grid``    -- Condor-style bigcopy staging bursts;
+* ``cdn``     -- steady Bullet-style distribution pushes.
+
+Three scenarios on identical deployments and workload timelines:
+
+* ``baseline``       -- no outage: the victim's no-storm ingest throughput
+  and retrieve p95;
+* ``storm_isolated`` -- site outage with per-tenant QoS on (the archive
+  repair class runs at a fair-share weight below 1 and under a hard
+  per-tenant bandwidth cap);
+* ``storm_open``     -- the same outage with no tenant weights or caps.
+
+The flagship claim (recorded in ``BENCH_tenants.json``): with isolation on,
+the victim's ingest throughput stays within 1.5x of its no-storm baseline
+while the archive's repair completes through the bounded admission window
+(backpressure, never drops); with isolation off it degrades clearly.
+
+Run it::
+
+    python -m repro.cli tenants              # paper scale, 4:1 core
+    python -m repro.cli tenants --scale 0.1  # quick look
+    python -m repro.cli tenants --smoke      # CI smoke (seconds)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.block_ledger import BlockLedger
+from repro.core.policies import StoragePolicy
+from repro.core.recovery import RecoveryManager
+from repro.core.storage import StorageSystem
+from repro.core.transfer import TransferScheduler, oversubscribed_topology
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.experiments.results import TableResult
+from repro.overlay.dht import DHTView
+from repro.overlay.network import OverlayNetwork
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, assign_domains
+from repro.sim.rng import RandomStreams
+from repro.workloads.capacity import CapacityConfig, generate_capacities
+from repro.workloads.filetrace import GB, MB, FileTraceConfig, generate_file_trace
+from repro.workloads.tenants import (
+    BigCopyBurstProfile,
+    BulletDistributionProfile,
+    MedicalIngestProfile,
+)
+
+#: Scenario keys understood by :meth:`TenantsExperiment._run_scenario`.
+SCENARIOS = ("baseline", "storm_isolated", "storm_open")
+
+#: Tenant names, in SLO-table order.  ``archive`` is the storm tenant.
+TENANTS = ("archive", "medimg", "grid", "cdn")
+
+
+@dataclass(frozen=True)
+class TenantsConfig:
+    """Defaults for the QoS isolation panels (time unit: seconds)."""
+
+    node_count: int = 10_000
+    capacity_mean: int = 45 * GB
+    capacity_std: int = 10 * GB
+    sites: int = 4
+    racks_per_site: int = 4
+    #: Per-node symmetric link capacity (MB per simulated second).
+    bandwidth_mb_s: float = 8.0
+    #: Two-stage core: trunks carry the members' aggregate access bandwidth
+    #: divided by this ratio (the flagship runs behind the classic 4:1 core).
+    oversubscription: Optional[float] = 4.0
+    blocks_per_chunk: int = 2
+    block_replication: int = 2
+    #: The archive (storm) tenant's pre-stored corpus.
+    archive_files: int = 6_000
+    archive_mean_size: int = 243 * MB
+    archive_std_size: int = 55 * MB
+    archive_min_size: int = 50 * MB
+    #: Victim tenant: per-study frame-batch ingest cadence.
+    studies: int = 24
+    frames_per_study: int = 16
+    mean_frame_size: int = 12 * MB
+    study_interval_s: float = 30.0
+    #: Grid tenant: bigcopy staging bursts.
+    bursts: int = 5
+    burst_sizes_gb: tuple = (1.0, 2.0, 4.0, 8.0, 16.0)
+    burst_interval_s: float = 120.0
+    #: CDN tenant: steady distribution pushes.
+    distribution_rounds: int = 40
+    distribution_period_s: float = 15.0
+    distribution_payload: int = 16 * MB
+    #: Victim retrieve probes (one stored-block read each, tenant-tagged).
+    probe_reads: int = 200
+    probe_period_s: float = 2.0
+    #: Post-run degraded/failed read census sample per tenant.
+    read_sample: int = 200
+    #: The storm: a whole-site outage at this sim time, repaired with
+    #: staggered per-node passes through a bounded admission window.
+    storm_site: int = 0
+    storm_time_s: float = 60.0
+    repair_spacing_s: float = 5.0
+    repair_window: Optional[int] = 512
+    #: Isolation knobs, applied only in ``storm_isolated``: the storm
+    #: tenant's fair-share weight class and hard aggregate bandwidth cap.
+    storm_tenant_weight: float = 0.25
+    storm_tenant_cap_mb_s: Optional[float] = 512.0
+    scenarios: tuple = SCENARIOS
+    seed: int = 11
+    #: Run on the array engine + columnar block ledger (domain masks and
+    #: per-tenant aggregates need it).
+    vectorized: bool = True
+    fast_build: Optional[bool] = None
+
+    def resolved_fast_build(self) -> bool:
+        """Whether the population should skip the O(N^2) Pastry state build."""
+        return self.vectorized if self.fast_build is None else self.fast_build
+
+
+#: The paper-scale flagship: 10 000 nodes behind a 4:1 core.
+PAPER_TENANTS = TenantsConfig()
+
+#: Tier-1 smoke scale: all three scenarios in seconds on one core.
+SMOKE_TENANTS = TenantsConfig(
+    node_count=200,
+    capacity_mean=400 * MB,
+    capacity_std=100 * MB,
+    archive_files=160,
+    archive_mean_size=10 * MB,
+    archive_std_size=3 * MB,
+    archive_min_size=1 * MB,
+    studies=6,
+    frames_per_study=6,
+    mean_frame_size=2 * MB,
+    study_interval_s=4.0,
+    bursts=2,
+    burst_sizes_gb=(0.05, 0.1),
+    burst_interval_s=10.0,
+    distribution_rounds=8,
+    distribution_period_s=2.0,
+    distribution_payload=2 * MB,
+    probe_reads=30,
+    probe_period_s=0.5,
+    read_sample=60,
+    storm_time_s=8.0,
+    repair_spacing_s=0.0,
+    repair_window=16,
+    storm_tenant_cap_mb_s=24.0,
+)
+
+
+@dataclass
+class TenantsResult:
+    """Per-scenario flagship rows plus the per-(scenario, tenant) SLO rows."""
+
+    config: TenantsConfig
+    rows: List[Dict[str, float]] = field(default_factory=list)
+    tenant_rows: List[Dict[str, float]] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def row(self, scenario: str) -> Dict[str, float]:
+        """The flagship row of one scenario."""
+        for entry in self.rows:
+            if entry["scenario"] == scenario:
+                return entry
+        raise KeyError(scenario)
+
+    def tenant_row(self, scenario: str, tenant: str) -> Dict[str, float]:
+        """The SLO row of one tenant in one scenario."""
+        for entry in self.tenant_rows:
+            if entry["scenario"] == scenario and entry["tenant"] == tenant:
+                return entry
+        raise KeyError((scenario, tenant))
+
+    def isolation_table(self) -> TableResult:
+        """The flagship panel: the victim's SLOs across the three scenarios."""
+        config = self.config
+        cap = ("uncapped" if config.storm_tenant_cap_mb_s is None
+               else f"{config.storm_tenant_cap_mb_s:g} MB/s cap")
+        table = TableResult(
+            title="Noisy-neighbor storm — victim ingest vs archive repair "
+                  f"({config.oversubscription or 0:g}:1 core, storm weight "
+                  f"{config.storm_tenant_weight:g}, {cap})",
+            columns=["scenario", "ingest_mb_s", "ingest_slowdown_x", "probe_p95_s",
+                     "probe_reads_done", "repair_gb", "repair_makespan_s",
+                     "storm_queue_peak", "trunk_util_pct"],
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def slo_table(self) -> TableResult:
+        """Per-tenant SLOs from the ledger aggregates and transfer accounting."""
+        table = TableResult(
+            title="Per-tenant SLOs (availability, bytes moved, backlog, reads, TTR)",
+            columns=["scenario", "tenant", "availability_pct", "stored_gb",
+                     "moved_gb", "backlog_gb", "degraded_reads", "failed_reads",
+                     "mean_ttr_s", "max_ttr_s"],
+        )
+        for row in self.tenant_rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def isolation_summary(self) -> Dict[str, float]:
+        """The headline numbers the benchmark records and asserts on."""
+        baseline = self.row("baseline")
+        summary = {
+            "baseline_ingest_mb_s": baseline["ingest_mb_s"],
+            "baseline_probe_p95_s": baseline["probe_p95_s"],
+        }
+        for scenario in ("storm_isolated", "storm_open"):
+            try:
+                row = self.row(scenario)
+            except KeyError:
+                continue
+            summary[f"{scenario}_ingest_mb_s"] = row["ingest_mb_s"]
+            summary[f"{scenario}_ingest_slowdown_x"] = row["ingest_slowdown_x"]
+            summary[f"{scenario}_probe_p95_s"] = row["probe_p95_s"]
+            summary[f"{scenario}_repair_gb"] = row["repair_gb"]
+            summary[f"{scenario}_repair_makespan_s"] = row["repair_makespan_s"]
+            summary[f"{scenario}_storm_backlog_end_gb"] = row["storm_backlog_end_gb"]
+        return summary
+
+
+class TenantsExperiment:
+    """Runs the multi-tenant QoS scenarios (fresh shared deployment per cell)."""
+
+    def __init__(self, config: Optional[TenantsConfig] = None) -> None:
+        self.config = config or TenantsConfig()
+
+    # -------------------------------------------------------------- deployment --
+    def _deployment(self, streams: RandomStreams):
+        """One overlay + shared ledger + four tenant-scoped stores.
+
+        The archive tenant's corpus is pre-stored (instantaneous, before the
+        fabric attaches) -- the storm repairs standing data, it does not
+        ingest it.
+        """
+        config = self.config
+        capacities = generate_capacities(
+            CapacityConfig(
+                node_count=config.node_count,
+                distribution="normal",
+                mean=config.capacity_mean,
+                std=config.capacity_std,
+            ),
+            rng=streams.fresh("capacities"),
+        )
+        network = OverlayNetwork.build(
+            config.node_count,
+            rng=streams.fresh("overlay"),
+            capacities=list(capacities),
+            routing_state=not config.resolved_fast_build(),
+        )
+        assign_domains(network.nodes(), sites=config.sites,
+                       racks_per_site=config.racks_per_site)
+        dht = DHTView(network)
+        ledger = BlockLedger(network)
+        stores = {
+            name: StorageSystem(
+                dht,
+                codec=ChunkCodec(XorParityCode(group_size=2),
+                                 blocks_per_chunk=config.blocks_per_chunk),
+                policy=StoragePolicy(block_replication=config.block_replication),
+                vectorized=config.vectorized,
+                ledger=ledger,
+                tenant=name,
+            )
+            for name in TENANTS
+        }
+        trace = generate_file_trace(
+            FileTraceConfig(
+                file_count=config.archive_files,
+                mean_size=config.archive_mean_size,
+                std_size=config.archive_std_size,
+                min_size=config.archive_min_size,
+                name_prefix="archive",
+            ),
+            rng=streams.fresh("trace"),
+        )
+        for record in trace:
+            stores["archive"].store_file(record.name, record.size)
+        return network, ledger, stores
+
+    def _client(self, network: OverlayNetwork, ordinal: int):
+        """A deterministic live client node *outside* the storm site."""
+        config = self.config
+        outside = [node for node in network.nodes()
+                   if node.alive and node.site != config.storm_site]
+        outside.sort(key=lambda node: int(node.node_id))
+        return outside[(ordinal * 13 + 1) % len(outside)]
+
+    def _schedule_probes(self, sim, storage, transfers, network) -> List[float]:
+        """Victim retrieve probes: one stored-block read each, tenant-tagged.
+
+        Deterministic (sorted names, stride-picked live sources); the filled
+        durations list feeds the scenario's p95.  Probes start after the
+        first study lands and skip silently while the victim has no files.
+        """
+        config = self.config
+        durations: List[float] = []
+        if config.probe_reads <= 0:
+            return durations
+        client = self._client(network, 2)
+        client_id = int(client.node_id)
+        tenant = storage.store_tenant
+
+        def issue(index: int) -> None:
+            names = sorted(storage.files)
+            if not names:
+                return
+            stored = storage.files[names[index % len(names)]]
+            if not stored.chunks or not stored.chunks[0].placements:
+                return
+            placement = stored.chunks[0].placements[0]
+            src = None
+            for node_id in (placement.node_id, *placement.replica_nodes):
+                if node_id in network and network.node(node_id).alive:
+                    src = int(node_id)
+                    break
+            if src is None or src == client_id or not client.alive:
+                return
+            submitted = sim.now
+            transfers.submit(
+                float(placement.size),
+                src=src,
+                dst=client_id,
+                on_complete=lambda t: durations.append(t.finished_at - submitted),
+                tenant=tenant,
+            )
+
+        start = config.study_interval_s + config.probe_period_s
+        for index in range(config.probe_reads):
+            sim.schedule(start + index * config.probe_period_s,
+                         lambda i=index: issue(i))
+        return durations
+
+    def _census(self, storage: StorageSystem) -> Dict[str, float]:
+        """Post-run degraded/failed read census over a sorted file sample."""
+        names = sorted(storage.files)[: self.config.read_sample]
+        degraded_before = storage.degraded_reads
+        failed_before = storage.failed_reads
+        for name in names:
+            storage.retrieve_file(name)
+        return {
+            "reads_sampled": float(len(names)),
+            "degraded_reads": float(storage.degraded_reads - degraded_before),
+            "failed_reads": float(storage.failed_reads - failed_before),
+        }
+
+    # ---------------------------------------------------------------- scenario --
+    def _run_scenario(self, scenario: str) -> None:
+        config = self.config
+        streams = RandomStreams(config.seed)
+        cell_start = time.perf_counter()
+        network, ledger, stores = self._deployment(streams)
+
+        sim = Simulator()
+        rate = config.bandwidth_mb_s * MB
+        topology = None
+        if config.oversubscription is not None:
+            topology = oversubscribed_topology(
+                network.nodes(),
+                access_bandwidth=rate,
+                oversubscription=config.oversubscription,
+            )
+        transfers = TransferScheduler(sim, uplink=rate, downlink=rate,
+                                      topology=topology)
+        # The victim's ingest SLO tracks its *own* charged transfers (repair
+        # traffic shares the tenant tag but must not inflate the metric).
+        ingest_done = {"bytes": 0.0, "last": 0.0}
+
+        def observe_ingest(transfer) -> None:
+            ingest_done["bytes"] += transfer.size
+            ingest_done["last"] = max(ingest_done["last"], transfer.finished_at)
+
+        for ordinal, name in enumerate(TENANTS):
+            stores[name].attach_transfers(
+                transfers,
+                client=int(self._client(network, ordinal).node_id),
+                observer=observe_ingest if name == "medimg" else None,
+            )
+
+        managers = {
+            name: RecoveryManager(stores[name], transfers=transfers,
+                                  repair_window=config.repair_window)
+            for name in TENANTS
+        }
+        archive_tid = stores["archive"].store_tenant
+        if scenario == "storm_isolated":
+            transfers.set_tenant_weight(archive_tid, config.storm_tenant_weight)
+            if config.storm_tenant_cap_mb_s is not None:
+                transfers.set_tenant_cap(archive_tid,
+                                         config.storm_tenant_cap_mb_s * MB)
+
+        # Workload timelines (identical across scenarios).
+        runs = [
+            MedicalIngestProfile(
+                studies=config.studies,
+                frames_per_study=config.frames_per_study,
+                mean_frame_size=config.mean_frame_size,
+                std_frame_size=max(1, config.mean_frame_size // 2),
+                study_interval_s=config.study_interval_s,
+            ).schedule(sim, stores["medimg"], streams.fresh("medimg")),
+            BigCopyBurstProfile(
+                bursts=config.bursts,
+                sizes_gb=config.burst_sizes_gb,
+                burst_interval_s=config.burst_interval_s,
+            ).schedule(sim, stores["grid"], streams.fresh("grid")),
+            BulletDistributionProfile(
+                rounds=config.distribution_rounds,
+                period_s=config.distribution_period_s,
+                payload=config.distribution_payload,
+            ).schedule(sim, stores["cdn"], transfers, network, streams.fresh("cdn")),
+        ]
+        durations = self._schedule_probes(sim, stores["medimg"], transfers, network)
+
+        # The storm: a whole-site outage repaired by every tenant's manager
+        # (the injector drives the archive tenant -- the storm proper -- and
+        # the other managers re-protect their own rows on the same cadence).
+        injector = FaultInjector(sim, network, recovery=managers["archive"],
+                                 transfers=transfers,
+                                 repair_spacing=config.repair_spacing_s)
+        if scenario != "baseline":
+            def storm() -> None:
+                members = [node for node in network.nodes()
+                           if node.alive and node.site == config.storm_site]
+                injector.fail_domain(site=config.storm_site)
+                for index, node in enumerate(members):
+                    for name in TENANTS[1:]:
+                        sim.schedule(
+                            index * config.repair_spacing_s,
+                            lambda m=managers[name], n=node.node_id: m.handle_failure(n),
+                        )
+            sim.schedule(config.storm_time_s, storm)
+
+        sim.run()  # drains ingest, pushes, probes and every repair transfer
+
+        # Post-run: detach before the census so its reads charge nothing.
+        for store in stores.values():
+            store.transfers = None
+
+        per_tenant = transfers.tenant_summary()
+        summary = transfers.summary()
+        archive_row = per_tenant.get(archive_tid, {})
+        ingest_mb_s = (ingest_done["bytes"] / MB / ingest_done["last"]
+                       if ingest_done["last"] > 0 else 0.0)
+        self.rows.append({
+            "scenario": scenario,
+            "ingest_mb_s": ingest_mb_s,
+            "ingest_slowdown_x": 0.0,  # filled by run() from the baseline row
+            "probe_p95_s": (float(np.percentile(np.asarray(durations), 95))
+                            if durations else 0.0),
+            "probe_reads_done": float(len(durations)),
+            "repair_gb": archive_row.get("bytes_completed", 0.0) / GB,
+            "repair_makespan_s": archive_row.get("last_completion_time", 0.0),
+            "storm_queue_peak": float(max(
+                (managers[name].pacer.peak_queue_depth
+                 for name in TENANTS if managers[name].pacer), default=0.0)),
+            "storm_backlog_end_gb": archive_row.get("backlog_bytes", 0.0) / GB,
+            "trunk_util_pct": self._peak_trunk_utilization(
+                transfers, summary["last_completion_time"]),
+            "transfers_failed": summary["failed"],
+            "makespan_s": summary["last_completion_time"],
+            "cell_s": time.perf_counter() - cell_start,
+        })
+        for name in TENANTS:
+            store = stores[name]
+            aggregates = ledger.tenant_aggregates(store.store_tenant)
+            census = self._census(store)
+            row = per_tenant.get(store.store_tenant, {})
+            ttrs = np.asarray(managers[name].repair_times(), dtype=float)
+            active = max(1, aggregates["active_files"])
+            self.tenant_rows.append({
+                "scenario": scenario,
+                "tenant": name,
+                "availability_pct": 100.0 * (1.0 - aggregates["unavailable_files"] / active),
+                "stored_gb": aggregates["stored_data_bytes"] / GB,
+                "moved_gb": row.get("bytes_completed", 0.0) / GB,
+                "backlog_gb": row.get("backlog_bytes", 0.0) / GB,
+                "transfers_failed": row.get("failed", 0.0),
+                "mean_ttr_s": float(ttrs.mean()) if ttrs.size else 0.0,
+                "max_ttr_s": float(ttrs.max()) if ttrs.size else 0.0,
+                **census,
+            })
+
+    @staticmethod
+    def _peak_trunk_utilization(transfers: TransferScheduler, makespan: float) -> float:
+        """The busiest finite trunk's bytes over capacity x makespan, in %."""
+        if makespan <= 0:
+            return 0.0
+        peak = 0.0
+        for entry in transfers.trunk_summary().values():
+            if entry["capacity"] > 0:
+                peak = max(peak, 100.0 * entry["bytes"] / (entry["capacity"] * makespan))
+        return peak
+
+    def run(self) -> TenantsResult:
+        """Produce every configured scenario (fresh shared deployment per cell)."""
+        result = TenantsResult(config=self.config)
+        self.rows = result.rows
+        self.tenant_rows = result.tenant_rows
+        start = time.perf_counter()
+        for scenario in self.config.scenarios:
+            self._run_scenario(scenario)
+        try:
+            baseline = result.row("baseline")["ingest_mb_s"]
+        except KeyError:
+            baseline = 0.0
+        for row in result.rows:
+            row["ingest_slowdown_x"] = (baseline / row["ingest_mb_s"]
+                                        if row["ingest_mb_s"] > 0 else 0.0)
+        result.timings = {
+            "total_s": time.perf_counter() - start,
+            "cells": float(len(result.rows)),
+        }
+        return result

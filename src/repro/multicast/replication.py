@@ -116,6 +116,10 @@ class MulticastReplicator:
             report.replicas_created += len(targets)
             report.replicas_skipped_no_space += replicas - len(targets)
             all_targets.extend(targets)
+            # When the store is attached to a transfer fabric, the multicast
+            # push charges one tenant-tagged transfer per created replica.
+            for target in targets:
+                self.storage._charge(placement.size, int(placement.node_id), int(target))
             new_placements.append(
                 BlockPlacement(
                     block_name=placement.block_name,

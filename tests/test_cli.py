@@ -21,7 +21,7 @@ def test_no_arguments_prints_help_list(capsys):
 def test_parser_knows_all_experiments():
     parser = build_parser()
     for name in ("insertion", "availability", "coding", "churn", "soak", "faults",
-                 "multicast", "condor"):
+                 "tenants", "multicast", "condor"):
         args = parser.parse_args([name])
         assert args.experiment == name
         assert callable(args.func)
@@ -102,6 +102,18 @@ def test_faults_smoke_runs_every_scenario(capsys):
     assert "durability" in out and "read census" in out
     # The loss-free rack-outage oracle survives the CLI path end to end.
     assert "wall time" in out
+
+
+def test_tenants_smoke_runs_every_scenario(capsys):
+    """The tier-1 smoke: all three QoS scenarios end to end in seconds."""
+    assert main(["tenants", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    for scenario in ("baseline", "storm_isolated", "storm_open"):
+        assert scenario in out
+    for tenant in ("archive", "medimg", "grid", "cdn"):
+        assert tenant in out
+    assert "Noisy-neighbor storm" in out and "Per-tenant SLOs" in out
+    assert "isolation summary" in out and "wall time" in out
 
 
 def test_insertion_command_runs_small(capsys):

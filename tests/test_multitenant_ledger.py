@@ -351,6 +351,75 @@ def test_graceful_leave_migrates_every_tenant():
         assert view.unavailable_count == 0
 
 
+def test_migrate_group_row_preserves_tenant_columns():
+    """The migrated twin of a baseline copy keeps its tenant, so per-tenant
+    aggregates and availability stay exact through a graceful departure."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=24, seed=141)
+    assert past.store_file("p", 4 * MB).success
+    assert cfs.store_file("c", 6 * MB).success
+    shared.flush_registrations()
+    for store, name in ((past, "p"), (cfs, "c")):
+        tenant = store.ledger.tenant_id
+        live_before = (store.ledger.live_rows, store.ledger.live_bytes)
+        idx = store.ledger.file_index(name)
+        row = next(r for r in shared._file_rows[idx] if not shared._released[r])
+        new_node = next(node for node in dht.state.nodes
+                        if node.alive and shared.names[row] not in node.stored_blocks)
+        assert new_node.store_block(shared.names[row], int(shared._size[row]))
+        new_row = shared.migrate_group_row(row, new_node)
+        assert shared.row_tenant(new_row) == tenant
+        assert shared._released[row]
+        assert store.is_file_available(name)
+        assert (store.ledger.live_rows, store.ledger.live_bytes) == live_before
+    # Released baseline halves of still-active files survive the GC (the
+    # seed bookkeeping never forgets a placed block); the migrated twins and
+    # their tenant columns must read back exactly through the remap.
+    shared.compact()
+    assert past.is_file_available("p") and cfs.is_file_available("c")
+    views = [ours.ledger, past.ledger, cfs.ledger]
+    assert sum(view.live_rows for view in views) == shared.live_rows
+    assert sum(view.live_bytes for view in views) == shared.live_bytes
+    # Deleting the file finally collects both halves, per tenant.
+    assert past.delete_file("p")
+    stats = shared.compact()
+    assert stats["rows_released"] > 0
+    assert past.ledger.active_files == 0
+    assert cfs.is_file_available("c")
+
+
+def test_colliding_namespaces_and_aggregates_survive_compact():
+    """Cross-tenant name collisions stay scoped through delete + compact, and
+    every tenant's O(1) aggregates read back unchanged after the GC."""
+    _, dht, shared, ours, past, cfs = _three_tenants(node_count=36, seed=151)
+    for store in (ours, past, cfs):
+        assert store.store_file("shared-name", 4 * MB).success
+        assert store.store_file(f"own-{store.ledger.tenant_name}", 2 * MB).success
+    shared.flush_registrations()
+    # Release rows: one tenant drops its copy of the colliding name, and a
+    # wiped holder releases rows of whoever it hosted.
+    assert past.delete_file("shared-name")
+    node = dht.state.nodes[0]
+    node.fail()
+    node.recover(wipe=True)
+    views = (ours.ledger, past.ledger, cfs.ledger)
+    before = {
+        view.tenant_id: dict(shared.tenant_aggregates(view.tenant_id))
+        for view in views
+    }
+    stats = shared.compact()
+    assert stats["rows_released"] > 0
+    for view in views:
+        assert dict(shared.tenant_aggregates(view.tenant_id)) == before[view.tenant_id]
+    # The namespaces stayed scoped: the deleted namesake is gone only for
+    # its own tenant, and that tenant can re-store the name post-GC.
+    assert not past.is_file_available("shared-name")
+    assert ours.ledger.file_index("shared-name") is not None
+    assert cfs.ledger.file_index("shared-name") is not None
+    assert past.store_file("shared-name", 3 * MB).success
+    assert past.is_file_available("shared-name")
+    assert sum(view.live_rows for view in views) == shared.live_rows
+
+
 # -- buffered PAST registration ------------------------------------------------------
 
 
