@@ -63,6 +63,12 @@ BENCH_TENANTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_tenants.jso
 #: Rows accumulated by ``test_bench_tenants.py`` during the session.
 _TENANTS_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the serve-path benchmark writes its trajectory record.
+BENCH_SERVING_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Rows accumulated by ``test_bench_serving.py`` during the session.
+_SERVING_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -120,6 +126,12 @@ def tenants_bench_results() -> dict:
     return _TENANTS_RESULTS
 
 
+@pytest.fixture(scope="session")
+def serving_bench_results() -> dict:
+    """Session accumulator for serve-path rows (written at exit)."""
+    return _SERVING_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -145,6 +157,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_FAULTS_PATH.write_text(json.dumps(_FAULTS_RESULTS, indent=2) + "\n")
     if _TENANTS_RESULTS["results"] and _TENANTS_RESULTS["speedups"]:
         BENCH_TENANTS_PATH.write_text(json.dumps(_TENANTS_RESULTS, indent=2) + "\n")
+    if _SERVING_RESULTS["results"] and _SERVING_RESULTS["speedups"]:
+        BENCH_SERVING_PATH.write_text(json.dumps(_SERVING_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

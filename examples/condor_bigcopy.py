@@ -17,17 +17,16 @@ from __future__ import annotations
 from repro import (
     CfsStore,
     ChunkCodec,
+    ClusterSession,
     CondorPool,
     DHTView,
     FixedChunkBackend,
     NullCode,
     StoragePolicy,
-    StorageSystem,
     TransferCostModel,
     VaryingChunkBackend,
     WholeFileBackend,
 )
-from repro.core.block_ledger import BlockLedger
 from repro.grid.bigcopy import submit_and_run_bigcopy
 from repro.grid.machines import build_condor_pool_nodes
 
@@ -53,16 +52,14 @@ def fresh_backends(seed: int):
     )
 
     varying_network, varying_machines = build_condor_pool_nodes(32, seed=seed)
-    varying_ledger = BlockLedger(varying_network)
-    varying_store = StorageSystem(
-        DHTView(varying_network),
+    varying_session = ClusterSession.adopt(varying_network)
+    varying_client = varying_session.client(
+        tenant="condor",
         codec=ChunkCodec(NullCode(), blocks_per_chunk=1),
         policy=StoragePolicy(max_consecutive_zero_chunks=64),
-        ledger=varying_ledger,
-        tenant="condor",
     )
-    varying_backend = VaryingChunkBackend(varying_store)
-    return cost, varying_store, [
+    varying_backend = VaryingChunkBackend(varying_client.storage)
+    return cost, varying_client, [
         ("whole file", WholeFileBackend(whole_target), whole_machines),
         ("fixed 4 MB chunks", fixed_backend, fixed_machines),
         ("varying chunks", varying_backend, varying_machines),
@@ -71,10 +68,10 @@ def fresh_backends(seed: int):
 
 def main() -> None:
     print(f"{'size':>8s}  {'whole file':>12s}  {'fixed chunks':>14s}  {'varying chunks':>15s}")
-    varying_store = None
+    varying_client = None
     for size_gb in (1, 2, 4, 8, 16, 32):
         row = [f"{size_gb:6d}GB"]
-        cost, varying_store, backends = fresh_backends(seed=size_gb)
+        cost, varying_client, backends = fresh_backends(seed=size_gb)
         for label, backend, machines in backends:
             pool = CondorPool(machines=machines)
             try:
@@ -86,7 +83,7 @@ def main() -> None:
                 cell = "      N/A"
             row.append(cell)
         print(f"{row[0]:>8s}  {row[1]:>12s}  {row[2]:>14s}  {row[3]:>15s}")
-    aggregates = varying_store.ledger.base.tenant_aggregates(varying_store.store_tenant)
+    aggregates = varying_client.aggregates()
     print(
         f"\ncondor tenant ledger (last run): {aggregates['active_files']} files, "
         f"{aggregates['stored_data_bytes'] / GB:.1f} GB on the shared multi-tenant ledger"

@@ -9,6 +9,10 @@ schemes the paper evaluates (PAST-style whole files, CFS-style fixed chunks,
 and the proposed variable-size striping) on the *same* pool, and then
 stress-testing the proposed scheme against overnight churn.
 
+The proposed scheme runs through the client facade: a
+:class:`~repro.ClusterSession` adopts the pool and hands out per-department
+:class:`~repro.ArchiveClient` handles on one shared multi-tenant ledger.
+
 Run with:  python examples/medical_image_archive.py
 """
 
@@ -19,15 +23,12 @@ import numpy as np
 from repro import (
     CfsStore,
     ChunkCodec,
-    DHTView,
+    ClusterSession,
     OverlayNetwork,
     PastStore,
-    RecoveryManager,
     ReedSolomonCode,
     StoragePolicy,
-    StorageSystem,
 )
-from repro.core.block_ledger import BlockLedger
 from repro.workloads.capacity import CapacityConfig, generate_capacities
 from repro.workloads.filetrace import FileTraceConfig, generate_file_trace
 
@@ -66,20 +67,17 @@ def compare_placement_schemes(seed: int = 7) -> None:
 
     results = {}
     for label in ("PAST (whole files)", "CFS (4 MB blocks)", "PeerStripe (this paper)"):
-        network = build_pool(seed)
-        dht = DHTView(network)
+        session = ClusterSession.adopt(build_pool(seed))
         if label.startswith("PAST"):
-            store = PastStore(dht, retries=3)
-            insert = lambda record: store.store_file(record.name, record.size).success  # noqa: E731
+            store = PastStore(session.dht, retries=3)
         elif label.startswith("CFS"):
-            store = CfsStore(dht, block_size=4 * MB, retries_per_block=3)
-            insert = lambda record: store.store_file(record.name, record.size).success  # noqa: E731
+            store = CfsStore(session.dht, block_size=4 * MB, retries_per_block=3)
         else:
-            store = StorageSystem(dht, policy=StoragePolicy(),
-                                  ledger=BlockLedger(network), tenant="radiology")
-            insert = lambda record: store.store_file(record.name, record.size).success  # noqa: E731
-        failures = sum(0 if insert(record) else 1 for record in trace)
-        results[label] = (failures, dht.utilization())
+            archive = session.client(tenant="radiology", policy=StoragePolicy())
+            store = archive.storage
+        failures = sum(0 if store.store_file(record.name, record.size).success else 1
+                       for record in trace)
+        results[label] = (failures, session.utilization())
 
     print("\nplacement scheme comparison (same pool, same studies):")
     for label, (failures, utilization) in results.items():
@@ -93,20 +91,16 @@ def overnight_churn_drill(seed: int = 8) -> None:
     """Two departments share one pool and one ledger; churn hits both tenants.
 
     Radiology and cardiology archive onto the same desktops as distinct
-    tenants of one multi-tenant block ledger: each department sees only its
-    own namespace and repairs only its own rows, while the shared ledger
-    answers per-tenant availability and footprint in O(1).
+    tenants of one session: each department sees only its own namespace and
+    repairs only its own rows, while the session's shared ledger answers
+    per-tenant availability and footprint in O(1).
     """
-    network = build_pool(seed)
-    dht = DHTView(network)
-    ledger = BlockLedger(network)
+    session = ClusterSession.adopt(build_pool(seed))
     departments = {
-        name: StorageSystem(
-            dht,
+        name: session.client(
+            name,
             codec=ChunkCodec(ReedSolomonCode(parity_blocks=2), blocks_per_chunk=4),
             policy=StoragePolicy(),
-            ledger=ledger,
-            tenant=name,
         )
         for name in ("radiology", "cardiology")
     }
@@ -114,20 +108,21 @@ def overnight_churn_drill(seed: int = 8) -> None:
     for offset, (name, archive) in enumerate(departments.items()):
         trace = days_studies(seed + offset).subset(75)
         stored[name] = [record.name for record in trace
-                        if archive.store_file(record.name, record.size).success]
+                        if archive.store(record.name, record.size).success]
     print(f"\nchurn drill: {sum(map(len, stored.values()))} studies archived by "
           f"{len(departments)} departments with (4+2) Reed-Solomon striping")
 
-    managers = {name: RecoveryManager(archive) for name, archive in departments.items()}
+    managers = {name: session.recovery(archive)
+                for name, archive in departments.items()}
     rng = np.random.default_rng(seed)
-    overnight_failures = rng.choice(network.live_ids(), size=12, replace=False)
+    overnight_failures = rng.choice(session.network.live_ids(), size=12, replace=False)
     regenerated = 0
     for node_id in overnight_failures:
         for recovery in managers.values():
             regenerated += recovery.handle_failure(node_id).bytes_regenerated
     for name, archive in departments.items():
-        aggregates = ledger.tenant_aggregates(archive.store_tenant)
-        available = sum(1 for file in stored[name] if archive.is_file_available(file))
+        aggregates = archive.aggregates()
+        available = sum(1 for file in stored[name] if archive.available(file))
         print(
             f"  {name:10s} {available}/{len(stored[name])} studies fully available; "
             f"tenant footprint {aggregates['stored_data_bytes'] / GB:.2f} GB, "

@@ -23,6 +23,8 @@ True
 True
 """
 
+from repro.api import ArchiveClient, ClusterSession
+from repro.core.cache import CacheManager, NodeBlockCache
 from repro.overlay import DHTView, OverlayNetwork, OverlayNode, NodeId, key_for
 from repro.erasure import (
     ChunkCodec,
@@ -61,6 +63,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # client facade
+    "ArchiveClient",
+    "ClusterSession",
+    "CacheManager",
+    "NodeBlockCache",
     # overlay
     "DHTView",
     "OverlayNetwork",

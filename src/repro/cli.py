@@ -10,9 +10,18 @@ Run the coding-performance measurement (Table 2) at the paper's parameters::
 
     python -m repro.cli coding --chunk-mb 4 --blocks 4096
 
+Run the serve-path panels (open-loop Zipf traffic, cache on/off)::
+
+    python -m repro.cli serve --smoke
+
 List everything::
 
     python -m repro.cli --list
+
+Subcommands are declared in the :data:`COMMANDS` table -- one
+:class:`Command` per experiment, with the shared ``--scale``/``--smoke``/
+``--oversub``/``--seed`` flags attached declaratively instead of another
+copy-pasted ``add_parser`` block per command.
 """
 
 from __future__ import annotations
@@ -21,10 +30,12 @@ import argparse
 import os
 import subprocess
 import sys
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments.availability import PAPER_FIG10, AvailabilityConfig, AvailabilityExperiment
+from repro.experiments.base import get_experiment
 from repro.experiments.churn import PAPER_TABLE3, ChurnConfig, ChurnExperiment
 from repro.experiments.coding_perf import CodingPerfConfig, run_coding_performance
 from repro.experiments.condor_case_study import CondorCaseStudyConfig, run_condor_case_study
@@ -38,6 +49,7 @@ from repro.experiments.faults import (
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
+from repro.experiments.serving import PAPER_SERVING
 from repro.experiments.soak import PAPER_SOAK, SoakExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
 from repro.experiments.tenants import PAPER_TENANTS, SMOKE_TENANTS, TenantsExperiment
@@ -262,6 +274,45 @@ def _run_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve-path panels at the paper's scale (10 000 nodes) by default."""
+    import time
+    from dataclasses import replace
+
+    spec = get_experiment("serving")
+    config = spec.preset("smoke" if args.smoke else "paper")
+    if not args.smoke:
+        config = replace(
+            config,
+            node_count=max(2, int(round(args.nodes * args.scale))),
+            catalog_files=max(1, int(round(args.files * args.scale))),
+            request_rate=args.rate,
+            duration_s=args.duration,
+            client_count=args.clients,
+            cache_mb=args.cache_mb,
+        )
+    config = replace(config, seed=args.seed)
+    if args.zipf:
+        config = replace(config,
+                         zipf_sweep=tuple(float(value) for value in args.zipf.split(",")))
+    if args.no_cache:
+        config = replace(config, cache_modes=(False,))
+    if args.oversub is not None:
+        config = replace(config, oversubscription=args.oversub or None)
+    start = time.perf_counter()
+    result = spec.run(config)
+    elapsed = time.perf_counter() - start
+    print(result.table().format(float_format="{:,.2f}"))
+    summary = result.summary()
+    print("serving summary: "
+          + ", ".join(f"{key}={value:,.2f}" for key, value in summary.items()))
+    print(f"wall time: {elapsed:.1f}s ({config.node_count} nodes, "
+          f"{config.catalog_files} catalog files, "
+          f"{config.oversubscription or 0:g}:1 core, "
+          f"{config.cache_mb:g} MB/gateway cache)")
+    return 0
+
+
 def _run_coding(args: argparse.Namespace) -> int:
     config = CodingPerfConfig(chunk_size=int(args.chunk_mb * MB), blocks_per_chunk=args.blocks)
     print(run_coding_performance(config).format())
@@ -324,180 +375,244 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------- registration --
+@dataclass(frozen=True)
+class Arg:
+    """One ``add_argument`` call: positional flags plus keyword options."""
+
+    flags: Tuple[str, ...]
+    options: dict
+
+
+def _arg(*flags: str, **options) -> Arg:
+    return Arg(flags=flags, options=options)
+
+
+_DEFAULT_SCALE_HELP = "multiply nodes and files by this factor (e.g. 0.1)"
+_SMOKE_HELP = "run the fixed tier-1 smoke configuration (seconds)"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One subcommand: handler, per-command args, shared-flag opt-ins.
+
+    ``scale``/``oversub`` carry the flag's help text when the command takes
+    it (``None`` omits the flag); ``smoke`` opts into the shared ``--smoke``
+    flag; ``seed`` is the command's default seed (``None`` omits ``--seed``).
+    """
+
+    name: str
+    help: str
+    handler: Callable[[argparse.Namespace], int]
+    args: Tuple[Arg, ...] = ()
+    scale: Optional[str] = None
+    smoke: bool = False
+    oversub: Optional[str] = None
+    seed: Optional[int] = None
+
+
+COMMANDS: Tuple[Command, ...] = (
+    Command(
+        "insertion", "Figures 7-9 and Table 1", _run_insertion,
+        args=(_arg("--nodes", type=int, default=200),
+              _arg("--files", type=int, default=None)),
+        seed=1,
+    ),
+    Command(
+        "availability", "Figure 10", _run_availability,
+        args=(_arg("--nodes", type=int, default=300),
+              _arg("--files", type=int, default=2000)),
+        seed=2,
+    ),
+    Command(
+        "fig10", "Figure 10 at paper scale (10 000 nodes / 1 000 failures)",
+        _run_fig10,
+        args=(_arg("--nodes", type=int, default=PAPER_FIG10.node_count),
+              _arg("--files", type=int, default=PAPER_FIG10.file_count),
+              _arg("--fail-pct", type=float, default=10.0,
+                   help="percent of the population failed one by one"),
+              _arg("--scalar", action="store_true",
+                   help="run the preserved seed scalar path instead of the ledger")),
+        scale=_DEFAULT_SCALE_HELP,
+        seed=PAPER_FIG10.seed,
+    ),
+    Command(
+        "table3", "Table 3 at paper scale (10 000 nodes, 10 % and 20 % failed)",
+        _run_table3,
+        args=(_arg("--nodes", type=int, default=PAPER_TABLE3.node_count),
+              _arg("--files", type=int, default=PAPER_TABLE3.file_count),
+              _arg("--fractions", type=str, default="10,20",
+                   help="comma-separated failure percentages"),
+              _arg("--scalar", action="store_true",
+                   help="run the preserved seed scalar path instead of the ledger")),
+        scale=_DEFAULT_SCALE_HELP,
+        seed=PAPER_TABLE3.seed,
+    ),
+    Command(
+        "soak",
+        "join/leave churn soak (paper scale: 10 000 nodes, one simulated week)",
+        _run_soak,
+        args=(_arg("--nodes", type=int, default=PAPER_SOAK.node_count),
+              _arg("--files", type=int, default=PAPER_SOAK.file_count),
+              _arg("--days", type=float, default=PAPER_SOAK.horizon_hours / 24.0,
+                   help="simulated soak length in days"),
+              _arg("--join-rate", type=float, default=PAPER_SOAK.join_rate_per_hour,
+                   help="fresh-node joins per simulated hour (before --scale)"),
+              _arg("--leave-rate", type=float, default=PAPER_SOAK.leave_rate_per_hour,
+                   help="graceful departures per simulated hour (before --scale)"),
+              _arg("--no-compaction", action="store_true",
+                   help="disable the periodic ledger compaction pass"),
+              _arg("--leave-mode", type=str, default=PAPER_SOAK.leave_mode,
+                   choices=("regenerate", "migrate"),
+                   help="graceful departures regenerate from redundancy or "
+                        "migrate their blocks out over their uplink"),
+              _arg("--bandwidth-gb-hour", type=float, default=None,
+                   help="per-node link capacity in GB per simulated hour "
+                        "(default: unconstrained, instantaneous repair)"),
+              _arg("--scalar", action="store_true",
+                   help="run the preserved seed scalar path instead of the ledger")),
+        scale="multiply nodes, files and churn rates by this factor (e.g. 0.1)",
+        seed=PAPER_SOAK.seed,
+    ),
+    Command(
+        "repair",
+        "bandwidth-aware repair: time-to-repair and traffic curves, "
+        "migration-vs-regeneration ablation (paper scale: 10 000 nodes)",
+        _run_repair,
+        args=(_arg("--nodes", type=int, default=PAPER_REPAIR.node_count),
+              _arg("--files", type=int, default=PAPER_REPAIR.file_count),
+              _arg("--fractions", type=str, default="2,5,10",
+                   help="comma-separated failure percentages for the sweep"),
+              _arg("--bandwidth", type=float, default=PAPER_REPAIR.bandwidth_mb_s,
+                   help="per-node link capacity in MB per simulated second"),
+              _arg("--bandwidth-sweep", type=str, default="4,8,16",
+                   help="comma-separated bandwidths for the bandwidth panel"),
+              _arg("--spacing", type=float, default=PAPER_REPAIR.failure_spacing_s,
+                   help="simulated seconds between consecutive failures"),
+              _arg("--scalar", action="store_true",
+                   help="run the preserved seed scalar path instead of the ledger")),
+        scale=_DEFAULT_SCALE_HELP,
+        seed=PAPER_REPAIR.seed,
+    ),
+    Command(
+        "faults",
+        "failure-domain fault panels: site/rack outages, flash crowd, "
+        "rolling restart, degraded links (paper scale: 10 000 nodes)",
+        _run_faults,
+        args=(_arg("--nodes", type=int, default=PAPER_FAULTS.node_count),
+              _arg("--files", type=int, default=PAPER_FAULTS.file_count),
+              _arg("--flash-pct", type=float,
+                   default=100.0 * PAPER_FAULTS.flash_fraction,
+                   help="percent of the population downed by the flash crowd"),
+              _arg("--bandwidth", type=float, default=PAPER_FAULTS.bandwidth_mb_s,
+                   help="per-node link capacity in MB per simulated second"),
+              _arg("--sites", type=int, default=PAPER_FAULTS.sites,
+                   help="failure-domain sites in the grid"),
+              _arg("--racks-per-site", type=int, default=PAPER_FAULTS.racks_per_site)),
+        scale=_DEFAULT_SCALE_HELP,
+        smoke=True,
+        oversub="finite two-stage core: trunks carry the members' "
+                "aggregate access bandwidth / RATIO (adds the "
+                "recovery-storm panel and the topology table)",
+        seed=PAPER_FAULTS.seed,
+    ),
+    Command(
+        "tenants",
+        "per-tenant QoS isolation: the noisy-neighbor storm suite "
+        "(paper scale: 10 000 nodes, 4 tenants, 4:1 core)",
+        _run_tenants,
+        args=(_arg("--nodes", type=int, default=PAPER_TENANTS.node_count),
+              _arg("--files", type=int, default=PAPER_TENANTS.archive_files,
+                   help="archive-tenant corpus size (files)"),
+              _arg("--bandwidth", type=float, default=PAPER_TENANTS.bandwidth_mb_s,
+                   help="per-node link capacity in MB per simulated second"),
+              _arg("--no-isolation", action="store_true",
+                   help="drop the storm tenant's weight/cap in every "
+                        "scenario (storm_isolated degenerates to open)")),
+        scale="multiply nodes and archive files by this factor",
+        smoke=True,
+        oversub="two-stage core oversubscription ratio "
+                "(default 4:1; 0 = access links only)",
+        seed=PAPER_TENANTS.seed,
+    ),
+    Command(
+        "serve",
+        "serve path: open-loop Zipf traffic, per-gateway block caches, "
+        "hot-file replication (paper scale: 10 000 nodes)",
+        _run_serve,
+        args=(_arg("--nodes", type=int, default=PAPER_SERVING.node_count),
+              _arg("--files", type=int, default=PAPER_SERVING.catalog_files,
+                   help="served catalog size (files)"),
+              _arg("--rate", type=float, default=PAPER_SERVING.request_rate,
+                   help="offered request rate (requests per simulated second)"),
+              _arg("--duration", type=float, default=PAPER_SERVING.duration_s,
+                   help="open-loop arrival window in simulated seconds"),
+              _arg("--zipf", type=str, default=None,
+                   help="comma-separated Zipf skew values (default 0.8,1.1)"),
+              _arg("--clients", type=int, default=PAPER_SERVING.client_count,
+                   help="front-end gateway nodes requests fan out over"),
+              _arg("--cache-mb", type=float, default=PAPER_SERVING.cache_mb,
+                   help="per-gateway LRU block-cache budget in MB"),
+              _arg("--no-cache", action="store_true",
+                   help="run only the direct (cache-off) cells")),
+        scale="multiply nodes and catalog files by this factor",
+        smoke=True,
+        oversub="two-stage core oversubscription ratio "
+                "(default 4:1; 0 = access links only)",
+        seed=PAPER_SERVING.seed,
+    ),
+    Command(
+        "coding", "Table 2", _run_coding,
+        args=(_arg("--chunk-mb", type=float, default=1.0),
+              _arg("--blocks", type=int, default=512)),
+    ),
+    Command(
+        "churn", "Table 3", _run_churn,
+        args=(_arg("--nodes", type=int, default=300),
+              _arg("--files", type=int, default=2000)),
+        seed=4,
+    ),
+    Command("multicast", "Figures 11 and 12", _run_multicast, seed=5),
+    Command(
+        "condor", "Table 4", _run_condor,
+        args=(_arg("--sizes", type=str, default="1,2,4,8,16,32,64,128",
+                   help="comma-separated file sizes in GB"),),
+        seed=6,
+    ),
+    Command(
+        "bench",
+        "run the -m bench suite and update the BENCH_*.json trajectory",
+        _run_bench,
+        args=(_arg("--select", type=str, default=None,
+                   help="pytest -k expression to run a subset of the benchmarks"),
+              _arg("--summary-only", action="store_true",
+                   help="skip running; just print the recorded BENCH_*.json summary")),
+    ),
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser from the :data:`COMMANDS` table."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures and tables.",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     subparsers = parser.add_subparsers(dest="experiment")
-
-    insertion = subparsers.add_parser("insertion", help="Figures 7-9 and Table 1")
-    insertion.add_argument("--nodes", type=int, default=200)
-    insertion.add_argument("--files", type=int, default=None)
-    insertion.add_argument("--seed", type=int, default=1)
-    insertion.set_defaults(func=_run_insertion)
-
-    availability = subparsers.add_parser("availability", help="Figure 10")
-    availability.add_argument("--nodes", type=int, default=300)
-    availability.add_argument("--files", type=int, default=2000)
-    availability.add_argument("--seed", type=int, default=2)
-    availability.set_defaults(func=_run_availability)
-
-    fig10 = subparsers.add_parser(
-        "fig10", help="Figure 10 at paper scale (10 000 nodes / 1 000 failures)"
-    )
-    fig10.add_argument("--nodes", type=int, default=PAPER_FIG10.node_count)
-    fig10.add_argument("--files", type=int, default=PAPER_FIG10.file_count)
-    fig10.add_argument("--fail-pct", type=float, default=10.0,
-                       help="percent of the population failed one by one")
-    fig10.add_argument("--scale", type=float, default=1.0,
-                       help="multiply nodes and files by this factor (e.g. 0.1)")
-    fig10.add_argument("--scalar", action="store_true",
-                       help="run the preserved seed scalar path instead of the ledger")
-    fig10.add_argument("--seed", type=int, default=PAPER_FIG10.seed)
-    fig10.set_defaults(func=_run_fig10)
-
-    table3 = subparsers.add_parser(
-        "table3", help="Table 3 at paper scale (10 000 nodes, 10 % and 20 % failed)"
-    )
-    table3.add_argument("--nodes", type=int, default=PAPER_TABLE3.node_count)
-    table3.add_argument("--files", type=int, default=PAPER_TABLE3.file_count)
-    table3.add_argument("--fractions", type=str, default="10,20",
-                        help="comma-separated failure percentages")
-    table3.add_argument("--scale", type=float, default=1.0,
-                        help="multiply nodes and files by this factor (e.g. 0.1)")
-    table3.add_argument("--scalar", action="store_true",
-                        help="run the preserved seed scalar path instead of the ledger")
-    table3.add_argument("--seed", type=int, default=PAPER_TABLE3.seed)
-    table3.set_defaults(func=_run_table3)
-
-    soak = subparsers.add_parser(
-        "soak", help="join/leave churn soak (paper scale: 10 000 nodes, one simulated week)"
-    )
-    soak.add_argument("--nodes", type=int, default=PAPER_SOAK.node_count)
-    soak.add_argument("--files", type=int, default=PAPER_SOAK.file_count)
-    soak.add_argument("--days", type=float, default=PAPER_SOAK.horizon_hours / 24.0,
-                      help="simulated soak length in days")
-    soak.add_argument("--join-rate", type=float, default=PAPER_SOAK.join_rate_per_hour,
-                      help="fresh-node joins per simulated hour (before --scale)")
-    soak.add_argument("--leave-rate", type=float, default=PAPER_SOAK.leave_rate_per_hour,
-                      help="graceful departures per simulated hour (before --scale)")
-    soak.add_argument("--scale", type=float, default=1.0,
-                      help="multiply nodes, files and churn rates by this factor (e.g. 0.1)")
-    soak.add_argument("--no-compaction", action="store_true",
-                      help="disable the periodic ledger compaction pass")
-    soak.add_argument("--leave-mode", type=str, default=PAPER_SOAK.leave_mode,
-                      choices=("regenerate", "migrate"),
-                      help="graceful departures regenerate from redundancy or "
-                           "migrate their blocks out over their uplink")
-    soak.add_argument("--bandwidth-gb-hour", type=float, default=None,
-                      help="per-node link capacity in GB per simulated hour "
-                           "(default: unconstrained, instantaneous repair)")
-    soak.add_argument("--scalar", action="store_true",
-                      help="run the preserved seed scalar path instead of the ledger")
-    soak.add_argument("--seed", type=int, default=PAPER_SOAK.seed)
-    soak.set_defaults(func=_run_soak)
-
-    repair = subparsers.add_parser(
-        "repair", help="bandwidth-aware repair: time-to-repair and traffic curves, "
-                       "migration-vs-regeneration ablation (paper scale: 10 000 nodes)"
-    )
-    repair.add_argument("--nodes", type=int, default=PAPER_REPAIR.node_count)
-    repair.add_argument("--files", type=int, default=PAPER_REPAIR.file_count)
-    repair.add_argument("--fractions", type=str, default="2,5,10",
-                        help="comma-separated failure percentages for the sweep")
-    repair.add_argument("--bandwidth", type=float, default=PAPER_REPAIR.bandwidth_mb_s,
-                        help="per-node link capacity in MB per simulated second")
-    repair.add_argument("--bandwidth-sweep", type=str, default="4,8,16",
-                        help="comma-separated bandwidths for the bandwidth panel")
-    repair.add_argument("--spacing", type=float, default=PAPER_REPAIR.failure_spacing_s,
-                        help="simulated seconds between consecutive failures")
-    repair.add_argument("--scale", type=float, default=1.0,
-                        help="multiply nodes and files by this factor (e.g. 0.1)")
-    repair.add_argument("--scalar", action="store_true",
-                        help="run the preserved seed scalar path instead of the ledger")
-    repair.add_argument("--seed", type=int, default=PAPER_REPAIR.seed)
-    repair.set_defaults(func=_run_repair)
-
-    faults = subparsers.add_parser(
-        "faults", help="failure-domain fault panels: site/rack outages, flash crowd, "
-                       "rolling restart, degraded links (paper scale: 10 000 nodes)"
-    )
-    faults.add_argument("--nodes", type=int, default=PAPER_FAULTS.node_count)
-    faults.add_argument("--files", type=int, default=PAPER_FAULTS.file_count)
-    faults.add_argument("--flash-pct", type=float,
-                        default=100.0 * PAPER_FAULTS.flash_fraction,
-                        help="percent of the population downed by the flash crowd")
-    faults.add_argument("--bandwidth", type=float, default=PAPER_FAULTS.bandwidth_mb_s,
-                        help="per-node link capacity in MB per simulated second")
-    faults.add_argument("--sites", type=int, default=PAPER_FAULTS.sites,
-                        help="failure-domain sites in the grid")
-    faults.add_argument("--racks-per-site", type=int, default=PAPER_FAULTS.racks_per_site)
-    faults.add_argument("--scale", type=float, default=1.0,
-                        help="multiply nodes and files by this factor (e.g. 0.1)")
-    faults.add_argument("--smoke", action="store_true",
-                        help="run the fixed tier-1 smoke configuration (seconds)")
-    faults.add_argument("--oversub", type=float, default=None, metavar="RATIO",
-                        help="finite two-stage core: trunks carry the members' "
-                             "aggregate access bandwidth / RATIO (adds the "
-                             "recovery-storm panel and the topology table)")
-    faults.add_argument("--seed", type=int, default=PAPER_FAULTS.seed)
-    faults.set_defaults(func=_run_faults)
-
-    tenants = subparsers.add_parser(
-        "tenants", help="per-tenant QoS isolation: the noisy-neighbor storm suite "
-                        "(paper scale: 10 000 nodes, 4 tenants, 4:1 core)"
-    )
-    tenants.add_argument("--nodes", type=int, default=PAPER_TENANTS.node_count)
-    tenants.add_argument("--files", type=int, default=PAPER_TENANTS.archive_files,
-                         help="archive-tenant corpus size (files)")
-    tenants.add_argument("--bandwidth", type=float, default=PAPER_TENANTS.bandwidth_mb_s,
-                         help="per-node link capacity in MB per simulated second")
-    tenants.add_argument("--scale", type=float, default=1.0,
-                         help="multiply nodes and archive files by this factor")
-    tenants.add_argument("--oversub", type=float, default=None, metavar="RATIO",
-                         help="two-stage core oversubscription ratio "
-                              "(default 4:1; 0 = access links only)")
-    tenants.add_argument("--no-isolation", action="store_true",
-                         help="drop the storm tenant's weight/cap in every "
-                              "scenario (storm_isolated degenerates to open)")
-    tenants.add_argument("--smoke", action="store_true",
-                         help="run the fixed tier-1 smoke configuration (seconds)")
-    tenants.add_argument("--seed", type=int, default=PAPER_TENANTS.seed)
-    tenants.set_defaults(func=_run_tenants)
-
-    coding = subparsers.add_parser("coding", help="Table 2")
-    coding.add_argument("--chunk-mb", type=float, default=1.0)
-    coding.add_argument("--blocks", type=int, default=512)
-    coding.set_defaults(func=_run_coding)
-
-    churn = subparsers.add_parser("churn", help="Table 3")
-    churn.add_argument("--nodes", type=int, default=300)
-    churn.add_argument("--files", type=int, default=2000)
-    churn.add_argument("--seed", type=int, default=4)
-    churn.set_defaults(func=_run_churn)
-
-    multicast = subparsers.add_parser("multicast", help="Figures 11 and 12")
-    multicast.add_argument("--seed", type=int, default=5)
-    multicast.set_defaults(func=_run_multicast)
-
-    condor = subparsers.add_parser("condor", help="Table 4")
-    condor.add_argument("--sizes", type=str, default="1,2,4,8,16,32,64,128",
-                        help="comma-separated file sizes in GB")
-    condor.add_argument("--seed", type=int, default=6)
-    condor.set_defaults(func=_run_condor)
-
-    bench = subparsers.add_parser(
-        "bench", help="run the -m bench suite and update the BENCH_*.json trajectory"
-    )
-    bench.add_argument("--select", type=str, default=None,
-                       help="pytest -k expression to run a subset of the benchmarks")
-    bench.add_argument("--summary-only", action="store_true",
-                       help="skip running; just print the recorded BENCH_*.json summary")
-    bench.set_defaults(func=_run_bench)
-
+    for command in COMMANDS:
+        sub = subparsers.add_parser(command.name, help=command.help)
+        for arg in command.args:
+            sub.add_argument(*arg.flags, **arg.options)
+        if command.scale is not None:
+            sub.add_argument("--scale", type=float, default=1.0, help=command.scale)
+        if command.smoke:
+            sub.add_argument("--smoke", action="store_true", help=_SMOKE_HELP)
+        if command.oversub is not None:
+            sub.add_argument("--oversub", type=float, default=None, metavar="RATIO",
+                            help=command.oversub)
+        if command.seed is not None:
+            sub.add_argument("--seed", type=int, default=command.seed)
+        sub.set_defaults(func=command.handler)
     return parser
 
 
@@ -506,10 +621,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
-        print(
-            "Available experiments: insertion, availability, fig10, coding, churn, "
-            "table3, soak, repair, faults, tenants, multicast, condor, bench"
-        )
+        names = ", ".join(command.name for command in COMMANDS)
+        print(f"Available experiments: {names}")
         return 0
     handler: Callable[[argparse.Namespace], int] = args.func
     return handler(args)

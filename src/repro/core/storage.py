@@ -24,6 +24,7 @@ The class operates in two modes:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -41,6 +42,11 @@ from repro.erasure.null_code import NullCode
 from repro.overlay.dht import DHTView
 from repro.overlay.ids import NodeId
 from repro.overlay.node import NeighborBlockRecord, OverlayNode
+
+#: Sentinel distinguishing "keyword not passed" from an explicit ``None``
+#: (``client=None`` legitimately means "an external client outside the
+#: overlay"), so per-call overrides can layer over :meth:`attach_transfers`.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,9 @@ class RetrieveResult:
     #: Chunks decoded from a strict k-of-n subset of their blocks (some
     #: copies were unreachable, but at least ``required`` survived).
     chunks_degraded: int = 0
+    #: Chunks served entirely from the requesting client's block cache
+    #: (no transfer charged, no holder touched).
+    chunks_cached: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -193,6 +202,15 @@ class StorageSystem:
         self.transfers = None
         self._transfer_client: Optional[int] = None
         self._transfer_observer = None
+        #: Per-call overrides (one store/retrieve) layered over the attached
+        #: defaults -- see :meth:`_request_context`.
+        self._call_client = _UNSET
+        self._call_observer = _UNSET
+        #: Optional per-client-node block cache (see :meth:`attach_cache`).
+        self.cache = None
+        #: Per-holder read traffic (bytes served) accumulated by capacity-mode
+        #: chunk reads -- the serve path's load-balance histogram source.
+        self.read_load: Dict[int, float] = {}
         self.probe = CapacityProbe(dht, self.policy.capacity_report_fraction)
         self._probe_chunk = self.probe.probe_chunk_fast if vectorized else self.probe.probe_chunk
         self.chunker = Chunker(self.probe, self.codec, self.policy)
@@ -240,26 +258,74 @@ class StorageSystem:
         self._transfer_client = client
         self._transfer_observer = observer
 
+    def attach_cache(self, cache) -> None:
+        """Serve repeat reads from per-client-node block caches.
+
+        ``cache`` is a :class:`~repro.core.cache.CacheManager`.  Once
+        attached, capacity-mode chunk reads and payload-mode block fetches
+        consult the requesting client's cache before touching any holder: a
+        full hit skips the transfer charge entirely, a miss charges the
+        fabric (from the least-loaded live holder) and fills the cache.
+        Detach by passing ``None``.  Reads with no resolved client id (no
+        per-call ``client=`` and no attached default) bypass the cache.
+        """
+        self.cache = cache
+
+    @contextmanager
+    def _request_context(self, client, observer):
+        """Scope per-call ``client=``/``observer=`` overrides to one request."""
+        if client is _UNSET and observer is _UNSET:
+            yield
+            return
+        saved = (self._call_client, self._call_observer)
+        self._call_client = client
+        self._call_observer = observer
+        try:
+            yield
+        finally:
+            self._call_client, self._call_observer = saved
+
+    def _effective_client(self) -> Optional[int]:
+        """The client node id of the current request (per-call over default)."""
+        if self._call_client is not _UNSET:
+            return self._call_client
+        return self._transfer_client
+
+    def _effective_observer(self):
+        """The completion observer of the current request (per-call over default)."""
+        if self._call_observer is not _UNSET:
+            return self._call_observer
+        return self._transfer_observer
+
     def _charge(self, size: float, src: Optional[int], dst: Optional[int]) -> None:
         """Submit one tenant-tagged charging transfer (no-op when detached)."""
         if self.transfers is None or size <= 0:
             return
         self.transfers.submit(float(size), src, dst,
-                              on_complete=self._transfer_observer,
+                              on_complete=self._effective_observer(),
                               tenant=self.store_tenant)
 
     # ------------------------------------------------------------------ store --
-    def store_file(self, filename: str, size: int) -> StoreResult:
-        """Store a file of ``size`` bytes in capacity mode (sizes only)."""
+    def store_file(self, filename: str, size: int, *,
+                   client=_UNSET, observer=_UNSET) -> StoreResult:
+        """Store a file of ``size`` bytes in capacity mode (sizes only).
+
+        ``client``/``observer`` override the :meth:`attach_transfers`
+        defaults for this one store (a serving gateway ingesting on behalf
+        of a specific front-end node, with its own completion probe).
+        """
         if self.payload_mode:
             raise RuntimeError("store_file() is for capacity mode; use store_bytes() in payload mode")
-        return self._store(filename, size, data=None)
+        with self._request_context(client, observer):
+            return self._store(filename, size, data=None)
 
-    def store_bytes(self, filename: str, data: bytes) -> StoreResult:
+    def store_bytes(self, filename: str, data: bytes, *,
+                    client=_UNSET, observer=_UNSET) -> StoreResult:
         """Store real file contents (payload mode)."""
         if not self.payload_mode:
             raise RuntimeError("store_bytes() requires payload_mode=True")
-        return self._store(filename, len(data), data=data)
+        with self._request_context(client, observer):
+            return self._store(filename, len(data), data=data)
 
     def _store(self, filename: str, size: int, data: Optional[bytes]) -> StoreResult:
         # On a shared ledger another store may already own the name; reject
@@ -399,7 +465,7 @@ class StorageSystem:
             placements.append(placement)
             # Ingest charging: the client uploads the primary copy; neighbour
             # replicas are pushed onward by the primary holder.
-            self._charge(block_size, self._transfer_client, int(node.node_id))
+            self._charge(block_size, self._effective_client(), int(node.node_id))
             for replica_id in replica_ids:
                 self._charge(block_size, int(node.node_id), int(replica_id))
             if payloads is not None:
@@ -449,7 +515,7 @@ class StorageSystem:
         serialized = cat.serialize().encode("utf-8") if self.payload_mode else None
 
         def finalize(name: str, node: OverlayNode) -> List[BlockPlacement]:
-            self._charge(size, self._transfer_client, int(node.node_id))
+            self._charge(size, self._effective_client(), int(node.node_id))
             replica_ids = []
             for neighbor in self.dht.neighbors(node.node_id, self.policy.cat_replication - 1):
                 if neighbor.store_block(name, size):
@@ -507,8 +573,18 @@ class StorageSystem:
             self._block_payloads.pop((int(node_id), placement.block_name), None)
 
     # --------------------------------------------------------------- retrieval --
-    def _fetch_block(self, placement: BlockPlacement) -> Optional[bytes]:
-        """Fetch one block's payload from any live holder (payload mode)."""
+    def _fetch_block(self, placement: BlockPlacement) -> Tuple[Optional[bytes], bool]:
+        """Fetch one block's payload (payload mode): client cache, then holders.
+
+        Returns ``(payload, from_cache)``; a network fetch fills the
+        requesting client's cache when one is attached.
+        """
+        client = self._effective_client()
+        use_cache = self.cache is not None and client is not None
+        if use_cache:
+            cached = self.cache.lookup_block(int(client), placement.block_name)
+            if cached is not None:
+                return cached, True
         for node_id in (placement.node_id, *placement.replica_nodes):
             if node_id not in self.dht.network:
                 continue
@@ -516,8 +592,11 @@ class StorageSystem:
             if node.has_block(placement.block_name):
                 payload = self._block_payloads.get((int(node_id), placement.block_name))
                 if payload is not None:
-                    return payload
-        return None
+                    if use_cache:
+                        self.cache.fill_block(int(client), placement.block_name,
+                                              placement.size, payload)
+                    return payload, False
+        return None, False
 
     def _live_copies(self, placement: BlockPlacement) -> int:
         """Number of live nodes still holding the block."""
@@ -561,8 +640,14 @@ class StorageSystem:
             return self.ledger.unavailable_count
         return sum(1 for name in self.files if not self.is_file_available(name))
 
-    def retrieve_file(self, filename: str) -> RetrieveResult:
-        """Retrieve the entire file."""
+    def retrieve_file(self, filename: str, *,
+                      client=_UNSET, observer=_UNSET) -> RetrieveResult:
+        """Retrieve the entire file.
+
+        ``client``/``observer`` override the :meth:`attach_transfers`
+        defaults for this one read -- the requesting client's id also keys
+        the block cache when one is attached.
+        """
         stored = self.files.get(filename)
         if stored is None:
             return RetrieveResult(
@@ -575,9 +660,11 @@ class StorageSystem:
                 lookups=0,
                 failure_reason="unknown file",
             )
-        return self._retrieve(stored, stored.cat.non_empty_entries())
+        with self._request_context(client, observer):
+            return self._retrieve(stored, stored.cat.non_empty_entries())
 
-    def retrieve_range(self, filename: str, offset: int, length: int) -> RetrieveResult:
+    def retrieve_range(self, filename: str, offset: int, length: int, *,
+                       client=_UNSET, observer=_UNSET) -> RetrieveResult:
         """Retrieve ``length`` bytes starting at ``offset`` (partial-file access)."""
         stored = self.files.get(filename)
         if stored is None:
@@ -592,7 +679,8 @@ class StorageSystem:
                 failure_reason="unknown file",
             )
         entries = [entry for entry in stored.cat.chunks_for_range(offset, length) if not entry.is_empty]
-        result = self._retrieve(stored, entries)
+        with self._request_context(client, observer):
+            result = self._retrieve(stored, entries)
         if result.data is not None:
             base = entries[0].start if entries else 0
             window = result.data[offset - base : offset - base + length]
@@ -607,6 +695,7 @@ class StorageSystem:
                 data=window,
                 failure_reason=result.failure_reason,
                 chunks_degraded=result.chunks_degraded,
+                chunks_cached=result.chunks_cached,
             )
         return result
 
@@ -620,11 +709,62 @@ class StorageSystem:
             return self.ledger.chunk_live_blocks(chunk.ledger_index)
         return sum(1 for placement in chunk.placements if self._live_copies(placement) > 0)
 
+    def _read_source(self, chunk: StoredChunk) -> Tuple[int, bool]:
+        """The live holder a cached-serve-path chunk read drains from.
+
+        Picks the least-loaded live copy (accumulated :attr:`read_load`,
+        node id as tie-break) among the first placement's primary and
+        neighbour replicas; falls back to the primary when no copy answers.
+        Returns ``(node id, is_primary)``.
+        """
+        placement = chunk.placements[0]
+        candidates: List[int] = []
+        for node_id in (placement.node_id, *placement.replica_nodes):
+            if node_id in self.dht.network and self.dht.network.node(node_id).has_block(
+                placement.block_name
+            ):
+                candidates.append(int(node_id))
+        if not candidates:
+            return int(placement.node_id), True
+        src = min(candidates, key=lambda nid: (self.read_load.get(nid, 0.0), nid))
+        return src, src == int(placement.node_id)
+
+    def _serve_chunk_read(self, chunk: StoredChunk, required: int) -> bool:
+        """Account one recoverable capacity-mode chunk read; True on cache hit.
+
+        With a cache attached and a client id resolved, a fully-cached chunk
+        skips the transfer charge entirely; a miss drains from the
+        least-loaded live holder and fills the client's cache.  Without a
+        cache the charge drains from the primary holder exactly as before
+        (the cache-off serving oracle pins this bit-for-bit).
+        """
+        if not chunk.placements:
+            return False
+        client = self._effective_client()
+        if self.cache is not None and client is not None:
+            needed = chunk.placements[: min(required, len(chunk.placements))]
+            names = [placement.block_name for placement in needed]
+            if self.cache.lookup_chunk(int(client), names, chunk.size):
+                return True
+            src, primary = self._read_source(chunk)
+            self.cache.note_source(primary)
+            self._charge(chunk.size, src, client)
+            self.read_load[src] = self.read_load.get(src, 0.0) + chunk.size
+            self.cache.fill_chunk(
+                int(client), [(placement.block_name, placement.size) for placement in needed]
+            )
+            return False
+        src = int(chunk.placements[0].node_id)
+        self._charge(chunk.size, src, client)
+        self.read_load[src] = self.read_load.get(src, 0.0) + chunk.size
+        return False
+
     def _retrieve(self, stored: StoredFile, entries: List[CatEntry]) -> RetrieveResult:
         lookups = 1  # locating the CAT object
         blocks_fetched = 0
         recovered = 0
         degraded_chunks = 0
+        cached_chunks = 0
         bytes_available = 0
         pieces: List[bytes] = []
         complete = True
@@ -645,14 +785,16 @@ class StorageSystem:
                     bytes_available += chunk.size
                     blocks_fetched += min(required, len(chunk.placements))
                     # Read charging: one decoded chunk's worth of traffic
-                    # drains from a holder to the client.
-                    if chunk.placements:
-                        self._charge(
-                            chunk.size, int(chunk.placements[0].node_id), self._transfer_client
-                        )
+                    # drains from a holder to the client (skipped entirely
+                    # when the client's block cache holds the whole chunk).
+                    served_from_cache = self._serve_chunk_read(chunk, required)
+                    if served_from_cache:
+                        cached_chunks += 1
                     # Degraded: the decode works from a strict k-of-n subset
-                    # because some placements lost every copy.
-                    if self._chunk_live_placements(chunk) < len(chunk.placements):
+                    # because some placements lost every copy.  A pure cache
+                    # hit never touches the holders, so a repeat read of a
+                    # cached chunk is not re-counted as degraded.
+                    elif self._chunk_live_placements(chunk) < len(chunk.placements):
                         degraded_chunks += 1
                 else:
                     complete = False
@@ -668,8 +810,10 @@ class StorageSystem:
                 failure_reason = f"chunk {entry.chunk_no} has no encoder metadata"
                 continue
             available: Dict[int, bytes] = {}
+            cached_blocks = 0
+            network_fetched = 0
             for index, placement in enumerate(chunk.placements):
-                payload = self._fetch_block(placement)
+                payload, from_cache = self._fetch_block(placement)
                 lookups += 1
                 if payload is not None:
                     stream_index = (
@@ -679,6 +823,10 @@ class StorageSystem:
                     )
                     available[stream_index] = payload
                     blocks_fetched += 1
+                    if from_cache:
+                        cached_blocks += 1
+                    else:
+                        network_fetched += 1
             try:
                 piece = self.codec.decode(chunk.encoded, available)
             except Exception as error:  # noqa: BLE001 - decoding failure is a data-loss event
@@ -687,7 +835,11 @@ class StorageSystem:
                 continue
             recovered += 1
             bytes_available += chunk.size
-            if len(available) < len(chunk.placements):
+            if cached_blocks and network_fetched == 0:
+                # Served entirely from the client's cache: no holder was
+                # touched, so the read is neither degraded nor charged.
+                cached_chunks += 1
+            elif len(available) < len(chunk.placements):
                 degraded_chunks += 1
             pieces.append(piece)
 
@@ -708,6 +860,7 @@ class StorageSystem:
             data=data,
             failure_reason=failure_reason,
             chunks_degraded=degraded_chunks,
+            chunks_cached=cached_chunks,
         )
 
     # --------------------------------------------------------------- statistics --

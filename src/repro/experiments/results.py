@@ -303,6 +303,32 @@ def churn_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def serving_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_serving.json rows as a serve-path panel table."""
+    table = TableResult(
+        title="Serve path (open-loop Zipf traffic, per-gateway block caches)",
+        columns=["scenario", "nodes", "zipf_s", "cache", "sustained_req_s",
+                 "read_p50_s", "read_p95_s", "read_p99_s", "cache_hit_pct",
+                 "load_imbalance_x", "promotions", "seconds"],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            scenario=row.get("scenario", "?"),
+            nodes=row.get("node_count", 0),
+            zipf_s=float(row.get("zipf_s", 0.0)),
+            cache=float(row.get("cache", 0.0)),
+            sustained_req_s=float(row.get("sustained_req_s", 0.0)),
+            read_p50_s=float(row.get("read_p50_s", 0.0)),
+            read_p95_s=float(row.get("read_p95_s", 0.0)),
+            read_p99_s=float(row.get("read_p99_s", 0.0)),
+            cache_hit_pct=float(row.get("cache_hit_pct", 0.0)),
+            load_imbalance_x=float(row.get("load_imbalance_x", 0.0)),
+            promotions=float(row.get("promotions", 0.0)),
+            seconds=float(row.get("seconds", 0.0)),
+        )
+    return table
+
+
 def _benchmark_section(root: Path, filename: str, table_fn, speedup_label: str) -> List[str]:
     """One record's summary: its table plus a rendered speedups line.
 
@@ -350,6 +376,9 @@ def benchmark_summary(root: Path) -> str:
     )
     sections += _benchmark_section(
         root, "BENCH_tenants.json", tenants_benchmark_table, "tenant QoS isolation"
+    )
+    sections += _benchmark_section(
+        root, "BENCH_serving.json", serving_benchmark_table, "serve path"
     )
     return "\n\n".join(sections)
 

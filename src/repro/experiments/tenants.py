@@ -41,20 +41,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.block_ledger import BlockLedger
+from repro.api import ClusterSession
 from repro.core.policies import StoragePolicy
-from repro.core.recovery import RecoveryManager
 from repro.core.storage import StorageSystem
-from repro.core.transfer import TransferScheduler, oversubscribed_topology
+from repro.core.transfer import TransferScheduler
 from repro.erasure.chunk_codec import ChunkCodec
 from repro.erasure.xor_code import XorParityCode
 from repro.experiments.results import TableResult
-from repro.overlay.dht import DHTView
 from repro.overlay.network import OverlayNetwork
-from repro.sim.engine import Simulator
-from repro.sim.faults import FaultInjector, assign_domains
 from repro.sim.rng import RandomStreams
-from repro.workloads.capacity import CapacityConfig, generate_capacities
+from repro.workloads.capacity import CapacityConfig
 from repro.workloads.filetrace import GB, MB, FileTraceConfig, generate_file_trace
 from repro.workloads.tenants import (
     BigCopyBurstProfile,
@@ -243,41 +239,37 @@ class TenantsExperiment:
 
     # -------------------------------------------------------------- deployment --
     def _deployment(self, streams: RandomStreams):
-        """One overlay + shared ledger + four tenant-scoped stores.
+        """One :class:`ClusterSession` + four tenant clients on its ledger.
 
         The archive tenant's corpus is pre-stored (instantaneous, before the
         fabric attaches) -- the storm repairs standing data, it does not
-        ingest it.
+        ingest it.  The session consumes the same RNG stream labels in the
+        same order as the pre-facade hand wiring, so every number here is
+        unchanged by the port (pinned by ``tests/test_api.py``).
         """
         config = self.config
-        capacities = generate_capacities(
-            CapacityConfig(
+        session = ClusterSession(
+            config.node_count,
+            streams=streams,
+            capacity_config=CapacityConfig(
                 node_count=config.node_count,
                 distribution="normal",
                 mean=config.capacity_mean,
                 std=config.capacity_std,
             ),
-            rng=streams.fresh("capacities"),
+            sites=config.sites,
+            racks_per_site=config.racks_per_site,
+            bandwidth_mb_s=config.bandwidth_mb_s,
+            oversubscription=config.oversubscription,
+            vectorized=config.vectorized,
+            fast_build=config.fast_build,
         )
-        network = OverlayNetwork.build(
-            config.node_count,
-            rng=streams.fresh("overlay"),
-            capacities=list(capacities),
-            routing_state=not config.resolved_fast_build(),
-        )
-        assign_domains(network.nodes(), sites=config.sites,
-                       racks_per_site=config.racks_per_site)
-        dht = DHTView(network)
-        ledger = BlockLedger(network)
-        stores = {
-            name: StorageSystem(
-                dht,
+        clients = {
+            name: session.client(
+                name,
                 codec=ChunkCodec(XorParityCode(group_size=2),
                                  blocks_per_chunk=config.blocks_per_chunk),
                 policy=StoragePolicy(block_replication=config.block_replication),
-                vectorized=config.vectorized,
-                ledger=ledger,
-                tenant=name,
             )
             for name in TENANTS
         }
@@ -292,8 +284,8 @@ class TenantsExperiment:
             rng=streams.fresh("trace"),
         )
         for record in trace:
-            stores["archive"].store_file(record.name, record.size)
-        return network, ledger, stores
+            clients["archive"].store(record.name, record.size)
+        return session, clients
 
     def _client(self, network: OverlayNetwork, ordinal: int):
         """A deterministic live client node *outside* the storm site."""
@@ -366,19 +358,12 @@ class TenantsExperiment:
         config = self.config
         streams = RandomStreams(config.seed)
         cell_start = time.perf_counter()
-        network, ledger, stores = self._deployment(streams)
+        session, clients = self._deployment(streams)
+        network = session.network
+        sim = session.sim
+        transfers = session.transfers
+        stores = {name: handle.storage for name, handle in clients.items()}
 
-        sim = Simulator()
-        rate = config.bandwidth_mb_s * MB
-        topology = None
-        if config.oversubscription is not None:
-            topology = oversubscribed_topology(
-                network.nodes(),
-                access_bandwidth=rate,
-                oversubscription=config.oversubscription,
-            )
-        transfers = TransferScheduler(sim, uplink=rate, downlink=rate,
-                                      topology=topology)
         # The victim's ingest SLO tracks its *own* charged transfers (repair
         # traffic shares the tenant tag but must not inflate the metric).
         ingest_done = {"bytes": 0.0, "last": 0.0}
@@ -388,15 +373,14 @@ class TenantsExperiment:
             ingest_done["last"] = max(ingest_done["last"], transfer.finished_at)
 
         for ordinal, name in enumerate(TENANTS):
-            stores[name].attach_transfers(
-                transfers,
+            clients[name].attach(
                 client=int(self._client(network, ordinal).node_id),
                 observer=observe_ingest if name == "medimg" else None,
             )
 
         managers = {
-            name: RecoveryManager(stores[name], transfers=transfers,
-                                  repair_window=config.repair_window)
+            name: session.recovery(clients[name],
+                                   repair_window=config.repair_window)
             for name in TENANTS
         }
         archive_tid = stores["archive"].store_tenant
@@ -431,9 +415,8 @@ class TenantsExperiment:
         # The storm: a whole-site outage repaired by every tenant's manager
         # (the injector drives the archive tenant -- the storm proper -- and
         # the other managers re-protect their own rows on the same cadence).
-        injector = FaultInjector(sim, network, recovery=managers["archive"],
-                                 transfers=transfers,
-                                 repair_spacing=config.repair_spacing_s)
+        injector = session.fault_injector(recovery=managers["archive"],
+                                          repair_spacing=config.repair_spacing_s)
         if scenario != "baseline":
             def storm() -> None:
                 members = [node for node in network.nodes()
@@ -479,7 +462,7 @@ class TenantsExperiment:
         })
         for name in TENANTS:
             store = stores[name]
-            aggregates = ledger.tenant_aggregates(store.store_tenant)
+            aggregates = clients[name].aggregates()
             census = self._census(store)
             row = per_tenant.get(store.store_tenant, {})
             ttrs = np.asarray(managers[name].repair_times(), dtype=float)

@@ -55,12 +55,18 @@ class MulticastReplicator:
         config: Optional[BulletConfig] = None,
         rng: Optional[np.random.Generator] = None,
         fanout: int = 2,
+        simulate_push: bool = True,
     ) -> None:
         self.storage = storage
         self.dht = storage.dht
         self.config = config or BulletConfig(total_packets=100, ransub_fraction=0.16)
         self.rng = rng or np.random.default_rng(0)
         self.fanout = fanout
+        #: Run the packet-level Bullet session per replicated chunk.  The
+        #: serving engine's popularity-triggered promotion turns this off:
+        #: there the push cost is already charged on the transfer fabric,
+        #: and the per-packet dissemination model would dominate wall time.
+        self.simulate_push = simulate_push
 
     # -- target selection -----------------------------------------------------
     def _replica_targets(self, primary: NodeId, block_name: str, size: int, count: int) -> List[NodeId]:
@@ -139,7 +145,7 @@ class MulticastReplicator:
 
         chunk.placements = new_placements
 
-        if all_targets:
+        if all_targets and self.simulate_push:
             source = chunk.placements[0].node_id
             tree = build_locality_tree(self.dht.network, source, all_targets, fanout=self.fanout)
             session = BulletSession(tree, self.config, rng=self.rng)

@@ -21,7 +21,7 @@ def test_no_arguments_prints_help_list(capsys):
 def test_parser_knows_all_experiments():
     parser = build_parser()
     for name in ("insertion", "availability", "coding", "churn", "soak", "faults",
-                 "tenants", "multicast", "condor"):
+                 "tenants", "serve", "multicast", "condor"):
         args = parser.parse_args([name])
         assert args.experiment == name
         assert callable(args.func)
@@ -114,6 +114,35 @@ def test_tenants_smoke_runs_every_scenario(capsys):
         assert tenant in out
     assert "Noisy-neighbor storm" in out and "Per-tenant SLOs" in out
     assert "isolation summary" in out and "wall time" in out
+
+
+def test_parser_knows_serve_flags():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--smoke", "--zipf", "0.9,1.2",
+                              "--no-cache", "--oversub", "2", "--seed", "3"])
+    assert args.experiment == "serve"
+    assert args.smoke and args.no_cache
+    assert args.zipf == "0.9,1.2"
+    assert args.oversub == 2.0
+    assert args.seed == 3
+    assert callable(args.func)
+
+
+def test_serve_smoke_runs_every_cell(capsys):
+    """The tier-1 smoke: the full (skew x cache) sweep end to end in seconds."""
+    assert main(["serve", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    for scenario in ("s0.8_direct", "s0.8_cache", "s1.1_direct", "s1.1_cache"):
+        assert scenario in out
+    assert "Serve path" in out and "serving summary" in out
+    assert "cache_hit_pct" in out and "wall time" in out
+
+
+def test_serve_no_cache_runs_direct_cells_only(capsys):
+    assert main(["serve", "--smoke", "--no-cache", "--zipf", "1.1"]) == 0
+    out = capsys.readouterr().out
+    assert "s1.1_direct" in out
+    assert "s1.1_cache" not in out and "s0.8" not in out
 
 
 def test_insertion_command_runs_small(capsys):

@@ -1,0 +1,257 @@
+"""Serve-path determinism and the cache-off oracle.
+
+The two pins the serving subsystem rests on:
+
+* same seed => byte-identical request trace, identical hit sequence and
+  identical latency percentiles, across runs;
+* with no cache attached, the engine's reads are *exactly* direct
+  ``retrieve_file`` calls -- same per-holder read load, same transfer
+  count, same degraded/failed accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import ClusterSession
+from repro.core.cache import CacheManager
+from repro.core.policies import StoragePolicy
+from repro.erasure.chunk_codec import ChunkCodec
+from repro.erasure.xor_code import XorParityCode
+from repro.experiments.serving import ServingConfig, ServingExperiment
+from repro.sim.rng import RandomStreams
+from repro.workloads.capacity import CapacityConfig
+from repro.workloads.filetrace import MB, FileTraceConfig, generate_file_trace
+from repro.workloads.serving import (
+    ServeEngine,
+    ServingTraceConfig,
+    generate_request_trace,
+    load_summary,
+    zipf_probabilities,
+)
+
+
+def _tiny_config(**overrides) -> ServingConfig:
+    base = dict(
+        node_count=80, seed=21, capacity_mean=400 * MB, capacity_std=100 * MB,
+        sites=2, racks_per_site=2, bandwidth_mb_s=8.0, oversubscription=4.0,
+        catalog_files=60, catalog_mean_size=2 * MB, catalog_std_size=1 * MB,
+        catalog_min_size=256 * 1024, request_rate=20.0, duration_s=6.0,
+        client_count=8, write_mean_size=1 * MB, write_std_size=512 * 1024,
+        write_min_size=256 * 1024, zipf_sweep=(1.1,), cache_modes=(True,),
+        cache_mb=16.0, hot_threshold=0,
+    )
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+def _serve_cell(seed: int = 21, cache_on: bool = False, zipf: float = 1.1):
+    """One tiny serving cell, wired exactly like the experiment's cells."""
+    config = _tiny_config(seed=seed)
+    streams = RandomStreams(config.seed)
+    session = ClusterSession(
+        config.node_count,
+        streams=streams,
+        capacity_config=CapacityConfig(
+            node_count=config.node_count, distribution="normal",
+            mean=config.capacity_mean, std=config.capacity_std,
+        ),
+        sites=config.sites, racks_per_site=config.racks_per_site,
+        bandwidth_mb_s=config.bandwidth_mb_s,
+        oversubscription=config.oversubscription,
+    )
+    client = session.client(
+        tenant="serve",
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(block_replication=2),
+    )
+    catalog_trace = generate_file_trace(
+        FileTraceConfig(
+            file_count=config.catalog_files, mean_size=config.catalog_mean_size,
+            std_size=config.catalog_std_size, min_size=config.catalog_min_size,
+            model="lognormal", name_prefix="media",
+        ),
+        rng=streams.fresh("catalog"),
+    )
+    for record in catalog_trace:
+        client.store(record.name, record.size)
+    catalog = [record.name for record in catalog_trace
+               if record.name in client.storage.files]
+    client.attach(client=None)
+    cache = None
+    if cache_on:
+        cache = client.attach_cache(
+            CacheManager(int(config.cache_mb * MB), hit_latency_s=0.0005))
+    trace = generate_request_trace(
+        len(catalog),
+        ServingTraceConfig(
+            request_rate=config.request_rate, duration_s=config.duration_s,
+            zipf_s=zipf, client_count=config.client_count,
+            write_mean_size=config.write_mean_size,
+            write_std_size=config.write_std_size,
+            write_min_size=config.write_min_size,
+        ),
+        rng=streams.fresh("requests"),
+    )
+    engine = ServeEngine(session.sim, client, session.transfers, trace, catalog,
+                         session.gateways(config.client_count), cache=cache)
+    engine.schedule()
+    session.run()
+    return session, client, engine, trace
+
+
+# ------------------------------------------------------------------- the trace --
+def test_trace_is_deterministic_per_seed():
+    config = ServingTraceConfig(request_rate=40.0, duration_s=10.0)
+    one = generate_request_trace(200, config, np.random.default_rng(5))
+    two = generate_request_trace(200, config, np.random.default_rng(5))
+    other = generate_request_trace(200, config, np.random.default_rng(6))
+    assert one.fingerprint() == two.fingerprint()
+    assert one.fingerprint() != other.fingerprint()
+
+
+def test_trace_columns_are_consistent():
+    config = ServingTraceConfig(request_rate=50.0, duration_s=8.0,
+                                read_fraction=0.8, client_count=5)
+    trace = generate_request_trace(64, config, np.random.default_rng(7))
+    assert trace.count > 0
+    assert np.all(np.diff(trace.arrivals) >= 0)
+    assert float(trace.arrivals[-1]) < config.duration_s
+    assert np.all(trace.write_sizes[trace.is_read] == 0)
+    assert np.all(trace.file_index[~trace.is_read] == -1)
+    reads = trace.file_index[trace.is_read]
+    assert np.all((reads >= 0) & (reads < 64))
+    assert np.all((trace.client_index >= 0) & (trace.client_index < 5))
+    assert 0 < trace.read_count < trace.count
+
+
+def test_zipf_probabilities_skew_toward_low_ranks():
+    probs = zipf_probabilities(100, 1.1)
+    assert np.isclose(probs.sum(), 1.0)
+    assert probs[0] > probs[10] > probs[99]
+    flat = zipf_probabilities(100, 0.0)
+    assert np.allclose(flat, 1.0 / 100)
+
+
+def test_load_summary_shapes():
+    empty = load_summary({})
+    assert empty["load_nodes"] == 0.0 and len(empty["load_histogram"]) == 10
+    summary = load_summary({1: 10 * MB, 2: 30 * MB, 3: 20 * MB}, buckets=4)
+    assert summary["load_nodes"] == 3.0
+    assert summary["load_max_mb"] == 30.0
+    assert np.isclose(summary["load_imbalance_x"], 30.0 / 20.0)
+    assert sum(summary["load_histogram"]) == 3
+
+
+# ------------------------------------------------------------------ the engine --
+def test_engine_runs_are_identical_per_seed():
+    _, client_a, engine_a, trace_a = _serve_cell(seed=21, cache_on=True)
+    _, client_b, engine_b, trace_b = _serve_cell(seed=21, cache_on=True)
+    assert trace_a.fingerprint() == trace_b.fingerprint()
+    assert engine_a.hit_sequence == engine_b.hit_sequence
+    assert engine_a.read_latencies == engine_b.read_latencies
+    assert engine_a.write_latencies == engine_b.write_latencies
+    assert engine_a.summarize() == engine_b.summarize()
+    assert client_a.storage.read_load == client_b.storage.read_load
+
+
+def test_experiment_rows_are_identical_per_seed():
+    config = _tiny_config()
+    rows_a = ServingExperiment(config).run().rows
+    rows_b = ServingExperiment(config).run().rows
+    for row_a, row_b in zip(rows_a, rows_b):
+        keys = set(row_a) - {"seconds"}
+        assert keys == set(row_b) - {"seconds"}
+        assert {k: row_a[k] for k in keys} == {k: row_b[k] for k in keys}
+
+
+def test_cache_off_engine_is_oracle_identical_to_direct_retrieval():
+    """With no cache, the serve path IS direct per-gateway retrieve_file calls."""
+    session, client, engine, trace = _serve_cell(seed=33, cache_on=False)
+
+    # Replay the same trace by hand on an identically-built deployment:
+    # plain retrieve_file/store_file scheduled at the arrival times, no
+    # engine, no cache, no observers.
+    config = _tiny_config(seed=33)
+    streams = RandomStreams(config.seed)
+    replay_session = ClusterSession(
+        config.node_count,
+        streams=streams,
+        capacity_config=CapacityConfig(
+            node_count=config.node_count, distribution="normal",
+            mean=config.capacity_mean, std=config.capacity_std,
+        ),
+        sites=config.sites, racks_per_site=config.racks_per_site,
+        bandwidth_mb_s=config.bandwidth_mb_s,
+        oversubscription=config.oversubscription,
+    )
+    replay_client = replay_session.client(
+        tenant="serve",
+        codec=ChunkCodec(XorParityCode(group_size=2), blocks_per_chunk=2),
+        policy=StoragePolicy(block_replication=2),
+    )
+    catalog_trace = generate_file_trace(
+        FileTraceConfig(
+            file_count=config.catalog_files, mean_size=config.catalog_mean_size,
+            std_size=config.catalog_std_size, min_size=config.catalog_min_size,
+            model="lognormal", name_prefix="media",
+        ),
+        rng=streams.fresh("catalog"),
+    )
+    for record in catalog_trace:
+        replay_client.store(record.name, record.size)
+    catalog = [record.name for record in catalog_trace
+               if record.name in replay_client.storage.files]
+    replay_client.attach(client=None)
+    gateways = replay_session.gateways(config.client_count)
+    storage = replay_client.storage
+
+    def issue(index: int) -> None:
+        gateway = gateways[int(trace.client_index[index]) % len(gateways)]
+        if trace.is_read[index]:
+            storage.retrieve_file(catalog[int(trace.file_index[index])],
+                                  client=gateway)
+        else:
+            storage.store_file(f"put-{index:08d}",
+                               int(trace.write_sizes[index]), client=gateway)
+
+    replay_trace = generate_request_trace(
+        len(catalog),
+        ServingTraceConfig(
+            request_rate=config.request_rate, duration_s=config.duration_s,
+            zipf_s=1.1, client_count=config.client_count,
+            write_mean_size=config.write_mean_size,
+            write_std_size=config.write_std_size,
+            write_min_size=config.write_min_size,
+        ),
+        rng=streams.fresh("requests"),
+    )
+    assert replay_trace.fingerprint() == trace.fingerprint()
+    for index in range(replay_trace.count):
+        replay_session.sim.schedule(float(replay_trace.arrivals[index]),
+                                    lambda i=index: issue(i))
+    replay_session.run()
+
+    assert storage.read_load == client.storage.read_load
+    assert (replay_session.transfers.submitted_count
+            == session.transfers.submitted_count)
+    assert storage.degraded_reads == client.storage.degraded_reads
+    assert storage.failed_reads == client.storage.failed_reads
+    assert engine.hit_sequence == [0] * len(engine.hit_sequence)
+
+
+def test_engine_requires_gateways():
+    config = _tiny_config()
+    streams = RandomStreams(config.seed)
+    session = ClusterSession(40, streams=streams, capacities=[1 << 30] * 40,
+                             bandwidth_mb_s=8.0)
+    client = session.client()
+    trace = generate_request_trace(4, ServingTraceConfig(duration_s=1.0),
+                                   np.random.default_rng(1))
+    try:
+        ServeEngine(session.sim, client, session.transfers, trace,
+                    ["a"], gateways=[])
+    except ValueError as error:
+        assert "gateway" in str(error)
+    else:
+        raise AssertionError("empty gateway list must be rejected")
