@@ -69,6 +69,12 @@ BENCH_SERVING_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.jso
 #: Rows accumulated by ``test_bench_serving.py`` during the session.
 _SERVING_RESULTS: dict = {"results": [], "speedups": {}}
 
+#: Where the routing-fabric benchmark writes its trajectory record.
+BENCH_ROUTING_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+#: Rows accumulated by ``test_bench_routing.py`` during the session.
+_ROUTING_RESULTS: dict = {"results": [], "speedups": {}}
+
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -132,6 +138,12 @@ def serving_bench_results() -> dict:
     return _SERVING_RESULTS
 
 
+@pytest.fixture(scope="session")
+def routing_bench_results() -> dict:
+    """Session accumulator for routing-fabric rows (written at exit)."""
+    return _ROUTING_RESULTS
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the BENCH_*.json records so perf trajectories track across PRs.
 
@@ -159,6 +171,8 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_TENANTS_PATH.write_text(json.dumps(_TENANTS_RESULTS, indent=2) + "\n")
     if _SERVING_RESULTS["results"] and _SERVING_RESULTS["speedups"]:
         BENCH_SERVING_PATH.write_text(json.dumps(_SERVING_RESULTS, indent=2) + "\n")
+    if _ROUTING_RESULTS["results"] and _ROUTING_RESULTS["speedups"]:
+        BENCH_ROUTING_PATH.write_text(json.dumps(_ROUTING_RESULTS, indent=2) + "\n")
 
 
 #: Scale used by the insertion benchmarks (nodes / derived file count).  The

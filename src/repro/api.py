@@ -117,6 +117,7 @@ class ClusterSession:
             self.transfers = TransferScheduler(self.sim, uplink=rate,
                                                downlink=rate, topology=topology)
         self._clients: Dict[Optional[str], "ArchiveClient"] = {}
+        self._routers: Dict[str, object] = {}
 
     @classmethod
     def adopt(cls, network: OverlayNetwork, **kwargs) -> "ClusterSession":
@@ -185,6 +186,30 @@ class ClusterSession:
     def run(self, until: Optional[float] = None) -> None:
         """Drain the event queue (optionally up to simulated time ``until``)."""
         self.sim.run(until=until)
+
+    # ----------------------------------------------------------------- routing --
+    def routing(self, engine: str = "pastry", **kwargs):
+        """An array routing engine over this session's overlay (cached per name).
+
+        The first call for a given engine name builds the engine from the
+        live population and registers it as a churn listener on the network
+        (so joins/leaves/failures keep its tables patched); later calls
+        return the cached instance.  The *first* engine built also becomes
+        ``network.router``, the dispatch target of ``network.route`` /
+        ``route_many`` on fast-build sessions.
+        """
+        cached = self._routers.get(engine)
+        if cached is not None:
+            if kwargs:
+                raise ValueError(
+                    f"router {engine!r} already built for this session; "
+                    "engine options only apply to the first call"
+                )
+            return cached
+        router = self.network.attach_router(
+            engine, dispatch=not self._routers, **kwargs)
+        self._routers[engine] = router
+        return router
 
     # ----------------------------------------------------------------- helpers --
     def gateways(self, count: int) -> List[int]:

@@ -49,6 +49,7 @@ from repro.experiments.faults import (
 from repro.experiments.multicast_replicas import MulticastConfig, MulticastExperiment
 from repro.experiments.regeneration import PAPER_REPAIR, RepairExperiment
 from repro.experiments.results import benchmark_summary, format_series_table
+from repro.experiments.routing import PAPER_ROUTING
 from repro.experiments.serving import PAPER_SERVING
 from repro.experiments.soak import PAPER_SOAK, SoakExperiment
 from repro.experiments.storage_insertion import InsertionConfig, InsertionExperiment
@@ -326,7 +327,14 @@ def _run_churn(args: argparse.Namespace) -> int:
 
 
 def _run_multicast(args: argparse.Namespace) -> int:
-    experiment = MulticastExperiment(MulticastConfig(seed=args.seed))
+    config = MulticastConfig(seed=args.seed, node_count=args.nodes,
+                             replica_count=args.replicas)
+    experiment = MulticastExperiment(config)
+    if config.node_count > 0:
+        tree = experiment._build_tree()
+        print(f"dissemination tree routed over {config.node_count} overlay nodes: "
+              f"{len(tree)} vertices, height {tree.height()}, "
+              f"{len(tree.leaves())} leaves")
     sweep = experiment.run_ransub_sweep()
     print("Figure 11 — epochs to full dissemination per RanSub size")
     for fraction, series in sorted(sweep.items()):
@@ -334,6 +342,45 @@ def _run_multicast(args: argparse.Namespace) -> int:
     minimum, average, maximum = experiment.run_saturation()
     print("Figure 12 — final min/avg/max packets per node:",
           minimum.final(), average.final(), maximum.final())
+    return 0
+
+
+def _run_routing(args: argparse.Namespace) -> int:
+    """Routing-fabric panels at the paper's scale (10 000 nodes) by default."""
+    import time
+    from dataclasses import replace
+
+    spec = get_experiment("routing")
+    config = spec.preset("smoke" if args.smoke else "paper")
+    if not args.smoke and args.scale != 1.0:
+        config = replace(
+            config,
+            population_sweep=tuple(
+                max(16, int(round(nodes * args.scale)))
+                for nodes in config.population_sweep),
+            churn_nodes=max(32, int(round(config.churn_nodes * args.scale))),
+            lookups=max(50, int(round(config.lookups * args.scale))),
+            churn_lookups=max(50, int(round(config.churn_lookups * args.scale))),
+        )
+    config = replace(config, seed=args.seed)
+    if args.engines:
+        config = replace(config,
+                         engines=tuple(name.strip() for name in args.engines.split(",")))
+    if args.lookups is not None:
+        config = replace(config, lookups=args.lookups)
+    start = time.perf_counter()
+    result = spec.run(config)
+    elapsed = time.perf_counter() - start
+    print(result.panel_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.churn_table().format(float_format="{:,.2f}"))
+    print()
+    print(result.speedup_table().format(float_format="{:,.3f}"))
+    summary = result.summary()
+    print("routing summary: "
+          + ", ".join(f"{key}={value:,.2f}" for key, value in summary.items()))
+    print(f"wall time: {elapsed:.1f}s (sweep {config.population_sweep}, "
+          f"{config.lookups} lookups/cell, engines {', '.join(config.engines)})")
     return 0
 
 
@@ -572,7 +619,29 @@ COMMANDS: Tuple[Command, ...] = (
               _arg("--files", type=int, default=2000)),
         seed=4,
     ),
-    Command("multicast", "Figures 11 and 12", _run_multicast, seed=5),
+    Command(
+        "multicast", "Figures 11 and 12", _run_multicast,
+        args=(_arg("--nodes", type=int, default=0,
+                   help="overlay size to route the dissemination tree over "
+                        "(0 = the paper's synthetic binary tree)"),
+              _arg("--replicas", type=int, default=32,
+                   help="replica holders reached through the overlay "
+                        "(only with --nodes > 0)")),
+        seed=5,
+    ),
+    Command(
+        "routing",
+        "routing fabric: batched Pastry/Chord lookups, hops vs N, churn "
+        "head-to-head, seed-router speedups (paper scale: 10 000 nodes)",
+        _run_routing,
+        args=(_arg("--engines", type=str, default=None,
+                   help="comma-separated engines (default pastry,chord)"),
+              _arg("--lookups", type=int, default=None,
+                   help="batched lookups per (size, engine) cell")),
+        scale="multiply sweep populations and lookup counts by this factor",
+        smoke=True,
+        seed=PAPER_ROUTING.seed,
+    ),
     Command(
         "condor", "Table 4", _run_condor,
         args=(_arg("--sizes", type=str, default="1,2,4,8,16,32,64,128",

@@ -6,6 +6,14 @@ packets) to 32 replica holders at the leaves of a binary tree of height 5
 the tree and plots the average number of packets received per node over the
 epochs; Figure 12 fixes RanSub at 16 % and plots the minimum / average /
 maximum per-node packet counts, showing that the tree saturates evenly.
+
+``node_count=0`` (the default) reproduces the paper's synthetic binary
+tree.  ``node_count > 0`` instead grows the dissemination tree out of a
+real overlay: the tree is the union of array-engine-routed paths from a
+random source to ``replica_count`` random replica holders
+(:func:`~repro.multicast.tree.build_routed_tree`), so the same Bullet/
+RanSub exchange runs over the topology Pastry lookups actually induce at
+10 000 nodes.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ import numpy as np
 
 from repro.experiments.results import Series
 from repro.multicast.bullet import BulletConfig, BulletSession
-from repro.multicast.tree import build_binary_tree
+from repro.multicast.tree import MulticastTree, build_binary_tree, build_routed_tree
+from repro.overlay.network import OverlayNetwork
 from repro.sim.rng import RandomStreams
 
 
@@ -36,6 +45,13 @@ class MulticastConfig:
     download_capacity: int = 25
     max_epochs: int = 800
     seed: int = 5
+    #: 0 = the paper's synthetic binary tree; > 0 = grow the dissemination
+    #: tree from routed overlay paths over this many nodes.
+    node_count: int = 0
+    #: Replica holders reached through the overlay (``node_count`` mode).
+    replica_count: int = 32
+    #: Array routing engine that supplies the paths (``node_count`` mode).
+    routing_engine: str = "pastry"
 
 
 class MulticastExperiment:
@@ -43,10 +59,35 @@ class MulticastExperiment:
 
     def __init__(self, config: Optional[MulticastConfig] = None) -> None:
         self.config = config or MulticastConfig()
+        self._routed_tree: Optional[MulticastTree] = None
+
+    def _build_tree(self) -> MulticastTree:
+        """The dissemination tree (synthetic, or routed over an overlay).
+
+        The routed tree is built once and shared by every sweep cell --
+        the paper's cells likewise all use the one fixed tree, varying only
+        the RanSub exchange on top of it.
+        """
+        config = self.config
+        if config.node_count <= 0:
+            return build_binary_tree(config.tree_height)
+        if self._routed_tree is None:
+            streams = RandomStreams(config.seed)
+            network = OverlayNetwork.build(
+                config.node_count, streams.fresh("overlay"), routing_state=False)
+            router = network.attach_router(config.routing_engine)
+            live = network.live_ids()
+            pick = streams.fresh("participants")
+            count = min(config.replica_count + 1, len(live))
+            chosen = pick.choice(len(live), size=count, replace=False)
+            source = live[int(chosen[0])]
+            targets = [live[int(index)] for index in chosen[1:]]
+            self._routed_tree = build_routed_tree(router, source, targets)
+        return self._routed_tree
 
     def _session(self, fraction: float, rng) -> BulletSession:
         config = self.config
-        tree = build_binary_tree(config.tree_height)
+        tree = self._build_tree()
         bullet_config = BulletConfig(
             total_packets=config.total_packets,
             ransub_fraction=fraction,

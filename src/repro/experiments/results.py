@@ -329,6 +329,30 @@ def serving_benchmark_table(record: dict) -> TableResult:
     return table
 
 
+def routing_benchmark_table(record: dict) -> TableResult:
+    """Render the BENCH_routing.json rows as a routing-fabric panel table."""
+    table = TableResult(
+        title="Routing fabric (batched Pastry/Chord lookups, array engines)",
+        columns=["engine", "nodes", "lookups", "avg_hops", "p95_hops",
+                 "max_hops", "build_s", "routes_per_s", "table_mb",
+                 "bytes_per_node"],
+    )
+    for row in record.get("results", []):
+        table.add_row(
+            engine=row.get("engine", "?"),
+            nodes=float(row.get("nodes", 0.0)),
+            lookups=float(row.get("lookups", 0.0)),
+            avg_hops=float(row.get("avg_hops", 0.0)),
+            p95_hops=float(row.get("p95_hops", 0.0)),
+            max_hops=float(row.get("max_hops", 0.0)),
+            build_s=float(row.get("build_s", 0.0)),
+            routes_per_s=float(row.get("routes_per_s", 0.0)),
+            table_mb=float(row.get("table_mb", 0.0)),
+            bytes_per_node=float(row.get("bytes_per_node", 0.0)),
+        )
+    return table
+
+
 def _benchmark_section(root: Path, filename: str, table_fn, speedup_label: str) -> List[str]:
     """One record's summary: its table plus a rendered speedups line.
 
@@ -379,6 +403,10 @@ def benchmark_summary(root: Path) -> str:
     )
     sections += _benchmark_section(
         root, "BENCH_serving.json", serving_benchmark_table, "serve path"
+    )
+    sections += _benchmark_section(
+        root, "BENCH_routing.json", routing_benchmark_table,
+        "routing fabric vs scalar seed router"
     )
     return "\n\n".join(sections)
 

@@ -1,0 +1,353 @@
+"""Routing-fabric panels: hops vs N, Chord vs Pastry under churn, seed speedups.
+
+The seed's hop-by-hop router exists at two scales that never met before this
+experiment: the scalar per-node Pastry state (exact, O(N^2) to build, used by
+the small routing tests) and the DHT oracle view (fast, but no hop counts at
+all).  The array engines (:mod:`repro.overlay.engine_pastry`,
+:mod:`repro.overlay.engine_chord`) close that gap, and this experiment is
+their showcase:
+
+* **hops vs N** -- batched ``route_many`` lookups over fresh overlays at
+  increasing population sizes, per engine: mean/median/p95 hop counts
+  (~log16 N for Pastry, ~(log2 N)/2 for Chord), build time, routes/s and
+  the engine's column memory footprint;
+* **churn head-to-head** -- the same overlay churned by interleaved
+  joins/leaves/failures with both engines attached; each engine's tables
+  are patched incrementally, and the panel reports hop distributions
+  before and after (the SNIPPETS lookup-harness ``summarize()`` shape);
+* **seed vs array** -- at a common small N the scalar seed router and the
+  Pastry engine are built over the *same* population and route the *same*
+  lookups; the panel records build-time and routes/s speedups, and counts
+  hop mismatches (the load-bearing number: it must be zero, and the oracle
+  suite in ``tests/test_routing_engine.py`` pins the same identity
+  path-by-path).
+
+Run it::
+
+    python -m repro.cli routing            # paper scale (10 000 nodes)
+    python -m repro.cli routing --smoke    # CI smoke (seconds)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentSpec,
+    register_experiment,
+)
+from repro.experiments.results import TableResult
+from repro.overlay.ids import random_node_id
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class RoutingConfig(ExperimentConfig):
+    """Defaults for the routing panels (paper scale: 10 000 nodes)."""
+
+    node_count: int = 10_000
+    seed: int = 17
+    #: Population sizes of the hops-vs-N panel (the largest is the flagship).
+    population_sweep: tuple = (1_000, 3_000, 10_000)
+    #: Batched lookups per (size, engine) cell.
+    lookups: int = 5_000
+    #: Engines of the head-to-head.
+    engines: tuple = ("pastry", "chord")
+    #: Churn panel: overlay size, interleaved events, post-churn lookups.
+    churn_nodes: int = 2_000
+    churn_events: int = 200
+    churn_lookups: int = 2_000
+    #: Seed-vs-array cell (the scalar build is O(N^2) -- keep it small).
+    baseline_nodes: int = 400
+    baseline_lookups: int = 400
+    leaf_set_half_size: int = 8
+
+
+#: The paper-scale flagship sweep.
+PAPER_ROUTING = RoutingConfig()
+
+#: Tier-1 smoke scale: every panel in seconds on one core.
+SMOKE_ROUTING = RoutingConfig(
+    node_count=400,
+    population_sweep=(200, 400),
+    lookups=400,
+    churn_nodes=250,
+    churn_events=60,
+    churn_lookups=300,
+    baseline_nodes=150,
+    baseline_lookups=200,
+)
+
+
+def hop_summary(hops: np.ndarray) -> Dict[str, float]:
+    """The SNIPPETS lookup-harness ``summarize()`` shape over a hop column."""
+    values = np.asarray(hops, dtype=float)
+    if values.size == 0:
+        return {"n": 0.0, "avg": 0.0, "median": 0.0, "p95": 0.0,
+                "min": 0.0, "max": 0.0}
+    return {
+        "n": float(values.size),
+        "avg": float(values.mean()),
+        "median": float(np.median(values)),
+        "p95": float(np.percentile(values, 95)),
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }
+
+
+@dataclass
+class RoutingResult:
+    """The three panels plus the headline speedup numbers."""
+
+    config: RoutingConfig
+    panel_rows: List[Dict[str, float]] = field(default_factory=list)
+    churn_rows: List[Dict[str, float]] = field(default_factory=list)
+    speedup_rows: List[Dict[str, float]] = field(default_factory=list)
+    summary_values: Dict[str, float] = field(default_factory=dict)
+
+    def panel_table(self) -> TableResult:
+        """Hops vs N: per-engine hop distribution, build time, routes/s."""
+        table = TableResult(
+            title="Routing fabric — batched lookups vs population size",
+            columns=["engine", "nodes", "lookups", "avg_hops", "median_hops",
+                     "p95_hops", "max_hops", "build_s", "routes_per_s",
+                     "table_mb", "bytes_per_node"],
+        )
+        for row in self.panel_rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def churn_table(self) -> TableResult:
+        """Chord vs Pastry hop distributions before and after churn."""
+        table = TableResult(
+            title="Routing under churn — incremental table repair head-to-head",
+            columns=["engine", "phase", "nodes", "lookups", "avg_hops",
+                     "median_hops", "p95_hops", "max_hops"],
+        )
+        for row in self.churn_rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def speedup_table(self) -> TableResult:
+        """Seed scalar router vs the array engine over the same population."""
+        table = TableResult(
+            title="Seed scalar router vs array engine (identical lookups)",
+            columns=["pipeline", "nodes", "lookups", "build_s", "route_s",
+                     "routes_per_s", "avg_hops", "hop_mismatches"],
+        )
+        for row in self.speedup_rows:
+            table.add_row(**{column: row[column] for column in table.columns})
+        return table
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers the benchmark records and asserts on."""
+        return dict(self.summary_values)
+
+
+class RoutingExperiment:
+    """Runs the three routing panels."""
+
+    def __init__(self, config: Optional[RoutingConfig] = None) -> None:
+        self.config = config or RoutingConfig()
+
+    # ------------------------------------------------------------- workloads --
+    def _lookup_workload(self, network: OverlayNetwork, count: int, rng):
+        """``count`` random (key, start) pairs over the live population."""
+        live = network.live_ids()
+        keys = [random_node_id(rng) for _ in range(count)]
+        starts = [live[int(index)]
+                  for index in rng.integers(len(live), size=count)]
+        return keys, starts
+
+    def _build_network(self, nodes: int, rng) -> OverlayNetwork:
+        return OverlayNetwork.build(
+            nodes, rng, leaf_set_half_size=self.config.leaf_set_half_size,
+            routing_state=False)
+
+    # ---------------------------------------------------------------- panels --
+    def run_panel(self) -> List[Dict[str, float]]:
+        """Hops vs N, per engine, on fresh overlays."""
+        config = self.config
+        rows: List[Dict[str, float]] = []
+        for nodes in config.population_sweep:
+            streams = RandomStreams(config.seed)
+            network = self._build_network(nodes, streams.fresh("overlay", nodes))
+            keys, starts = self._lookup_workload(
+                network, config.lookups, streams.fresh("lookups", nodes))
+            for engine in config.engines:
+                start_time = time.perf_counter()
+                router = network.attach_router(engine, dispatch=False)
+                build_s = time.perf_counter() - start_time
+                start_time = time.perf_counter()
+                result = router.route_many(keys, starts)
+                route_s = time.perf_counter() - start_time
+                stats = hop_summary(result.hops)
+                footprint = router.memory_footprint()
+                rows.append({
+                    "engine": engine,
+                    "nodes": float(nodes),
+                    "lookups": stats["n"],
+                    "avg_hops": stats["avg"],
+                    "median_hops": stats["median"],
+                    "p95_hops": stats["p95"],
+                    "max_hops": stats["max"],
+                    "build_s": build_s,
+                    "routes_per_s": stats["n"] / route_s if route_s > 0 else 0.0,
+                    "table_mb": footprint["total_bytes"] / 1e6,
+                    "bytes_per_node": float(footprint["bytes_per_node"]),
+                })
+        return rows
+
+    def run_churn(self) -> List[Dict[str, float]]:
+        """Chord vs Pastry on one overlay churned under both engines."""
+        config = self.config
+        streams = RandomStreams(config.seed)
+        network = self._build_network(
+            config.churn_nodes, streams.fresh("churn-overlay"))
+        routers = {engine: network.attach_router(engine, dispatch=False)
+                   for engine in config.engines}
+        rng = streams.fresh("churn-events")
+        rows: List[Dict[str, float]] = []
+
+        def measure(phase: str) -> None:
+            keys, starts = self._lookup_workload(
+                network, config.churn_lookups, streams.fresh("churn-lookups", phase))
+            for engine, router in routers.items():
+                stats = hop_summary(router.route_many(keys, starts).hops)
+                rows.append({
+                    "engine": engine,
+                    "phase": phase,
+                    "nodes": float(len(network.live_ids())),
+                    "lookups": stats["n"],
+                    "avg_hops": stats["avg"],
+                    "median_hops": stats["median"],
+                    "p95_hops": stats["p95"],
+                    "max_hops": stats["max"],
+                })
+
+        measure("fresh")
+        floor = max(16, config.churn_nodes // 2)
+        for event in range(config.churn_events):
+            live = network.live_ids()
+            kind = int(rng.integers(3))
+            if kind == 0 or len(live) <= floor:
+                node = OverlayNode(
+                    node_id=random_node_id(rng),
+                    coordinates=(float(rng.uniform(0.0, 1000.0)),
+                                 float(rng.uniform(0.0, 1000.0))),
+                )
+                node.leaf_set = type(node.leaf_set)(
+                    node.node_id, config.leaf_set_half_size)
+                network.join(node)
+            elif kind == 1:
+                network.leave(live[int(rng.integers(len(live)))])
+            else:
+                network.fail(live[int(rng.integers(len(live)))])
+        measure("churned")
+        return rows
+
+    def run_speedup(self) -> List[Dict[str, float]]:
+        """Seed scalar router vs the Pastry engine over one population."""
+        config = self.config
+        nodes = config.baseline_nodes
+
+        # Identical populations: same stream label, two independent draws.
+        build_start = time.perf_counter()
+        seed_network = OverlayNetwork.build(
+            nodes, RandomStreams(config.seed).fresh("baseline"),
+            leaf_set_half_size=config.leaf_set_half_size, routing_state=True)
+        seed_build_s = time.perf_counter() - build_start
+        fast_network = OverlayNetwork.build(
+            nodes, RandomStreams(config.seed).fresh("baseline"),
+            leaf_set_half_size=config.leaf_set_half_size, routing_state=False)
+        build_start = time.perf_counter()
+        router = fast_network.attach_router("pastry")
+        array_build_s = time.perf_counter() - build_start
+
+        keys, starts = self._lookup_workload(
+            seed_network, config.baseline_lookups,
+            RandomStreams(config.seed).fresh("baseline-lookups"))
+
+        route_start = time.perf_counter()
+        seed_results = [seed_network.route(key, start)
+                        for key, start in zip(keys, starts)]
+        seed_route_s = time.perf_counter() - route_start
+        seed_hops = np.array([result.hops for result in seed_results])
+
+        route_start = time.perf_counter()
+        batch = router.route_many(keys, starts)
+        array_route_s = time.perf_counter() - route_start
+        mismatches = int((seed_hops != batch.hops).sum())
+
+        count = float(len(keys))
+        rows = [
+            {
+                "pipeline": "seed scalar",
+                "nodes": float(nodes),
+                "lookups": count,
+                "build_s": seed_build_s,
+                "route_s": seed_route_s,
+                "routes_per_s": count / seed_route_s if seed_route_s > 0 else 0.0,
+                "avg_hops": float(seed_hops.mean()),
+                "hop_mismatches": 0.0,
+            },
+            {
+                "pipeline": "array engine",
+                "nodes": float(nodes),
+                "lookups": count,
+                "build_s": array_build_s,
+                "route_s": array_route_s,
+                "routes_per_s": count / array_route_s if array_route_s > 0 else 0.0,
+                "avg_hops": float(batch.hops.mean()),
+                "hop_mismatches": float(mismatches),
+            },
+        ]
+        return rows
+
+    def run(self) -> RoutingResult:
+        """Run every panel and assemble the headline summary."""
+        result = RoutingResult(config=self.config)
+        result.panel_rows = self.run_panel()
+        result.churn_rows = self.run_churn()
+        result.speedup_rows = self.run_speedup()
+
+        summary: Dict[str, float] = {}
+        flagship = max(self.config.population_sweep)
+        for row in result.panel_rows:
+            if row["nodes"] == flagship:
+                prefix = row["engine"]
+                summary[f"{prefix}_avg_hops"] = row["avg_hops"]
+                summary[f"{prefix}_routes_per_s"] = row["routes_per_s"]
+                summary[f"{prefix}_build_seconds"] = row["build_s"]
+                summary[f"{prefix}_bytes_per_node"] = row["bytes_per_node"]
+        seed_row, array_row = result.speedup_rows
+        if array_row["build_s"] > 0:
+            summary["build_speedup_x"] = seed_row["build_s"] / array_row["build_s"]
+        if array_row["route_s"] > 0:
+            summary["route_speedup_x"] = seed_row["route_s"] / array_row["route_s"]
+        summary["hop_identity_mismatches"] = array_row["hop_mismatches"]
+        result.summary_values = summary
+        return result
+
+
+def run_routing(config: RoutingConfig) -> RoutingResult:
+    """Registry entry point: run the routing panels with ``config``."""
+    return RoutingExperiment(config).run()
+
+
+register_experiment(
+    ExperimentSpec(
+        name="routing",
+        help="routing fabric: hops vs N, Chord vs Pastry churn, seed speedups",
+        config_type=RoutingConfig,
+        presets={"paper": PAPER_ROUTING, "smoke": SMOKE_ROUTING},
+        runner=run_routing,
+    )
+)

@@ -97,6 +97,12 @@ class ServingConfig(ExperimentConfig):
     #: Promote a file (push extra replicas) at this many reads (0 = never).
     hot_threshold: int = 24
     hot_replicas: int = 2
+    #: Opt-in overlay lookup cost: fabric-touching requests are additionally
+    #: charged ``hops * hop_latency_s`` over the routed path from their
+    #: gateway to the file key's root (0 = off, the seed latency model).
+    hop_latency_s: float = 0.0
+    #: The routing engine that supplies hop counts when ``hop_latency_s`` > 0.
+    routing_engine: str = "pastry"
 
 
 #: The paper-scale flagship: 10 000 nodes behind a 4:1 core.
@@ -264,6 +270,9 @@ class ServingExperiment:
             ),
             rng=streams.fresh("requests"),
         )
+        router = None
+        if config.hop_latency_s > 0.0:
+            router = session.routing(config.routing_engine)
         engine = ServeEngine(
             session.sim,
             client,
@@ -275,6 +284,8 @@ class ServingExperiment:
             replicator=replicator,
             hot_threshold=config.hot_threshold,
             hot_replicas=config.hot_replicas,
+            router=router,
+            hop_latency_s=config.hop_latency_s,
         )
         engine.schedule()
         session.run()

@@ -1,6 +1,6 @@
 """Multicast tree construction.
 
-Two constructors are provided:
+Three constructors are provided:
 
 * :func:`build_binary_tree` -- the fixed complete binary tree used by the
   paper's multicast experiments (height 5, 63 nodes, the 32 leaves being the
@@ -8,7 +8,12 @@ Two constructors are provided:
 * :func:`build_locality_tree` -- the locality-aware tree of Section 4.4.1:
   starting from the source, children are chosen greedily as the proximity-
   closest nodes known from the overlay routing tables, walking towards the
-  replica targets' identifiers.
+  replica targets' identifiers;
+* :func:`build_routed_tree` -- the Scribe-style dissemination tree: the
+  union of the overlay-routed paths from the source to every replica
+  target, as produced by an array routing engine's batched ``route_many``.
+  Interior vertices are the overlay nodes the lookups actually traverse,
+  so tree depth is the routed hop count (~log16 N for Pastry).
 """
 
 from __future__ import annotations
@@ -101,6 +106,44 @@ def build_binary_tree(height: int) -> MulticastTree:
         return node
 
     return MulticastTree(make(0, None))
+
+
+def build_routed_tree(
+    router,
+    source: NodeId,
+    targets: Sequence[NodeId],
+) -> MulticastTree:
+    """The union of the routed overlay paths from ``source`` to ``targets``.
+
+    ``router`` is anything with the ``route_many(keys, starts,
+    collect_paths=True)`` surface (an array engine, or an
+    :class:`~repro.overlay.network.OverlayNetwork` falling back to its
+    scalar router).  Every node on a routed path becomes a vertex; the
+    parent of a vertex is the hop that reached it first (first-seen wins,
+    so shared prefixes of later paths reuse the existing spine, exactly
+    how Scribe trees form from reverse-path forwarding).
+    """
+    unique_targets = [target for target in dict.fromkeys(targets) if target != source]
+    root = TreeNode(label=0, overlay_id=source)
+    by_id: Dict[int, TreeNode] = {int(source): root}
+    if not unique_targets:
+        return MulticastTree(root)
+    result = router.route_many(unique_targets, source, collect_paths=True)
+    if result.paths is None:
+        raise ValueError("router did not return routed paths")
+    label = 1
+    for path in result.paths:
+        parent = root
+        for value in path:
+            vertex = by_id.get(value)
+            if vertex is None:
+                vertex = TreeNode(label=label, parent=parent,
+                                  overlay_id=NodeId(value))
+                label += 1
+                parent.children.append(vertex)
+                by_id[value] = vertex
+            parent = vertex
+    return MulticastTree(root)
 
 
 def build_locality_tree(

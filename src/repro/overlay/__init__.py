@@ -15,7 +15,13 @@ relies on:
   with the same result the converged overlay would produce; the large-scale
   insertion experiments use this view, exactly like the paper's FreePastry
   "simulator mode" uses a directly-connected network
-  (:mod:`repro.overlay.dht`).
+  (:mod:`repro.overlay.dht`);
+* array-backed routing engines behind the pluggable
+  :class:`~repro.overlay.engine.OverlayRouting` protocol -- a vectorized
+  Pastry engine that is hop-for-hop identical to the seed router
+  (:mod:`repro.overlay.engine_pastry`) and a Chord ring for head-to-head
+  comparisons (:mod:`repro.overlay.engine_chord`), both driving batched
+  ``route_many`` lookups at 10k-100k nodes (:mod:`repro.overlay.engine`).
 """
 
 from repro.overlay.ids import (
@@ -33,6 +39,14 @@ from repro.overlay.node_state import NodeArrayState
 from repro.overlay.routing import RoutingTable
 from repro.overlay.network import OverlayNetwork, RouteResult
 from repro.overlay.dht import DHTView
+from repro.overlay.engine import (
+    BatchRouteResult,
+    OverlayRouting,
+    ROUTER_ENGINES,
+    make_router,
+)
+from repro.overlay.engine_pastry import PastryArrayRouter
+from repro.overlay.engine_chord import ChordArrayRouter
 
 __all__ = [
     "ID_BITS",
@@ -50,4 +64,10 @@ __all__ = [
     "OverlayNetwork",
     "RouteResult",
     "DHTView",
+    "BatchRouteResult",
+    "OverlayRouting",
+    "ROUTER_ENGINES",
+    "make_router",
+    "PastryArrayRouter",
+    "ChordArrayRouter",
 ]

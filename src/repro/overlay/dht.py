@@ -141,6 +141,26 @@ class DHTView:
             self.lookup_count += len(indices)
         return indices
 
+    # -- routed-path access ----------------------------------------------------
+    def attach_router(self, engine: str = "pastry", **kwargs):
+        """Attach (or reuse) an array routing engine on the underlying network.
+
+        Thin passthrough so pipelines that only hold a :class:`DHTView` can
+        still opt into hop-accurate routed paths without reaching for the
+        network object.  Returns the engine.
+        """
+        if self.network.router is not None and not kwargs:
+            return self.network.router
+        return self.network.attach_router(engine, **kwargs)
+
+    def route(self, key: NodeId, start: NodeId):
+        """Route a message on the underlying network (engine or seed tables)."""
+        return self.network.route(key, start)
+
+    def route_many(self, keys, starts=None, collect_paths: bool = False):
+        """Batched routing on the underlying network (see ``OverlayNetwork.route_many``)."""
+        return self.network.route_many(keys, starts, collect_paths=collect_paths)
+
     def successors(self, key: NodeId, count: int) -> List[OverlayNode]:
         """The ``count`` live nodes that follow ``key`` clockwise (CFS-style replica set)."""
         nodes = self.state.nodes

@@ -53,6 +53,10 @@ class OverlayNetwork:
         #: departures skip the O(N) leaf-set repair sweep (there is no state
         #: to repair) -- what keeps a churn sweep at 10 000 nodes incremental.
         self.maintains_routing_state = True
+        #: An attached array routing engine (see :func:`attach_router`) plus
+        #: the listeners receiving join/leave/fail churn patches.
+        self.router = None
+        self._routing_listeners: List = []
 
     # -- population management ----------------------------------------------
     @classmethod
@@ -106,6 +110,8 @@ class OverlayNetwork:
             # No per-node Pastry state to build or advertise: a join is O(1)
             # here plus an incremental boundary patch in the DHT view, which
             # is what keeps join-heavy churn soaks incremental.
+            for listener in self._routing_listeners:
+                listener.on_join(node)
             return
         self._refresh_state_for(node)
         # Existing nodes learn about the newcomer.
@@ -114,6 +120,8 @@ class OverlayNetwork:
                 continue
             other.leaf_set.consider(node.node_id)
             other.routing_table.consider(node.node_id, self.proximity(other.node_id, node.node_id))
+        for listener in self._routing_listeners:
+            listener.on_join(node)
 
     def join(self, node: OverlayNode) -> None:
         """Add a new participant to an existing overlay (Figure 1 of the paper)."""
@@ -144,6 +152,8 @@ class OverlayNetwork:
         node.leave()
         if self.maintains_routing_state:
             self._repair_after_departure(node_id)
+        for listener in self._routing_listeners:
+            listener.on_leave(node_id)
 
     def fail(self, node_id: NodeId) -> OverlayNode:
         """Abrupt failure: node stays in the table but is marked dead; repair state."""
@@ -151,6 +161,8 @@ class OverlayNetwork:
         node.fail()
         if self.maintains_routing_state:
             self._repair_after_departure(node_id)
+        for listener in self._routing_listeners:
+            listener.on_fail(node_id)
         return node
 
     def _repair_after_departure(self, node_id: NodeId) -> None:
@@ -197,6 +209,31 @@ class OverlayNetwork:
         bx, by = self.node(b).coordinates
         return math.hypot(ax - bx, ay - by)
 
+    # -- pluggable routing engines --------------------------------------------
+    def attach_router(self, engine="pastry", dispatch=True, **kwargs):
+        """Attach an array routing engine ("pastry", "chord", or an instance).
+
+        The engine is built over the current live population, registered for
+        join/leave/fail churn patches, and — on ``routing_state=False``
+        overlays, which have no per-node Pastry state of their own —
+        :meth:`route` and :meth:`route_many` dispatch to it.  Overlays that
+        maintain the seed's scalar state keep routing through it (the
+        dispatched baseline), while the attached engine still tracks churn,
+        which is what the hop-identity oracle leans on.
+
+        ``dispatch=False`` registers the engine for churn tracking without
+        making it the :meth:`route` target — how a session keeps a Chord
+        engine alongside the dispatching Pastry one for head-to-heads.
+        """
+        from repro.overlay.engine import make_router
+
+        router = make_router(engine, self, **kwargs) if isinstance(engine, str) else engine
+        if dispatch or self.router is None:
+            self.router = router
+        if router not in self._routing_listeners:
+            self._routing_listeners.append(router)
+        return router
+
     # -- routing ---------------------------------------------------------------
     def responsible_node(self, key: NodeId) -> NodeId:
         """The live node numerically closest to ``key`` (the DHT root)."""
@@ -217,6 +254,11 @@ class OverlayNetwork:
             raise OverlayError("no live nodes in the overlay")
         if start is None:
             start = live[0]
+        if self.router is not None and not self.maintains_routing_state:
+            result = self.router.route(key, start)
+            self.total_route_hops += result.hops
+            self.total_routes += 1
+            return result
         current = self.node(start)
         if not current.alive:
             raise OverlayError(f"routing from a failed node: {start!r}")
@@ -238,6 +280,36 @@ class OverlayNetwork:
         self.total_route_hops += hops
         self.total_routes += 1
         return RouteResult(key=key, root=target_root, hops=hops, path=tuple(path))
+
+    def route_many(self, keys, starts=None, collect_paths: bool = False):
+        """Batched routing: one vectorized pass per hop on the attached engine.
+
+        Falls back to a scalar :meth:`route` loop when no engine is attached
+        (or the overlay maintains the seed's per-node state), so callers get
+        the same :class:`~repro.overlay.engine.BatchRouteResult` either way.
+        """
+        from repro.overlay.engine import BatchRouteResult
+
+        live = self.live_ids()
+        if not live:
+            raise OverlayError("no live nodes in the overlay")
+        if starts is None:
+            starts = live[0]
+        if self.router is not None and not self.maintains_routing_state:
+            result = self.router.route_many(keys, starts, collect_paths=collect_paths)
+            self.total_route_hops += int(result.hops.sum())
+            self.total_routes += len(result.hops)
+            return result
+        if isinstance(starts, (int, NodeId)):
+            starts = [starts] * len(keys)
+        results = [self.route(NodeId(int(key) % (1 << 160)), start)
+                   for key, start in zip(keys, starts)]
+        return BatchRouteResult(
+            hops=np.array([r.hops for r in results], dtype=np.int32),
+            root_slots=np.full(len(results), -1, dtype=np.int32),
+            roots=[int(r.root) for r in results],
+            paths=[[int(n) for n in r.path] for r in results] if collect_paths else None,
+        )
 
     def _next_hop(self, current: OverlayNode, key: NodeId) -> Optional[NodeId]:
         # Rule 1: if the key is covered by the leaf set, go straight to the

@@ -466,3 +466,26 @@ class NodeArrayState:
         """Recompute the aggregates from scratch (defensive; O(N))."""
         self.capacity_total = sum(node.capacity for node in self.nodes)
         self.used_total = sum(node.used for node in self.nodes)
+
+    def memory_footprint(self) -> dict:
+        """Index sizing counters (same shape as the routing engines').
+
+        The boundary arrays are the only NumPy columns; the Python-side
+        mirrors (``ids_int``, ``_bounds_int``) are counted per-entry at
+        pointer size so the routing bench can compare apples to apples.
+        """
+        if self._bounds_dirty:
+            self._rebuild_bounds()
+        pointer_bytes = 8
+        column_bytes = int(self._bounds_bytes.nbytes + self._owners_arr.nbytes)
+        python_bytes = pointer_bytes * (
+            len(self.ids_int) + len(self._bounds_int) + len(self._owners_list)
+        )
+        total = column_bytes + python_bytes
+        return {
+            "live_nodes": len(self.ids_int),
+            "boundary_bytes": column_bytes,
+            "python_index_bytes": python_bytes,
+            "total_bytes": total,
+            "bytes_per_node": total // max(1, len(self.ids_int)),
+        }

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.overlay.ids import key_for
 from repro.workloads.filetrace import MB
 
 
@@ -186,6 +187,7 @@ class _RequestState:
     last: float = 0.0
     ok: bool = True
     cached: int = 0
+    hop_delay: float = 0.0
 
 
 class ServeEngine:
@@ -211,6 +213,8 @@ class ServeEngine:
         hot_threshold: int = 0,
         hot_replicas: int = 1,
         write_prefix: str = "put",
+        router=None,
+        hop_latency_s: float = 0.0,
     ) -> None:
         self.sim = sim
         #: Accept an ArchiveClient or a raw StorageSystem.
@@ -226,6 +230,13 @@ class ServeEngine:
         self.hot_threshold = hot_threshold
         self.hot_replicas = hot_replicas
         self.write_prefix = write_prefix
+        #: Opt-in routed-hop latency: requests that touch the fabric are
+        #: additionally charged ``hops * hop_latency_s`` for the overlay
+        #: lookup from their gateway to the file key's root.  Cache hits
+        #: never touch the fabric, so they bypass the charge by construction.
+        self.router = router
+        self.hop_latency_s = float(hop_latency_s)
+        self.routed_hops = 0
         self.read_latencies: List[float] = []
         self.write_latencies: List[float] = []
         #: chunks served from cache, one entry per completed read, issue order.
@@ -260,12 +271,14 @@ class ServeEngine:
         name = None
         if read:
             name = self.catalog[int(trace.file_index[index])]
+            filename = name
             result = self.storage.retrieve_file(name, client=gateway,
                                                 observer=observe)
             state.ok = result.complete
             state.cached = result.chunks_cached
         else:
-            result = self.storage.store_file(f"{self.write_prefix}-{index:08d}",
+            filename = f"{self.write_prefix}-{index:08d}"
+            result = self.storage.store_file(filename,
                                              int(trace.write_sizes[index]),
                                              client=gateway, observer=observe)
             state.ok = result.success
@@ -274,6 +287,10 @@ class ServeEngine:
         # not inflate this request's completion target.
         submitted = (self.transfers.submitted_count - before
                      if self.transfers is not None else 0)
+        if submitted and self.hop_latency_s > 0.0 and self.router is not None:
+            hops = self.router.route(key_for(filename), gateway).hops
+            self.routed_hops += hops
+            state.hop_delay = hops * self.hop_latency_s
         if submitted == 0:
             # Nothing touched the fabric: a pure cache hit costs the hit
             # latency, anything else (failed read, empty write) completes
@@ -297,6 +314,7 @@ class ServeEngine:
             self.replicator.replicate_file(name, self.hot_replicas)
 
     def _finish(self, state: _RequestState, finished_at: float) -> None:
+        finished_at += state.hop_delay
         latency = max(0.0, finished_at - state.arrival)
         self.last_completion_s = max(self.last_completion_s, finished_at)
         if state.read:
@@ -335,5 +353,6 @@ class ServeEngine:
             "failed_reads": float(self.failed_reads),
             "failed_writes": float(self.failed_writes),
             "promotions": float(len(self.promotions)),
+            "routed_hops": float(self.routed_hops),
             "makespan_s": makespan,
         }

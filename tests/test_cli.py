@@ -21,7 +21,7 @@ def test_no_arguments_prints_help_list(capsys):
 def test_parser_knows_all_experiments():
     parser = build_parser()
     for name in ("insertion", "availability", "coding", "churn", "soak", "faults",
-                 "tenants", "serve", "multicast", "condor"):
+                 "tenants", "serve", "routing", "multicast", "condor"):
         args = parser.parse_args([name])
         assert args.experiment == name
         assert callable(args.func)
@@ -143,6 +143,37 @@ def test_serve_no_cache_runs_direct_cells_only(capsys):
     out = capsys.readouterr().out
     assert "s1.1_direct" in out
     assert "s1.1_cache" not in out and "s0.8" not in out
+
+
+def test_parser_knows_routing_flags():
+    parser = build_parser()
+    args = parser.parse_args(["routing", "--smoke", "--engines", "pastry",
+                              "--lookups", "100", "--seed", "9"])
+    assert args.experiment == "routing"
+    assert args.smoke
+    assert args.engines == "pastry"
+    assert args.lookups == 100
+    assert args.seed == 9
+    assert callable(args.func)
+
+
+def test_routing_smoke_runs_every_panel(capsys):
+    """The tier-1 smoke: all three routing panels end to end in seconds."""
+    assert main(["routing", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Routing fabric" in out and "Routing under churn" in out
+    assert "Seed scalar router vs array engine" in out
+    assert "pastry" in out and "chord" in out
+    assert "hop_identity_mismatches=0.00" in out
+    assert "routing summary" in out and "wall time" in out
+
+
+def test_multicast_overlay_mode_routes_the_tree(capsys):
+    assert main(["multicast", "--nodes", "300", "--replicas", "8",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "dissemination tree routed over 300 overlay nodes" in out
+    assert "Figure 11" in out and "Figure 12" in out
 
 
 def test_insertion_command_runs_small(capsys):

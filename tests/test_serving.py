@@ -240,6 +240,32 @@ def test_cache_off_engine_is_oracle_identical_to_direct_retrieval():
     assert engine.hit_sequence == [0] * len(engine.hit_sequence)
 
 
+def test_hop_latency_is_opt_in_and_charges_fabric_requests():
+    """hop_latency_s=0 keeps the seed latency model; > 0 charges routed hops."""
+    base = _tiny_config(cache_modes=(False,))
+    charged = _tiny_config(cache_modes=(False,), hop_latency_s=0.005)
+    row_base = ServingExperiment(base).run().rows[0]
+    row_charged = ServingExperiment(charged).run().rows[0]
+    # Off by default: no router is built and nothing is charged.
+    assert row_base["routed_hops"] == 0.0
+    # Opt-in: the same trace is additionally charged hops * hop_latency_s.
+    assert row_charged["routed_hops"] > 0.0
+    assert row_charged["completed"] == row_base["completed"]
+    assert row_charged["read_p50_s"] >= row_base["read_p50_s"]
+    assert row_charged["read_p99_s"] >= row_base["read_p99_s"]
+
+
+def test_cache_hits_bypass_hop_charging():
+    """Full cache hits never touch the fabric, so they charge no hops."""
+    direct = _tiny_config(cache_modes=(False,), hop_latency_s=0.005)
+    cached = _tiny_config(cache_modes=(True,), hop_latency_s=0.005,
+                          cache_mb=64.0)
+    row_direct = ServingExperiment(direct).run().rows[0]
+    row_cached = ServingExperiment(cached).run().rows[0]
+    assert row_cached["cache_hit_pct"] > 0.0
+    assert row_cached["routed_hops"] < row_direct["routed_hops"]
+
+
 def test_engine_requires_gateways():
     config = _tiny_config()
     streams = RandomStreams(config.seed)
